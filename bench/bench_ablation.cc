@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Ablation studies for the design choices DESIGN.md calls out (not a
+ * paper figure, but sanity for the mechanism):
+ *   - live-register backup vs full-context backup in the PCRF,
+ *   - modeled switch latency vs free switching (Sec. V-E's claim that
+ *     the latency is effectively hidden),
+ *   - bit-vector cache size sweep (Sec. V-C: 32 entries suffice),
+ *   - GTO vs LRR warp scheduling.
+ */
+
+#include "bench/bench_common.hh"
+#include "workloads/suite.hh"
+
+using namespace finereg;
+
+namespace
+{
+
+const double kScale = finereg::bench::gridScale(0.5);
+
+const char *kApps[] = {"MC", "SY2", "SR2", "LI"};
+
+void
+report()
+{
+    bench::printReportHeader(
+        "Ablations: live-register backup, switch latency, bit-vector "
+        "cache size, warp scheduler",
+        "Sec. V-C: 32-entry cache suffices; Sec. V-E: switch latency is "
+        "hidden; live-register storage is what makes the PCRF dense");
+
+    auto &store = bench::ResultStore::instance();
+
+    TableFormatter table({"app", "FineReg", "full-context", "zero-latency",
+                          "bvcache=4", "bvcache=128", "LRR baseline"});
+    for (const char *app : kApps) {
+        const auto &fine = store.get(std::string("abl/fine/") + app);
+        auto rel = [&](const char *variant) {
+            return TableFormatter::num(
+                Experiment::speedup(
+                    store.get(std::string("abl/") + variant + "/" + app),
+                    fine),
+                3);
+        };
+        table.addRow({app, TableFormatter::num(fine.ipc), rel("fullctx"),
+                      rel("zerolat"), rel("bv4"), rel("bv128"),
+                      rel("lrr")});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf(
+        "\nColumns are IPC relative to stock FineReg. Expected: "
+        "full-context <= 1 (fewer pending CTAs fit), zero-latency ~1 "
+        "(switch latency already hidden), bvcache=4 slightly <= 1 and "
+        "bvcache=128 ~1 (32 entries suffice).\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const char *app : kApps) {
+        bench::registerSim(std::string("abl/fine/") + app, [app] {
+            return Experiment::runApp(
+                app, Experiment::configFor(PolicyKind::FineReg), kScale);
+        });
+        bench::registerSim(std::string("abl/fullctx/") + app, [app] {
+            GpuConfig config = Experiment::configFor(PolicyKind::FineReg);
+            config.policy.fullContextBackup = true;
+            return Experiment::runApp(app, config, kScale);
+        });
+        bench::registerSim(std::string("abl/zerolat/") + app, [app] {
+            GpuConfig config = Experiment::configFor(PolicyKind::FineReg);
+            config.policy.zeroSwitchLatency = true;
+            return Experiment::runApp(app, config, kScale);
+        });
+        bench::registerSim(std::string("abl/bv4/") + app, [app] {
+            GpuConfig config = Experiment::configFor(PolicyKind::FineReg);
+            config.policy.bitvecCacheEntries = 4;
+            return Experiment::runApp(app, config, kScale);
+        });
+        bench::registerSim(std::string("abl/bv128/") + app, [app] {
+            GpuConfig config = Experiment::configFor(PolicyKind::FineReg);
+            config.policy.bitvecCacheEntries = 128;
+            return Experiment::runApp(app, config, kScale);
+        });
+        bench::registerSim(std::string("abl/lrr/") + app, [app] {
+            GpuConfig config = Experiment::configFor(PolicyKind::FineReg);
+            config.sm.sched = SchedKind::LRR;
+            return Experiment::runApp(app, config, kScale);
+        });
+    }
+    return bench::runBenchmarkMain(argc, argv, report);
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Shared scaffolding for the per-table/figure bench binaries. Each binary
+ * registers its simulations as google-benchmark cases (one iteration per
+ * case — a "benchmark" here is a full simulator run) and, after the
+ * benchmark pass, prints the paper-vs-measured comparison table that the
+ * corresponding figure or table in the paper reports.
+ */
+
+#ifndef FINEREG_BENCH_BENCH_COMMON_HH
+#define FINEREG_BENCH_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/experiment.hh"
+
+namespace finereg::bench
+{
+
+/** Grid scale for simulations; FINEREG_BENCH_SCALE overrides. */
+inline double
+gridScale(double fallback = 0.5)
+{
+    if (const char *env = std::getenv("FINEREG_BENCH_SCALE"))
+        return std::atof(env);
+    return fallback;
+}
+
+/** Result store shared between benchmark cases and the final report. */
+class ResultStore
+{
+  public:
+    static ResultStore &
+    instance()
+    {
+        static ResultStore store;
+        return store;
+    }
+
+    void
+    put(const std::string &key, SimResult result)
+    {
+        results_[key] = std::move(result);
+    }
+
+    const SimResult &
+    get(const std::string &key) const
+    {
+        const auto it = results_.find(key);
+        if (it == results_.end())
+            FINEREG_FATAL("bench result '", key, "' missing");
+        return it->second;
+    }
+
+    bool has(const std::string &key) const { return results_.count(key); }
+
+  private:
+    std::map<std::string, SimResult> results_;
+};
+
+/** Register one simulation as a single-iteration benchmark case. */
+inline void
+registerSim(const std::string &name, std::function<SimResult()> run)
+{
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [name, run = std::move(run)](benchmark::State &state) {
+            for (auto _ : state) {
+                SimResult result = run();
+                state.counters["ipc"] = result.ipc;
+                state.counters["cycles"] =
+                    static_cast<double>(result.cycles);
+                state.counters["resident_ctas"] = result.avgResidentCtas;
+                ResultStore::instance().put(name, std::move(result));
+            }
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+}
+
+/** Standard header every bench report starts with. */
+inline void
+printReportHeader(const char *experiment, const char *paper_claim)
+{
+    std::printf("\n=====================================================\n");
+    std::printf("%s\n", experiment);
+    std::printf("Paper reference: %s\n", paper_claim);
+    std::printf("=====================================================\n");
+}
+
+/** Run google-benchmark then the report callback. */
+inline int
+runBenchmarkMain(int argc, char **argv, std::function<void()> report)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    report();
+    return 0;
+}
+
+} // namespace finereg::bench
+
+#endif // FINEREG_BENCH_BENCH_COMMON_HH

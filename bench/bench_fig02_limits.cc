@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Fig. 2 — performance impact of scaling scheduling resources (CTA/warp/
+ * thread slots), on-chip memory (register file + shared memory), or both
+ * by 1.5x and 2x. The paper reports: Type-S +27.1%/+28.4% from scheduling
+ * resources (little from memory), Type-R +29.5%/+43.6% from memory, and
+ * +45.5%/+98.6% when both scale.
+ */
+
+#include "bench/bench_common.hh"
+#include "workloads/suite.hh"
+
+using namespace finereg;
+
+namespace
+{
+
+const double kScale = finereg::bench::gridScale(0.2);
+
+struct Variant
+{
+    const char *name;
+    double sched;
+    double mem;
+};
+
+const Variant kVariants[] = {
+    {"base", 1.0, 1.0},      {"sched1.5", 1.5, 1.0},
+    {"sched2", 2.0, 1.0},    {"mem1.5", 1.0, 1.5},
+    {"mem2", 1.0, 2.0},      {"both1.5", 1.5, 1.5},
+    {"both2", 2.0, 2.0},
+};
+
+GpuConfig
+variantConfig(const Variant &v)
+{
+    GpuConfig config = Experiment::configFor(PolicyKind::Baseline);
+    config.sm.maxCtas = static_cast<unsigned>(config.sm.maxCtas * v.sched);
+    config.sm.maxWarps =
+        static_cast<unsigned>(config.sm.maxWarps * v.sched);
+    config.sm.maxThreads =
+        static_cast<unsigned>(config.sm.maxThreads * v.sched);
+    config.sm.regFileBytes =
+        static_cast<std::uint64_t>(config.sm.regFileBytes * v.mem);
+    config.sm.shmemBytes =
+        static_cast<std::uint64_t>(config.sm.shmemBytes * v.mem);
+    return config;
+}
+
+void
+report()
+{
+    bench::printReportHeader(
+        "Figure 2: Scaling scheduling resources vs. on-chip memory",
+        "Type-S: +27.1%/+28.4% (sched 1.5x/2x), ~0% (mem); Type-R: "
+        "+29.5%/+43.6% (mem); both: +45.5% (S) / +98.6% (R)");
+
+    auto &store = bench::ResultStore::instance();
+    TableFormatter table({"app", "type", "sched1.5", "sched2", "mem1.5",
+                          "mem2", "both1.5", "both2"});
+
+    std::map<std::string, std::map<std::string, double>> speedups;
+    for (const auto &app : Suite::all()) {
+        const auto &base = store.get("fig02/" + app.abbrev + "/base");
+        std::vector<std::string> row{app.abbrev,
+                                     app.typeR() ? "R" : "S"};
+        for (const auto &v : kVariants) {
+            if (std::string(v.name) == "base")
+                continue;
+            const auto &r =
+                store.get("fig02/" + app.abbrev + "/" + v.name);
+            const double x = Experiment::speedup(r, base);
+            speedups[v.name][app.abbrev] = x;
+            row.push_back(TableFormatter::num(x) + "x");
+        }
+        table.addRow(row);
+    }
+    std::printf("%s", table.render().c_str());
+
+    auto group_mean = [&](const char *variant, bool type_r) {
+        std::vector<double> v;
+        for (const auto &app : Suite::all()) {
+            if (app.typeR() == type_r)
+                v.push_back(speedups[variant][app.abbrev]);
+        }
+        return mean(v);
+    };
+
+    std::printf("\nGroup means (speedup over baseline):\n");
+    std::printf("%-10s %-10s %-10s\n", "variant", "Type-S", "Type-R");
+    for (const auto &v : kVariants) {
+        if (std::string(v.name) == "base")
+            continue;
+        std::printf("%-10s %-10.3f %-10.3f\n", v.name,
+                    group_mean(v.name, false), group_mean(v.name, true));
+    }
+    std::printf("\nExpected shape: Type-S responds to 'sched', Type-R to "
+                "'mem', both groups gain most from 'both'.\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const auto &app : Suite::all()) {
+        for (const auto &v : kVariants) {
+            bench::registerSim(
+                "fig02/" + app.abbrev + "/" + v.name,
+                [abbrev = app.abbrev, v] {
+                    return Experiment::runApp(abbrev, variantConfig(v),
+                                              kScale);
+                });
+        }
+    }
+    return bench::runBenchmarkMain(argc, argv, report);
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fig. 3 — per-CTA on-chip memory overhead. For each application, the
+ * register and shared-memory bytes one additional CTA costs. The paper
+ * reports 6 KB - 37.3 KB per CTA with registers accounting for 88.7% of
+ * the total on average.
+ */
+
+#include "bench/bench_common.hh"
+#include "workloads/suite.hh"
+
+using namespace finereg;
+
+namespace
+{
+
+void
+report()
+{
+    bench::printReportHeader(
+        "Figure 3: Overhead of allocating one additional CTA",
+        "6 KB to 37.3 KB per CTA; registers are 88.7% of the total");
+
+    TableFormatter table(
+        {"app", "regs (KB)", "shmem (KB)", "total (KB)", "reg share"});
+    double reg_total = 0.0, all_total = 0.0;
+    double min_total = 1e9, max_total = 0.0;
+    for (const auto &app : Suite::all()) {
+        const auto kernel = Suite::makeKernel(app);
+        const double reg_kb = kernel->regBytesPerCta() / 1024.0;
+        const double shmem_kb = kernel->shmemPerCta() / 1024.0;
+        const double total = reg_kb + shmem_kb;
+        reg_total += reg_kb;
+        all_total += total;
+        min_total = std::min(min_total, total);
+        max_total = std::max(max_total, total);
+        table.addRow({app.abbrev, TableFormatter::num(reg_kb),
+                      TableFormatter::num(shmem_kb),
+                      TableFormatter::num(total),
+                      TableFormatter::pct(reg_kb / total)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nMeasured: %.1f-%.1f KB per CTA; registers %.1f%% of "
+                "total (paper: 6-37.3 KB, 88.7%%)\n",
+                min_total, max_total, 100.0 * reg_total / all_total);
+}
+
+void
+benchFootprintComputation(benchmark::State &state)
+{
+    for (auto _ : state) {
+        std::uint64_t total = 0;
+        for (const auto &app : Suite::all()) {
+            const auto kernel = Suite::makeKernel(app);
+            total += kernel->regBytesPerCta() + kernel->shmemPerCta();
+        }
+        benchmark::DoNotOptimize(total);
+    }
+}
+BENCHMARK(benchFootprintComputation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::runBenchmarkMain(argc, argv, report);
+}

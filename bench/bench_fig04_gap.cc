@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fig. 4 — the Convolution Separable case study: Baseline vs Full RF
+ * (Virtual-Thread-like) vs Full RF + DRAM (Zorua-like) vs ideal hardware,
+ * in normalized performance and active thread count. The paper measures
+ * +21.3% for Full RF, only +3.5% more for Full RF+DRAM despite 2x the
+ * CTAs, and a large remaining gap to ideal.
+ */
+
+#include "bench/bench_common.hh"
+#include "workloads/suite.hh"
+
+using namespace finereg;
+
+namespace
+{
+
+const double kScale = finereg::bench::gridScale(0.5);
+
+GpuConfig
+idealConfig()
+{
+    // Unlimited scheduling resources and on-chip memory.
+    GpuConfig config = Experiment::configFor(PolicyKind::Baseline);
+    config.sm.maxCtas = 4096;
+    config.sm.maxWarps = 8192;
+    config.sm.maxThreads = 1u << 20;
+    config.sm.regFileBytes = 1ull << 30;
+    config.sm.shmemBytes = 1ull << 30;
+    config.sm.maxResidentCtas = 4096;
+    config.sm.maxResidentWarps = 8192;
+    return config;
+}
+
+void
+report()
+{
+    bench::printReportHeader(
+        "Figure 4: CS under Baseline / Full RF / Full RF+DRAM / Ideal",
+        "Full RF +21.3% over baseline; Full RF+DRAM only +3.5% more "
+        "despite 2x CTAs; both far from ideal");
+
+    auto &store = bench::ResultStore::instance();
+    const auto &base = store.get("fig04/baseline");
+    TableFormatter table({"config", "norm. perf", "norm. active threads",
+                          "resident CTAs"});
+    for (const char *name :
+         {"baseline", "full_rf", "full_rf_dram", "ideal"}) {
+        const auto &r = store.get(std::string("fig04/") + name);
+        table.addRow({name,
+                      TableFormatter::num(Experiment::speedup(r, base)),
+                      TableFormatter::num(r.avgActiveThreads /
+                                          std::max(1.0,
+                                                   base.avgActiveThreads)),
+                      TableFormatter::num(r.avgResidentCtas, 1)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nExpected shape: full_rf > baseline, full_rf_dram adds "
+                "little on top, ideal far above all.\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::registerSim("fig04/baseline", [] {
+        return Experiment::runApp(
+            "CS", Experiment::configFor(PolicyKind::Baseline), kScale);
+    });
+    bench::registerSim("fig04/full_rf", [] {
+        return Experiment::runApp(
+            "CS", Experiment::configFor(PolicyKind::VirtualThread),
+            kScale);
+    });
+    bench::registerSim("fig04/full_rf_dram", [] {
+        return Experiment::runApp(
+            "CS", Experiment::configFor(PolicyKind::RegDram), kScale);
+    });
+    bench::registerSim("fig04/ideal", [] {
+        return Experiment::runApp("CS", idealConfig(), kScale);
+    });
+    return bench::runBenchmarkMain(argc, argv, report);
+}

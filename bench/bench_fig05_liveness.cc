@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fig. 5 — percentage of the register file in actual use within
+ * 1,000-instruction windows, with per-app min/max bounds. The paper
+ * measures an average of 55.3%, with MC, NW, LI, SR2 and TA dipping
+ * below 15% in their worst windows. Also reports the compiler-side
+ * static live fraction the PCRF compression relies on.
+ */
+
+#include "bench/bench_common.hh"
+#include "compiler/live_info.hh"
+#include "workloads/suite.hh"
+
+using namespace finereg;
+
+namespace
+{
+
+const double kScale = finereg::bench::gridScale(0.25);
+
+void
+report()
+{
+    bench::printReportHeader(
+        "Figure 5: Register file usage in 1,000-instruction windows",
+        "average 55.3% in use; MC/NW/LI/SR2/TA worst windows below 15%");
+
+    TableFormatter table({"app", "window avg", "window min", "window max",
+                          "static live frac"});
+    double sum = 0.0;
+    for (const auto &app : Suite::all()) {
+        const auto &r =
+            bench::ResultStore::instance().get("fig05/" + app.abbrev);
+        const auto kernel = Suite::makeKernel(app, kScale);
+        LiveRegisterTable live(*kernel);
+        sum += r.rfUsageMean;
+        table.addRow({app.abbrev, TableFormatter::pct(r.rfUsageMean),
+                      TableFormatter::pct(r.rfUsageMin),
+                      TableFormatter::pct(r.rfUsageMax),
+                      TableFormatter::pct(live.meanLiveFraction())});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nMeasured mean window usage: %.1f%% (paper: 55.3%%)\n",
+                100.0 * sum / Suite::all().size());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const auto &app : Suite::all()) {
+        bench::registerSim("fig05/" + app.abbrev, [abbrev = app.abbrev] {
+            GpuConfig config = Experiment::configFor(PolicyKind::Baseline);
+            config.usageTracking = true;
+            return Experiment::runApp(abbrev, config, kScale);
+        });
+    }
+    return bench::runBenchmarkMain(argc, argv, report);
+}

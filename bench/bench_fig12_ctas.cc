@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Fig. 12 — number of concurrent (resident) CTAs under Baseline, Virtual
+ * Thread, Reg+DRAM, VT+RegMutex and FineReg. The paper reports FineReg
+ * running 141.7% more CTAs than baseline on average (+203.8% Type-S,
+ * +79.8% Type-R), 48.6% more than VT and 20.1% more than Reg+DRAM, while
+ * VT+RegMutex schedules 11.5% more than FineReg. Includes the full-context
+ * ablation (PCRF stores all allocated registers instead of live ones).
+ */
+
+#include "bench/bench_common.hh"
+#include "workloads/suite.hh"
+
+using namespace finereg;
+
+namespace
+{
+
+const double kScale = finereg::bench::gridScale(0.5);
+
+const PolicyKind kPolicies[] = {
+    PolicyKind::Baseline, PolicyKind::VirtualThread, PolicyKind::RegDram,
+    PolicyKind::RegMutex, PolicyKind::FineReg,
+};
+
+std::string
+key(const std::string &app, const std::string &policy)
+{
+    return "fig12/" + app + "/" + policy;
+}
+
+void
+report()
+{
+    bench::printReportHeader(
+        "Figure 12: Number of concurrent CTAs",
+        "FineReg +141.7% vs baseline (Type-S +203.8%, Type-R +79.8%); "
+        "+48.6% vs VT, +20.1% vs Reg+DRAM; VT+RegMutex +11.5% vs FineReg");
+
+    auto &store = bench::ResultStore::instance();
+    TableFormatter table({"app", "type", "Base", "VT", "Reg+DRAM",
+                          "VT+RegMutex", "FineReg", "FineReg(fullctx)"});
+
+    std::map<std::string, std::map<std::string, double>> ratios;
+    for (const auto &app : Suite::all()) {
+        const double base =
+            store.get(key(app.abbrev, "Baseline")).avgResidentCtas;
+        std::vector<std::string> row{app.abbrev, app.typeR() ? "R" : "S"};
+        row.push_back(TableFormatter::num(base, 1));
+        for (const char *policy : {"VirtualThread", "RegDram", "RegMutex",
+                                   "FineReg", "FullCtx"}) {
+            const double ctas =
+                store.get(key(app.abbrev, policy)).avgResidentCtas;
+            ratios[policy][app.abbrev] = ctas / std::max(base, 1e-9);
+            row.push_back(TableFormatter::num(ctas, 1));
+        }
+        table.addRow(row);
+    }
+    std::printf("%s", table.render().c_str());
+
+    auto group = [&](const char *policy, int type) {
+        // type: 0 = all, 1 = Type-S, 2 = Type-R
+        std::vector<double> v;
+        for (const auto &app : Suite::all()) {
+            if (type == 1 && app.typeR())
+                continue;
+            if (type == 2 && !app.typeR())
+                continue;
+            v.push_back(ratios[policy][app.abbrev]);
+        }
+        return mean(v);
+    };
+
+    std::printf("\nConcurrent-CTA growth over baseline (paper values in "
+                "parentheses):\n");
+    std::printf("  VT            all %+0.1f%% (+126.3%% Type-S)\n",
+                100 * (group("VirtualThread", 0) - 1));
+    std::printf("  Reg+DRAM      all %+0.1f%% (+155.9%%/+27.7%%)\n",
+                100 * (group("RegDram", 0) - 1));
+    std::printf("  VT+RegMutex   all %+0.1f%% (FineReg+11.5%%)\n",
+                100 * (group("RegMutex", 0) - 1));
+    std::printf("  FineReg       all %+0.1f%% (+141.7%%), Type-S %+0.1f%% "
+                "(+203.8%%), Type-R %+0.1f%% (+79.8%%)\n",
+                100 * (group("FineReg", 0) - 1),
+                100 * (group("FineReg", 1) - 1),
+                100 * (group("FineReg", 2) - 1));
+    std::printf("  FineReg(fullctx ablation) all %+0.1f%% — full-context "
+                "backup fits fewer pending CTAs in the PCRF\n",
+                100 * (group("FullCtx", 0) - 1));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const auto &app : Suite::all()) {
+        for (const PolicyKind kind : kPolicies) {
+            bench::registerSim(
+                key(app.abbrev, policyKindName(kind) ==
+                                        std::string("Reg+DRAM")
+                                    ? "RegDram"
+                                    : policyKindName(kind) ==
+                                              std::string("VT+RegMutex")
+                                          ? "RegMutex"
+                                          : policyKindName(kind)),
+                [abbrev = app.abbrev, kind] {
+                    return Experiment::runApp(
+                        abbrev, Experiment::configFor(kind), kScale);
+                });
+        }
+        // Live-register vs full-context ablation.
+        bench::registerSim(key(app.abbrev, "FullCtx"),
+                           [abbrev = app.abbrev] {
+                               GpuConfig config = Experiment::configFor(
+                                   PolicyKind::FineReg);
+                               config.policy.fullContextBackup = true;
+                               return Experiment::runApp(abbrev, config,
+                                                         kScale);
+                           });
+    }
+    return bench::runBenchmarkMain(argc, argv, report);
+}

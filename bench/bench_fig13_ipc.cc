@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fig. 13 — the headline result: normalized IPC of Baseline, Virtual
+ * Thread, Reg+DRAM, VT+RegMutex and FineReg. The paper reports FineReg
+ * +32.8% over baseline on average (+20% for Type-R), beating VT by 18.5%,
+ * Reg+DRAM by 12.8% and VT+RegMutex by 7.1%; BI/FD/NW/SY2 gain >60% from
+ * 2x CTAs while memory-bound BF/KM convert 2.5x CTAs into <40%.
+ */
+
+#include "bench/bench_common.hh"
+#include "workloads/suite.hh"
+
+using namespace finereg;
+
+namespace
+{
+
+const double kScale = finereg::bench::gridScale(0.5);
+
+const char *kPolicyNames[] = {"Baseline", "VirtualThread", "RegDram",
+                              "RegMutex", "FineReg"};
+const PolicyKind kPolicies[] = {
+    PolicyKind::Baseline, PolicyKind::VirtualThread, PolicyKind::RegDram,
+    PolicyKind::RegMutex, PolicyKind::FineReg,
+};
+
+std::string
+key(const std::string &app, const std::string &policy)
+{
+    return "fig13/" + app + "/" + policy;
+}
+
+void
+report()
+{
+    bench::printReportHeader(
+        "Figure 13: Normalized IPC (the headline comparison)",
+        "FineReg +32.8% vs baseline; +18.5% vs VT; +12.8% vs Reg+DRAM; "
+        "+7.1% vs VT+RegMutex; Type-R +20%");
+
+    auto &store = bench::ResultStore::instance();
+    TableFormatter table({"app", "type", "base IPC", "VT", "Reg+DRAM",
+                          "VT+RegMutex", "FineReg"});
+
+    std::map<std::string, std::map<std::string, double>> x;
+    for (const auto &app : Suite::all()) {
+        const auto &base = store.get(key(app.abbrev, "Baseline"));
+        std::vector<std::string> row{app.abbrev, app.typeR() ? "R" : "S",
+                                     TableFormatter::num(base.ipc)};
+        for (const char *policy :
+             {"VirtualThread", "RegDram", "RegMutex", "FineReg"}) {
+            const auto &r = store.get(key(app.abbrev, policy));
+            x[policy][app.abbrev] = Experiment::speedup(r, base);
+            row.push_back(
+                TableFormatter::num(x[policy][app.abbrev]) + "x");
+        }
+        table.addRow(row);
+    }
+    std::printf("%s", table.render().c_str());
+
+    auto group = [&](const char *policy, int type) {
+        std::vector<double> v;
+        for (const auto &app : Suite::all()) {
+            if (type == 1 && app.typeR())
+                continue;
+            if (type == 2 && !app.typeR())
+                continue;
+            v.push_back(x[policy][app.abbrev]);
+        }
+        return mean(v);
+    };
+
+    const double fine = group("FineReg", 0);
+    std::printf("\nMean speedup over baseline (paper):\n");
+    std::printf("  VT           %+.1f%%  (+14.3%% ~ derived)\n",
+                100 * (group("VirtualThread", 0) - 1));
+    std::printf("  Reg+DRAM     %+.1f%%  (~+17.7%% derived)\n",
+                100 * (group("RegDram", 0) - 1));
+    std::printf("  VT+RegMutex  %+.1f%%  (~+24%% derived)\n",
+                100 * (group("RegMutex", 0) - 1));
+    std::printf("  FineReg      %+.1f%%  (+32.8%%)\n", 100 * (fine - 1));
+    std::printf("  FineReg Type-S %+.1f%% | Type-R %+.1f%% (paper ~+20%% "
+                "Type-R)\n",
+                100 * (group("FineReg", 1) - 1),
+                100 * (group("FineReg", 2) - 1));
+    std::printf("  FineReg vs VT %+.1f%% (paper +18.5%%), vs Reg+DRAM "
+                "%+.1f%% (+12.8%%), vs VT+RegMutex %+.1f%% (+7.1%%)\n",
+                100 * (fine / group("VirtualThread", 0) - 1),
+                100 * (fine / group("RegDram", 0) - 1),
+                100 * (fine / group("RegMutex", 0) - 1));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const auto &app : Suite::all()) {
+        for (std::size_t i = 0; i < 5; ++i) {
+            bench::registerSim(key(app.abbrev, kPolicyNames[i]),
+                               [abbrev = app.abbrev, kind = kPolicies[i]] {
+                                   return Experiment::runApp(
+                                       abbrev,
+                                       Experiment::configFor(kind),
+                                       kScale);
+                               });
+        }
+    }
+    return bench::runBenchmarkMain(argc, argv, report);
+}

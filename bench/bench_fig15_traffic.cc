@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fig. 15 — off-chip memory traffic of the four configurations on the
+ * L1-miss-heavy FD, NW and ST workloads. The paper measures Reg+DRAM
+ * generating 7.2-9.9% extra traffic (CTA context movement) while VT,
+ * RegMutex and FineReg stay within ~1% of baseline (FineReg's extra
+ * traffic is only live-register bit vectors).
+ */
+
+#include "bench/bench_common.hh"
+#include "workloads/suite.hh"
+
+using namespace finereg;
+
+namespace
+{
+
+const double kScale = finereg::bench::gridScale(0.5);
+
+const char *kApps[] = {"FD", "NW", "ST"};
+const char *kPolicyNames[] = {"Baseline", "VirtualThread", "RegDram",
+                              "RegMutex", "FineReg"};
+const PolicyKind kPolicies[] = {
+    PolicyKind::Baseline, PolicyKind::VirtualThread, PolicyKind::RegDram,
+    PolicyKind::RegMutex, PolicyKind::FineReg,
+};
+
+void
+report()
+{
+    bench::printReportHeader(
+        "Figure 15: Normalized off-chip memory traffic (FD, NW, ST)",
+        "Reg+DRAM +7.2-9.9% (CTA contexts); VT/RegMutex/FineReg < +1%");
+
+    auto &store = bench::ResultStore::instance();
+    TableFormatter table({"app", "policy", "data bytes", "ctx bytes",
+                          "bitvec bytes", "vs baseline"});
+    for (const char *app : kApps) {
+        const auto &base =
+            store.get(std::string("fig15/") + app + "/Baseline");
+        for (const char *policy : kPolicyNames) {
+            const auto &r =
+                store.get(std::string("fig15/") + app + "/" + policy);
+            const double ratio =
+                static_cast<double>(r.dramBytesTotal()) /
+                static_cast<double>(base.dramBytesTotal());
+            table.addRow(
+                {app, policy, std::to_string(r.dramBytesData),
+                 std::to_string(r.dramBytesCtaContext),
+                 std::to_string(r.dramBytesBitvec),
+                 TableFormatter::pct(ratio - 1.0, 2)});
+        }
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nExpected shape: Reg+DRAM adds several percent of "
+                "CTA-context traffic; FineReg's bit-vector traffic is "
+                "negligible.\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const char *app : kApps) {
+        for (std::size_t i = 0; i < 5; ++i) {
+            bench::registerSim(
+                std::string("fig15/") + app + "/" + kPolicyNames[i],
+                [app, kind = kPolicies[i]] {
+                    return Experiment::runApp(
+                        app, Experiment::configFor(kind), kScale);
+                });
+        }
+    }
+    return bench::runBenchmarkMain(argc, argv, report);
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fig. 17 — ACRF/PCRF size sensitivity: the 256 KB register file is split
+ * 64/192, 96/160, 128/128, 160/96 and 192/64 KB. The paper finds the
+ * balanced 128/128 split best (2.47x baseline CTAs, actives only 33%);
+ * 160/96 loses 5.4% (too little PCRF -> less TLP) and 64/192 loses 12.9%
+ * (too few active CTAs -> constant switching).
+ */
+
+#include "bench/bench_common.hh"
+#include "workloads/suite.hh"
+
+using namespace finereg;
+
+namespace
+{
+
+const double kScale = finereg::bench::gridScale(0.35);
+
+const unsigned kAcrfKb[] = {64, 96, 128, 160, 192};
+
+/** A representative subset (both types) keeps the sweep tractable. */
+const char *kApps[] = {"MC", "BI", "SY2", "CS", "LI", "SR2", "CF", "AT"};
+
+std::string
+key(const std::string &app, unsigned acrf_kb)
+{
+    return "fig17/" + app + "/" + std::to_string(acrf_kb);
+}
+
+void
+report()
+{
+    bench::printReportHeader(
+        "Figure 17: ACRF/PCRF split sensitivity",
+        "128/128 best; 160/96 -5.4%; 64/192 -12.9% despite max TLP");
+
+    auto &store = bench::ResultStore::instance();
+
+    TableFormatter table({"split (ACRF/PCRF)", "mean norm. IPC",
+                          "mean resident CTAs", "mean active CTAs"});
+    std::map<unsigned, double> mean_ipc;
+    for (const unsigned acrf : kAcrfKb) {
+        std::vector<double> ipcs, res, act;
+        for (const char *app : kApps) {
+            const auto &r = store.get(key(app, acrf));
+            const auto &ref = store.get(key(app, 128));
+            ipcs.push_back(Experiment::speedup(r, ref));
+            res.push_back(r.avgResidentCtas);
+            act.push_back(r.avgActiveCtas);
+        }
+        mean_ipc[acrf] = mean(ipcs);
+        table.addRow({std::to_string(acrf) + "/" +
+                          std::to_string(256 - acrf) + " KB",
+                      TableFormatter::num(mean(ipcs), 3),
+                      TableFormatter::num(mean(res), 1),
+                      TableFormatter::num(mean(act), 1)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nRelative to the balanced 128/128 split: 64/192 %+.1f%% "
+                "(paper -12.9%%), 160/96 %+.1f%% (paper -5.4%%)\n",
+                100 * (mean_ipc[64] - 1), 100 * (mean_ipc[160] - 1));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const char *app : kApps) {
+        for (const unsigned acrf : kAcrfKb) {
+            bench::registerSim(key(app, acrf), [app, acrf] {
+                GpuConfig config =
+                    Experiment::configFor(PolicyKind::FineReg);
+                config.policy.acrfBytes = acrf * 1024ull;
+                config.policy.pcrfBytes = (256 - acrf) * 1024ull;
+                return Experiment::runApp(app, config, kScale);
+            });
+        }
+    }
+    return bench::runBenchmarkMain(argc, argv, report);
+}

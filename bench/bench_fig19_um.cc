@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Fig. 19 — unified on-chip local memory (UM): pooling PCRF + shared
+ * memory + L1 into one 272 KB store. The paper reports UM-only +17.6%
+ * over baseline (cache-hungry AT/BI/KM/SY2 gain most from the larger
+ * effective L1), VT+UM another +6.7%, and FineReg+UM +35.6% over UM-only
+ * — FineReg composes with other on-chip memory organizations.
+ */
+
+#include "bench/bench_common.hh"
+#include "workloads/suite.hh"
+
+using namespace finereg;
+
+namespace
+{
+
+const double kScale = finereg::bench::gridScale(0.35);
+
+GpuConfig
+umConfig(PolicyKind kind)
+{
+    GpuConfig config = Experiment::configFor(kind);
+    config.policy.unifiedMemory = true;
+    return config;
+}
+
+std::string
+key(const std::string &app, const std::string &variant)
+{
+    return "fig19/" + app + "/" + variant;
+}
+
+void
+report()
+{
+    bench::printReportHeader(
+        "Figure 19: Unified on-chip local memory (272 KB pool)",
+        "UM-only +17.6% vs baseline; FineReg+UM +35.6% vs UM-only; "
+        "AT/BI/KM/SY2 benefit most from the bigger L1");
+
+    auto &store = bench::ResultStore::instance();
+    TableFormatter table(
+        {"app", "UM vs base", "VT+UM vs base", "FineReg+UM vs base"});
+    std::vector<double> um_x, vt_x, fine_x;
+    std::vector<double> um_cache; // AT/BI/KM/SY2 subset
+    for (const auto &app : Suite::all()) {
+        const auto &base = store.get(key(app.abbrev, "base"));
+        const double um =
+            Experiment::speedup(store.get(key(app.abbrev, "um")), base);
+        const double vt =
+            Experiment::speedup(store.get(key(app.abbrev, "vt_um")),
+                                base);
+        const double fine = Experiment::speedup(
+            store.get(key(app.abbrev, "finereg_um")), base);
+        um_x.push_back(um);
+        vt_x.push_back(vt);
+        fine_x.push_back(fine);
+        if (app.abbrev == "AT" || app.abbrev == "BI" ||
+            app.abbrev == "KM" || app.abbrev == "SY2") {
+            um_cache.push_back(um);
+        }
+        table.addRow({app.abbrev, TableFormatter::num(um) + "x",
+                      TableFormatter::num(vt) + "x",
+                      TableFormatter::num(fine) + "x"});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nMeans vs baseline: UM %+.1f%% (paper +17.6%%), VT+UM "
+                "%+.1f%%, FineReg+UM %+.1f%%\n",
+                100 * (mean(um_x) - 1), 100 * (mean(vt_x) - 1),
+                100 * (mean(fine_x) - 1));
+    std::printf("FineReg+UM over UM-only: %+.1f%% (paper +35.6%%); "
+                "cache-hungry AT/BI/KM/SY2 under UM-only: %+.1f%%\n",
+                100 * (mean(fine_x) / mean(um_x) - 1),
+                100 * (mean(um_cache) - 1));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const auto &app : Suite::all()) {
+        bench::registerSim(key(app.abbrev, "base"), [abbrev = app.abbrev] {
+            return Experiment::runApp(
+                abbrev, Experiment::configFor(PolicyKind::Baseline),
+                kScale);
+        });
+        bench::registerSim(key(app.abbrev, "um"), [abbrev = app.abbrev] {
+            return Experiment::runApp(
+                abbrev, umConfig(PolicyKind::Baseline), kScale);
+        });
+        bench::registerSim(key(app.abbrev, "vt_um"),
+                           [abbrev = app.abbrev] {
+                               return Experiment::runApp(
+                                   abbrev,
+                                   umConfig(PolicyKind::VirtualThread),
+                                   kScale);
+                           });
+        bench::registerSim(key(app.abbrev, "finereg_um"),
+                           [abbrev = app.abbrev] {
+                               return Experiment::runApp(
+                                   abbrev, umConfig(PolicyKind::FineReg),
+                                   kScale);
+                           });
+    }
+    return bench::runBenchmarkMain(argc, argv, report);
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Table I — simulation setup. Prints the GTX-980-like configuration the
+ * simulator models and benchmarks device construction/teardown cost.
+ */
+
+#include "bench/bench_common.hh"
+#include "sm/gpu.hh"
+#include "workloads/suite.hh"
+
+using namespace finereg;
+
+namespace
+{
+
+void
+benchDeviceConstruction(benchmark::State &state)
+{
+    const auto kernel = Suite::makeKernel(Suite::byName("MC"), 0.1);
+    const GpuConfig config = GpuConfig::gtx980();
+    for (auto _ : state) {
+        Gpu gpu(config, *kernel);
+        benchmark::DoNotOptimize(&gpu);
+    }
+}
+BENCHMARK(benchDeviceConstruction)->Unit(benchmark::kMillisecond);
+
+void
+report()
+{
+    bench::printReportHeader(
+        "Table I: Simulation Setup",
+        "GPGPU-Sim configured as a GTX 980-like GPU (16 SMs, 1126 MHz, "
+        "64 warps/SM, 32 CTAs/SM, GTO, 256 KB RF, 96 KB shmem, 48 KB L1, "
+        "2 MB L2, 352.5 GB/s)");
+    std::printf("%s", GpuConfig::gtx980().toString().c_str());
+
+    // The FineReg policy defaults of Sec. VI-A.
+    const GpuConfig config = Experiment::configFor(PolicyKind::FineReg);
+    std::printf("\nFineReg defaults (Sec. VI-A):\n");
+    std::printf("ACRF size                   %lluKB\n",
+                static_cast<unsigned long long>(
+                    config.policy.acrfBytes / 1024));
+    std::printf("PCRF size                   %lluKB (half the RF)\n",
+                static_cast<unsigned long long>(
+                    config.policy.pcrfBytes / 1024));
+    std::printf("Bit-vector cache            %u entries\n",
+                config.policy.bitvecCacheEntries);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::runBenchmarkMain(argc, argv, report);
+}

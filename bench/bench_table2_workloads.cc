@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Table II — benchmark applications. For each of the 18 workloads, prints
+ * the Type-S/Type-R classification together with the resource math that
+ * produces it (which limit binds the CTA count), and benchmarks kernel
+ * construction + compiler liveness analysis.
+ */
+
+#include <algorithm>
+
+#include "bench/bench_common.hh"
+#include "compiler/live_info.hh"
+#include "workloads/suite.hh"
+
+using namespace finereg;
+
+namespace
+{
+
+void
+benchKernelAndLiveness(benchmark::State &state, const std::string &app)
+{
+    for (auto _ : state) {
+        const auto kernel = Suite::makeKernel(Suite::byName(app));
+        LiveRegisterTable table(*kernel);
+        benchmark::DoNotOptimize(table.staticInstrs());
+    }
+}
+
+void
+report()
+{
+    bench::printReportHeader(
+        "Table II: Benchmark Applications",
+        "9 Type-S apps (CTA/warp scheduler limited) and 9 Type-R apps "
+        "(register file or shared memory limited)");
+
+    const GpuConfig config = GpuConfig::gtx980();
+    TableFormatter table({"app", "full name", "suite", "type", "regs/thr",
+                          "thr/CTA", "shmem", "sched-limit", "mem-limit",
+                          "binding"});
+    for (const auto &app : Suite::all()) {
+        const auto kernel = Suite::makeKernel(app);
+        const unsigned sched_limit = std::min(
+            {config.sm.maxCtas,
+             config.sm.maxWarps / kernel->warpsPerCta(),
+             config.sm.maxThreads / kernel->threadsPerCta()});
+        unsigned mem_limit = static_cast<unsigned>(
+            config.sm.regFileBytes / kernel->regBytesPerCta());
+        if (kernel->shmemPerCta() > 0) {
+            mem_limit = std::min<unsigned>(
+                mem_limit, config.sm.shmemBytes / kernel->shmemPerCta());
+        }
+        table.addRow(
+            {app.abbrev, app.fullName, app.origin,
+             app.typeR() ? "Type-R" : "Type-S",
+             std::to_string(kernel->regsPerThread()),
+             std::to_string(kernel->threadsPerCta()),
+             std::to_string(kernel->shmemPerCta() / 1024) + "KB",
+             std::to_string(sched_limit), std::to_string(mem_limit),
+             mem_limit < sched_limit ? "RF/shmem" : "scheduler"});
+    }
+    std::printf("%s", table.render().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const auto &app : Suite::all()) {
+        benchmark::RegisterBenchmark(
+            ("table2/build+liveness/" + app.abbrev).c_str(),
+            [abbrev = app.abbrev](benchmark::State &state) {
+                benchKernelAndLiveness(state, abbrev);
+            });
+    }
+    return bench::runBenchmarkMain(argc, argv, report);
+}

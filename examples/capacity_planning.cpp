@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Example: capacity planning with FineReg — the workflow a microarchitect
+ * would use this library for. Given a kernel of interest, sweep (a) the
+ * ACRF/PCRF split of a fixed 256 KB register file (Fig. 17's question) and
+ * (b) the SM count (Fig. 18's question), and report where the design
+ * should land.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hh"
+#include "workloads/suite.hh"
+
+using namespace finereg;
+
+int
+main(int argc, char **argv)
+{
+    const std::string app = argc > 1 ? argv[1] : "MC";
+    const double scale = argc > 2 ? std::atof(argv[2]) : 0.35;
+
+    std::printf("Capacity planning for %s\n\n", app.c_str());
+
+    // (a) How should the 256 KB register file be split?
+    std::printf("ACRF/PCRF split sweep (fixed 256 KB):\n");
+    TableFormatter split_table(
+        {"ACRF/PCRF", "IPC", "resident CTAs", "active CTAs", "stall%"});
+    double best_ipc = 0.0;
+    unsigned best_acrf = 0;
+    for (const unsigned acrf_kb : {64u, 96u, 128u, 160u, 192u}) {
+        GpuConfig config = Experiment::configFor(PolicyKind::FineReg);
+        config.policy.acrfBytes = acrf_kb * 1024ull;
+        config.policy.pcrfBytes = (256 - acrf_kb) * 1024ull;
+        const SimResult r = Experiment::runApp(app, config, scale);
+        if (r.ipc > best_ipc) {
+            best_ipc = r.ipc;
+            best_acrf = acrf_kb;
+        }
+        split_table.addRow({std::to_string(acrf_kb) + "/" +
+                                std::to_string(256 - acrf_kb) + "KB",
+                            TableFormatter::num(r.ipc),
+                            TableFormatter::num(r.avgResidentCtas, 1),
+                            TableFormatter::num(r.avgActiveCtas, 1),
+                            TableFormatter::pct(
+                                r.depletionStallFraction)});
+    }
+    std::printf("%s", split_table.render().c_str());
+    std::printf("-> best split for %s: %u KB ACRF / %u KB PCRF\n\n",
+                app.c_str(), best_acrf, 256 - best_acrf);
+
+    // (b) Does the benefit survive SM scaling?
+    std::printf("SM scaling (grid scaled with the device):\n");
+    TableFormatter sm_table({"SMs", "baseline IPC", "FineReg IPC",
+                             "speedup"});
+    for (const unsigned sms : {8u, 16u, 32u, 64u}) {
+        auto scaled = [&](PolicyKind kind) {
+            GpuConfig config = Experiment::configFor(kind);
+            config.numSms = sms;
+            config.mem.dram.bytesPerCycle *= sms / 16.0;
+            config.mem.l2.sizeBytes = config.mem.l2.sizeBytes * sms / 16;
+            config.mem.l2TransactionsPerCycle *= sms / 16.0;
+            return Experiment::runApp(app, config,
+                                      scale * sms / 16.0);
+        };
+        const SimResult base = scaled(PolicyKind::Baseline);
+        const SimResult fine = scaled(PolicyKind::FineReg);
+        sm_table.addRow({std::to_string(sms),
+                         TableFormatter::num(base.ipc),
+                         TableFormatter::num(fine.ipc),
+                         TableFormatter::num(
+                             Experiment::speedup(fine, base)) +
+                             "x"});
+    }
+    std::printf("%s", sm_table.render().c_str());
+    return 0;
+}

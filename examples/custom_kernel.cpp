@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Example: authoring a custom kernel with divergence and loops, then
+ * inspecting what FineReg's compiler support derives from it — the CFG's
+ * reconvergence points (Fig. 9) and the per-instruction live-register bit
+ * vectors (Fig. 7) that the RMU consumes at CTA-switch time.
+ */
+
+#include <cstdio>
+
+#include "compiler/cfg_analysis.hh"
+#include "compiler/live_info.hh"
+#include "compiler/liveness.hh"
+#include "core/simulator.hh"
+#include "isa/kernel_builder.hh"
+
+using namespace finereg;
+
+namespace
+{
+
+std::unique_ptr<Kernel>
+makeDivergentReduction()
+{
+    KernelBuilder b("divergent_reduction");
+    b.regsPerThread(20).threadsPerCta(128).shmemPerCta(1024).gridCtas(96);
+
+    MemPattern stream;
+    stream.footprint = 24ull << 20;
+    stream.stride = 64;
+
+    b.newBlock(); // B0: prologue
+    b.mov(0, 0);                        // R0: element pointer
+    b.alu(Opcode::IADD, 1, 0, 0);       // R1: accumulator
+    b.alu(Opcode::IADD, 10, 0, 0);      // R10: persistent scale factor
+
+    b.newBlock(); // B1: loop body — load and test
+    b.load(Opcode::LD_GLOBAL, 2, 0, stream);
+    b.branch(3, 2, 0.5, 0.3);           // diverges 30% of the time
+
+    b.newBlock(); // B2: else path — cheap update
+    b.alu(Opcode::FADD, 1, 1, 2);
+    b.jump(4);
+
+    b.newBlock(); // B3: then path — expensive update
+    b.sfu(3, 2);
+    b.alu(Opcode::FFMA, 1, 3, 10, 1);
+
+    b.newBlock(); // B4: reconvergence + loop latch
+    b.alu(Opcode::IADD, 0, 0, 10);
+    b.loopBranch(1, 0, 8);
+
+    b.newBlock(); // B5: epilogue
+    b.store(Opcode::ST_GLOBAL, 0, 1, stream);
+    b.exit();
+
+    return b.finalize();
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto kernel = makeDivergentReduction();
+    std::printf("%s\n", kernel->toString().c_str());
+
+    // 1) What the PDOM analysis sees: where diverged warps reconverge.
+    CfgAnalysis cfg(*kernel);
+    for (unsigned i = 0; i < kernel->staticInstrs(); ++i) {
+        const Instruction &instr = kernel->instrs()[i];
+        if (instr.op == Opcode::BRA && !instr.isLoopBranch()) {
+            const int block = kernel->blockOfInstr(i);
+            std::printf("branch at 0x%x reconverges at PC 0x%x "
+                        "(ipdom of B%d is B%d)\n",
+                        instr.pc, cfg.reconvergencePc(block), block,
+                        cfg.ipdom(block));
+        }
+    }
+
+    // 2) What the liveness pass hands to the RMU: per-PC live registers.
+    LivenessAnalysis live(*kernel);
+    LiveRegisterTable table(*kernel);
+    std::printf("\nPC     live registers (bit vector)      count\n");
+    for (unsigned i = 0; i < kernel->staticInstrs(); ++i) {
+        const RegBitVec v = live.liveIn(i);
+        std::printf("0x%03x  0x%016llx  %u\n", kernel->instrs()[i].pc,
+                    static_cast<unsigned long long>(v.raw()), v.count());
+    }
+    std::printf("\nmean live fraction: %.1f%% of the %u allocated "
+                "registers (table: %llu bytes in global memory)\n",
+                100.0 * table.meanLiveFraction(), kernel->regsPerThread(),
+                static_cast<unsigned long long>(table.storageBytes()));
+
+    // 3) Run it under FineReg and report how the PCRF was used.
+    GpuConfig config = GpuConfig::gtx980();
+    config.policy.kind = PolicyKind::FineReg;
+    const SimResult result = Simulator::run(config, *kernel);
+    std::printf("\nFineReg run: %llu cycles, IPC %.2f, %.1f resident "
+                "CTAs/SM (%.1f active)\n",
+                static_cast<unsigned long long>(result.cycles), result.ipc,
+                result.avgResidentCtas, result.avgActiveCtas);
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Example: compare every register-file management policy on one suite
+ * application (default SY2, pass another abbreviation as argv[1]) — the
+ * per-app view of the paper's Figs. 12/13/15/16 in a single run.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hh"
+#include "workloads/suite.hh"
+
+using namespace finereg;
+
+int
+main(int argc, char **argv)
+{
+    const std::string app = argc > 1 ? argv[1] : "SY2";
+    const double scale = argc > 2 ? std::atof(argv[2]) : 0.5;
+    const SuiteEntry &entry = Suite::byName(app);
+
+    std::printf("%s (%s, %s): %u regs/thread, %u threads/CTA, %uB "
+                "shmem/CTA, %u CTAs\n\n",
+                entry.abbrev.c_str(), entry.fullName.c_str(),
+                entry.typeR() ? "Type-R" : "Type-S",
+                entry.params.regsPerThread, entry.params.threadsPerCta,
+                entry.params.shmemPerCta, entry.params.gridCtas);
+
+    TableFormatter table({"policy", "cycles", "IPC", "vs base",
+                          "res.CTAs", "act.CTAs", "DRAM MB", "stall%",
+                          "energy"});
+
+    SimResult base;
+    for (const PolicyKind kind :
+         {PolicyKind::Baseline, PolicyKind::VirtualThread,
+          PolicyKind::RegDram, PolicyKind::RegMutex, PolicyKind::FineReg}) {
+        const SimResult r =
+            Experiment::runApp(app, Experiment::configFor(kind), scale);
+        if (kind == PolicyKind::Baseline)
+            base = r;
+        table.addRow(
+            {r.policyName, std::to_string(r.cycles),
+             TableFormatter::num(r.ipc),
+             TableFormatter::num(Experiment::speedup(r, base)) + "x",
+             TableFormatter::num(r.avgResidentCtas, 1),
+             TableFormatter::num(r.avgActiveCtas, 1),
+             TableFormatter::num(r.dramBytesTotal() / 1048576.0, 1),
+             TableFormatter::pct(r.depletionStallFraction),
+             TableFormatter::num(r.energy.total() /
+                                 base.energy.total())});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\n'stall%%' counts cycles lost to register-file "
+                "depletion (SRP or PCRF exhaustion, Fig. 14b).\n");
+    return 0;
+}

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Bit-vector utilities: RegBitVec, the fixed 64-bit per-instruction live
+ * register vector described in Sec. V-A of the paper, and DynBitSet, a
+ * dynamically sized bitmap used by the PCRF free-space monitor.
+ */
+
+#ifndef FINEREG_COMMON_BITVEC_HH
+#define FINEREG_COMMON_BITVEC_HH
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace finereg
+{
+
+/**
+ * Fixed-width 64-bit register liveness vector. Bit i set means architectural
+ * register Ri is live. Matches the paper's compiler output format: one 64-bit
+ * word per static instruction.
+ */
+class RegBitVec
+{
+  public:
+    constexpr RegBitVec() = default;
+    constexpr explicit RegBitVec(std::uint64_t bits) : bits_(bits) {}
+
+    constexpr bool
+    test(RegIndex reg) const
+    {
+        return reg < kMaxRegsPerThread && (bits_ >> reg) & 1ull;
+    }
+
+    constexpr void
+    set(RegIndex reg)
+    {
+        if (reg < kMaxRegsPerThread)
+            bits_ |= (1ull << reg);
+    }
+
+    constexpr void
+    reset(RegIndex reg)
+    {
+        if (reg < kMaxRegsPerThread)
+            bits_ &= ~(1ull << reg);
+    }
+
+    constexpr void clear() { bits_ = 0; }
+
+    /** Number of live registers. */
+    constexpr unsigned count() const { return std::popcount(bits_); }
+
+    constexpr bool empty() const { return bits_ == 0; }
+
+    constexpr std::uint64_t raw() const { return bits_; }
+
+    constexpr RegBitVec
+    operator|(RegBitVec other) const
+    {
+        return RegBitVec(bits_ | other.bits_);
+    }
+
+    constexpr RegBitVec
+    operator&(RegBitVec other) const
+    {
+        return RegBitVec(bits_ & other.bits_);
+    }
+
+    /** Bits set in this vector but not in @p other. */
+    constexpr RegBitVec
+    minus(RegBitVec other) const
+    {
+        return RegBitVec(bits_ & ~other.bits_);
+    }
+
+    constexpr RegBitVec &
+    operator|=(RegBitVec other)
+    {
+        bits_ |= other.bits_;
+        return *this;
+    }
+
+    constexpr bool operator==(const RegBitVec &) const = default;
+
+    /** Iterate set bits, lowest index first. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        std::uint64_t bits = bits_;
+        while (bits) {
+            const int i = std::countr_zero(bits);
+            fn(static_cast<RegIndex>(i));
+            bits &= bits - 1;
+        }
+    }
+
+  private:
+    std::uint64_t bits_ = 0;
+};
+
+/**
+ * Dynamically sized bitmap. Used for the PCRF free-space monitor (Sec. V-C):
+ * one flag per PCRF entry, 0 = empty, 1 = occupied.
+ */
+class DynBitSet
+{
+  public:
+    DynBitSet() = default;
+
+    explicit DynBitSet(std::size_t n_bits)
+        : size_(n_bits), words_((n_bits + 63) / 64, 0)
+    {}
+
+    std::size_t size() const { return size_; }
+
+    bool
+    test(std::size_t i) const
+    {
+        checkIndex(i);
+        return (words_[i / 64] >> (i % 64)) & 1ull;
+    }
+
+    void
+    set(std::size_t i)
+    {
+        checkIndex(i);
+        words_[i / 64] |= (1ull << (i % 64));
+    }
+
+    void
+    reset(std::size_t i)
+    {
+        checkIndex(i);
+        words_[i / 64] &= ~(1ull << (i % 64));
+    }
+
+    void
+    clearAll()
+    {
+        for (auto &w : words_)
+            w = 0;
+    }
+
+    /** Number of set (occupied) bits. */
+    std::size_t
+    count() const
+    {
+        std::size_t n = 0;
+        for (auto w : words_)
+            n += std::popcount(w);
+        return n;
+    }
+
+    /** Number of clear (free) bits; what the free-space monitor aggregates. */
+    std::size_t countClear() const { return size_ - count(); }
+
+    /**
+     * Index of the first clear bit, or size() when all bits are set.
+     * Implements the free-slot lookup of the PCRF free-space monitor.
+     */
+    std::size_t
+    firstClear() const
+    {
+        for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+            std::uint64_t inv = ~words_[wi];
+            if (wi == words_.size() - 1 && size_ % 64 != 0) {
+                // Mask out the padding bits beyond size_.
+                inv &= (1ull << (size_ % 64)) - 1;
+            }
+            if (inv) {
+                const std::size_t bit = wi * 64 + std::countr_zero(inv);
+                return bit < size_ ? bit : size_;
+            }
+        }
+        return size_;
+    }
+
+  private:
+    void
+    checkIndex(std::size_t i) const
+    {
+        if (i >= size_)
+            FINEREG_PANIC("DynBitSet index ", i, " out of range ", size_);
+    }
+
+    std::size_t size_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_COMMON_BITVEC_HH

@@ -1,0 +1,178 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace finereg
+{
+
+void
+Distribution::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Distribution &
+StatGroup::distribution(const std::string &name)
+{
+    return distributions_[name];
+}
+
+std::uint64_t
+StatGroup::counterValue(const std::string &name) const
+{
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+bool
+StatGroup::hasCounter(const std::string &name) const
+{
+    return counters_.count(name) > 0;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, c] : counters_)
+        c.reset();
+    for (auto &[name, d] : distributions_)
+        d.reset();
+}
+
+std::vector<std::string>
+StatGroup::counterNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(counters_.size());
+    for (const auto &[name, c] : counters_)
+        names.push_back(name);
+    return names;
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream oss;
+    for (const auto &[name, c] : counters_)
+        oss << name_ << '.' << name << ' ' << c.value() << '\n';
+    for (const auto &[name, d] : distributions_) {
+        oss << name_ << '.' << name << " mean=" << d.mean()
+            << " min=" << d.min() << " max=" << d.max()
+            << " n=" << d.count() << '\n';
+    }
+    return oss.str();
+}
+
+TableFormatter::TableFormatter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TableFormatter::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        FINEREG_PANIC("table row has ", cells.size(), " cells, expected ",
+                      headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TableFormatter::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::ostringstream oss;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            oss << row[c]
+                << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        return oss.str();
+    };
+
+    std::ostringstream oss;
+    oss << render_row(headers_) << '\n';
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    oss << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        oss << render_row(row) << '\n';
+    return oss.str();
+}
+
+std::string
+TableFormatter::num(double v, int precision)
+{
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(precision);
+    oss << v;
+    return oss.str();
+}
+
+std::string
+TableFormatter::pct(double fraction, int precision)
+{
+    return num(fraction * 100.0, precision) + "%";
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            FINEREG_PANIC("geomean of non-positive value ", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+} // namespace finereg

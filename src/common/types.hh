@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fundamental scalar types and identifiers used across the simulator.
+ */
+
+#ifndef FINEREG_COMMON_TYPES_HH
+#define FINEREG_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace finereg
+{
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Simulated byte address (global memory space). */
+using Addr = std::uint64_t;
+
+/** Program counter. Instruction addresses advance in units of 8 bytes. */
+using Pc = std::uint32_t;
+
+/** Architectural register index within a thread (0..63). */
+using RegIndex = std::uint8_t;
+
+/** Warp identifier, local to a CTA (0..31). */
+using WarpId = std::uint16_t;
+
+/** CTA identifier, local to an SM's resident set. */
+using CtaId = std::uint16_t;
+
+/** CTA identifier within the launched grid. */
+using GridCtaId = std::uint32_t;
+
+/** Streaming multiprocessor index. */
+using SmId = std::uint16_t;
+
+/** Sentinel for "no cycle" / "not scheduled". */
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for invalid identifiers. */
+inline constexpr std::uint32_t kInvalidId = std::numeric_limits<std::uint32_t>::max();
+
+/** Number of threads per warp (SIMD width, Table I). */
+inline constexpr unsigned kWarpSize = 32;
+
+/** Maximum architectural registers per thread (Sec. V-A bit vector width). */
+inline constexpr unsigned kMaxRegsPerThread = 64;
+
+/** Bytes per warp-register: 32 lanes x 4 bytes (one PCRF data entry). */
+inline constexpr unsigned kBytesPerWarpReg = kWarpSize * 4;
+
+/** Instruction size in bytes; PCs advance by this amount. */
+inline constexpr unsigned kInstrBytes = 8;
+
+} // namespace finereg
+
+#endif // FINEREG_COMMON_TYPES_HH

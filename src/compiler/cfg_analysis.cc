@@ -1,0 +1,154 @@
+#include "compiler/cfg_analysis.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace finereg
+{
+
+CfgAnalysis::CfgAnalysis(const Kernel &kernel) : kernel_(kernel)
+{
+    computeRpo();
+    computeIpdom();
+}
+
+void
+CfgAnalysis::computeRpo()
+{
+    const int n = static_cast<int>(kernel_.blocks().size());
+    std::vector<char> visited(n, 0);
+    std::vector<int> postorder;
+    postorder.reserve(n);
+
+    // Iterative DFS from the entry block.
+    struct Frame { int block; std::size_t next_succ; };
+    std::vector<Frame> stack;
+    stack.push_back({kernel_.entryBlock(), 0});
+    visited[kernel_.entryBlock()] = 1;
+    while (!stack.empty()) {
+        Frame &frame = stack.back();
+        const auto &succs = kernel_.blocks()[frame.block].succs;
+        if (frame.next_succ < succs.size()) {
+            const int succ = succs[frame.next_succ++];
+            if (!visited[succ]) {
+                visited[succ] = 1;
+                stack.push_back({succ, 0});
+            }
+        } else {
+            postorder.push_back(frame.block);
+            stack.pop_back();
+        }
+    }
+
+    rpo_.assign(postorder.rbegin(), postorder.rend());
+    rpoIndex_.assign(n, -1);
+    for (std::size_t i = 0; i < rpo_.size(); ++i)
+        rpoIndex_[rpo_[i]] = static_cast<int>(i);
+
+    for (int b = 0; b < n; ++b) {
+        if (!visited[b])
+            FINEREG_FATAL("kernel ", kernel_.name(), ": block B", b,
+                          " unreachable from entry");
+    }
+}
+
+void
+CfgAnalysis::computeIpdom()
+{
+    // Cooper-Harvey-Kennedy dominators on the reverse CFG with a virtual
+    // exit node (index n) joined to every EXIT-terminated block.
+    const int n = static_cast<int>(kernel_.blocks().size());
+    const int virtual_exit = n;
+
+    // Post-dominator analysis traverses blocks in reverse control-flow
+    // direction, so process in postorder of the forward CFG (i.e., reverse
+    // of rpo_), starting nearest the exit.
+    std::vector<int> order; // virtual-exit-first processing order
+    for (auto it = rpo_.rbegin(); it != rpo_.rend(); ++it)
+        order.push_back(*it);
+
+    std::vector<int> idom(n + 1, -1);
+    idom[virtual_exit] = virtual_exit;
+
+    // Order index for intersection: exit blocks processed first get lower
+    // numbers.
+    std::vector<int> order_index(n + 1, -1);
+    order_index[virtual_exit] = 0;
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order_index[order[i]] = static_cast<int>(i) + 1;
+
+    auto rsuccs = [&](int b) {
+        // Successors in the reverse CFG = forward successors plus the
+        // virtual exit for blocks that terminate the kernel.
+        std::vector<int> out = kernel_.blocks()[b].succs;
+        if (out.empty())
+            out.push_back(virtual_exit);
+        return out;
+    };
+
+    auto intersect = [&](int a, int b) {
+        while (a != b) {
+            while (order_index[a] > order_index[b])
+                a = idom[a];
+            while (order_index[b] > order_index[a])
+                b = idom[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b : order) {
+            int new_idom = -1;
+            for (int s : rsuccs(b)) {
+                if (idom[s] == -1)
+                    continue;
+                new_idom = new_idom == -1 ? s : intersect(new_idom, s);
+            }
+            if (new_idom == -1)
+                continue;
+            if (idom[b] != new_idom) {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+
+    ipdom_.assign(n, -1);
+    for (int b = 0; b < n; ++b)
+        ipdom_[b] = (idom[b] == virtual_exit || idom[b] == -1) ? -1 : idom[b];
+}
+
+bool
+CfgAnalysis::postDominates(int a, int b) const
+{
+    // Walk the post-dominator tree upward from b.
+    int cur = b;
+    while (cur != -1) {
+        if (cur == a)
+            return true;
+        cur = ipdom_[cur];
+    }
+    return false;
+}
+
+Pc
+CfgAnalysis::reconvergencePc(int b) const
+{
+    const int pd = ipdom_[b];
+    if (pd == -1) {
+        // Reconverge at kernel end (one past the last instruction).
+        return static_cast<Pc>(kernel_.staticInstrs() * kInstrBytes);
+    }
+    return kernel_.instrs()[kernel_.blocks()[pd].firstInstr].pc;
+}
+
+bool
+CfgAnalysis::isBackEdge(int b, int target) const
+{
+    return rpoIndex_[target] <= rpoIndex_[b];
+}
+
+} // namespace finereg

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Control-flow-graph analysis over a Kernel: reverse post-order, immediate
+ * post-dominators, and branch reconvergence points. The simulator's SIMT
+ * stack uses the reconvergence PCs (PDOM scheme, Sec. V-A / Fig. 9), and the
+ * liveness pass uses the traversal orders.
+ */
+
+#ifndef FINEREG_COMPILER_CFG_ANALYSIS_HH
+#define FINEREG_COMPILER_CFG_ANALYSIS_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/kernel.hh"
+
+namespace finereg
+{
+
+class CfgAnalysis
+{
+  public:
+    explicit CfgAnalysis(const Kernel &kernel);
+
+    /** Immediate post-dominator of block @p b, or -1 for exit blocks. */
+    int ipdom(int b) const { return ipdom_[b]; }
+
+    /** True if @p a post-dominates @p b. */
+    bool postDominates(int a, int b) const;
+
+    /**
+     * Reconvergence PC for the branch terminating block @p b: the first
+     * instruction of the immediate post-dominator. Diverged warps rejoin
+     * there. Returns the kernel-end PC for blocks post-dominated only by
+     * exit.
+     */
+    Pc reconvergencePc(int b) const;
+
+    /** Blocks in reverse post-order from the entry. */
+    const std::vector<int> &rpo() const { return rpo_; }
+
+    /** True if the edge b -> target is a back edge (loop). */
+    bool isBackEdge(int b, int target) const;
+
+  private:
+    void computeRpo();
+    void computeIpdom();
+
+    const Kernel &kernel_;
+    std::vector<int> rpo_;
+    std::vector<int> rpoIndex_;
+    std::vector<int> ipdom_;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_COMPILER_CFG_ANALYSIS_HH

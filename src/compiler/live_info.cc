@@ -1,0 +1,27 @@
+#include "compiler/live_info.hh"
+
+namespace finereg
+{
+
+LiveRegisterTable::LiveRegisterTable(const Kernel &kernel)
+{
+    const LivenessAnalysis liveness(kernel);
+    entries_ = liveness.allLiveIn();
+    maxPc_ = static_cast<Pc>(kernel.staticInstrs() * kInstrBytes);
+    const double regs = kernel.regsPerThread();
+    meanLiveFraction_ =
+        regs > 0 ? liveness.meanLiveCount() / regs : 0.0;
+}
+
+RegBitVec
+LiveRegisterTable::lookup(Pc pc) const
+{
+    const unsigned idx = pc / kInstrBytes;
+    if (idx >= entries_.size()) {
+        // Warp ran past the end (completed): nothing live.
+        return RegBitVec{};
+    }
+    return entries_[idx];
+}
+
+} // namespace finereg

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * LiveRegisterTable: the kernel-launch-time artifact the paper's compiler
+ * produces. One 64-bit live-register bit vector per static instruction,
+ * stored in a reserved global-memory region (Sec. V-F: 12 bytes per static
+ * instruction — 4 B PC + 8 B vector). The RMU fetches entries from here on
+ * bit-vector-cache misses, paying off-chip latency and traffic.
+ */
+
+#ifndef FINEREG_COMPILER_LIVE_INFO_HH
+#define FINEREG_COMPILER_LIVE_INFO_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "compiler/liveness.hh"
+#include "isa/kernel.hh"
+
+namespace finereg
+{
+
+class LiveRegisterTable
+{
+  public:
+    /** Run liveness analysis on @p kernel and materialize the table. */
+    explicit LiveRegisterTable(const Kernel &kernel);
+
+    /** Live-register vector for a warp stalled at @p pc. */
+    RegBitVec lookup(Pc pc) const;
+
+    /** Count of live registers at @p pc (what the PCRF space check needs). */
+    unsigned liveCount(Pc pc) const { return lookup(pc).count(); }
+
+    unsigned staticInstrs() const { return entries_.size(); }
+
+    /** Off-chip bytes the table occupies: 12 B per static instruction. */
+    std::uint64_t
+    storageBytes() const
+    {
+        return std::uint64_t(entries_.size()) * 12;
+    }
+
+    /** Mean live fraction relative to the kernel's static allocation. */
+    double meanLiveFraction() const { return meanLiveFraction_; }
+
+  private:
+    std::vector<RegBitVec> entries_;
+    Pc maxPc_ = 0;
+    double meanLiveFraction_ = 0.0;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_COMPILER_LIVE_INFO_HH

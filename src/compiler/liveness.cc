@@ -1,0 +1,115 @@
+#include "compiler/liveness.hh"
+
+#include "common/log.hh"
+
+namespace finereg
+{
+
+LivenessAnalysis::LivenessAnalysis(const Kernel &kernel) : kernel_(kernel)
+{
+    solve();
+}
+
+RegBitVec
+LivenessAnalysis::useSet(const Instruction &instr)
+{
+    RegBitVec use;
+    for (int src : instr.srcs) {
+        if (src >= 0)
+            use.set(static_cast<RegIndex>(src));
+    }
+    return use;
+}
+
+RegBitVec
+LivenessAnalysis::defSet(const Instruction &instr)
+{
+    RegBitVec def;
+    if (instr.dst >= 0)
+        def.set(static_cast<RegIndex>(instr.dst));
+    return def;
+}
+
+void
+LivenessAnalysis::solve()
+{
+    const auto &instrs = kernel_.instrs();
+    const auto &blocks = kernel_.blocks();
+    const std::size_t n = instrs.size();
+    liveIn_.assign(n, RegBitVec{});
+    liveOut_.assign(n, RegBitVec{});
+
+    // Block-level live-in summary for fast propagation across edges.
+    std::vector<RegBitVec> block_live_in(blocks.size());
+
+    bool changed = true;
+    iterations_ = 0;
+    while (changed) {
+        changed = false;
+        ++iterations_;
+        if (iterations_ > 10 * blocks.size() + 64)
+            FINEREG_PANIC("liveness failed to converge on kernel ",
+                          kernel_.name());
+
+        // Walk blocks in reverse index order (a good approximation of
+        // reverse control flow for builder-produced kernels); correctness
+        // comes from iterating to fixpoint regardless of order.
+        for (int b = static_cast<int>(blocks.size()) - 1; b >= 0; --b) {
+            const auto &blk = blocks[b];
+
+            // Live-out of the block's last instruction is the union of the
+            // live-in of every successor block's first instruction.
+            RegBitVec out;
+            for (int succ : blk.succs)
+                out |= block_live_in[succ];
+
+            for (int i = static_cast<int>(blk.firstInstr + blk.numInstrs) - 1;
+                 i >= static_cast<int>(blk.firstInstr); --i) {
+                const Instruction &instr = instrs[i];
+                const RegBitVec new_out = out;
+                const RegBitVec new_in =
+                    useSet(instr) | new_out.minus(defSet(instr));
+                if (new_in != liveIn_[i] || new_out != liveOut_[i]) {
+                    liveIn_[i] = new_in;
+                    liveOut_[i] = new_out;
+                    changed = true;
+                }
+                out = new_in;
+            }
+            block_live_in[b] = liveIn_[blk.firstInstr];
+        }
+    }
+}
+
+RegBitVec
+LivenessAnalysis::liveAtPc(Pc pc) const
+{
+    const unsigned idx = kernel_.instrIndexOf(pc);
+    if (idx >= liveIn_.size()) {
+        // Stalled past the last instruction: nothing is live.
+        return RegBitVec{};
+    }
+    return liveIn_[idx];
+}
+
+unsigned
+LivenessAnalysis::maxLiveCount() const
+{
+    unsigned max = 0;
+    for (const auto &v : liveIn_)
+        max = std::max(max, v.count());
+    return max;
+}
+
+double
+LivenessAnalysis::meanLiveCount() const
+{
+    if (liveIn_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &v : liveIn_)
+        sum += v.count();
+    return sum / static_cast<double>(liveIn_.size());
+}
+
+} // namespace finereg

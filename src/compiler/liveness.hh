@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Backward liveness dataflow over a kernel CFG (Sec. IV-B, V-A, Figs. 7/9).
+ * A register is live at a PC if some path from that PC uses it as a source
+ * before redefining it. The pass iterates blocks to a fixpoint, so loops and
+ * diverging branches are handled exactly; the result is one 64-bit bit
+ * vector per static instruction — the format FineReg's RMU consumes.
+ */
+
+#ifndef FINEREG_COMPILER_LIVENESS_HH
+#define FINEREG_COMPILER_LIVENESS_HH
+
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "isa/kernel.hh"
+
+namespace finereg
+{
+
+class LivenessAnalysis
+{
+  public:
+    explicit LivenessAnalysis(const Kernel &kernel);
+
+    /**
+     * Registers live immediately *before* instruction @p instr_index
+     * executes — exactly the set a stalled warp at this PC must preserve.
+     */
+    RegBitVec liveIn(unsigned instr_index) const
+    {
+        return liveIn_[instr_index];
+    }
+
+    /** Registers live immediately after instruction @p instr_index. */
+    RegBitVec liveOut(unsigned instr_index) const
+    {
+        return liveOut_[instr_index];
+    }
+
+    /** Live-in vector for a PC (convenience for the simulator). */
+    RegBitVec liveAtPc(Pc pc) const;
+
+    /** All per-instruction live-in vectors, indexed by flat instruction. */
+    const std::vector<RegBitVec> &allLiveIn() const { return liveIn_; }
+
+    /** Maximum live-in count over all instructions. */
+    unsigned maxLiveCount() const;
+
+    /** Mean live-in count over all instructions. */
+    double meanLiveCount() const;
+
+    /** Number of fixpoint iterations the solver needed (for tests). */
+    unsigned iterations() const { return iterations_; }
+
+  private:
+    static RegBitVec useSet(const Instruction &instr);
+    static RegBitVec defSet(const Instruction &instr);
+
+    void solve();
+
+    const Kernel &kernel_;
+    std::vector<RegBitVec> liveIn_;
+    std::vector<RegBitVec> liveOut_;
+    unsigned iterations_ = 0;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_COMPILER_LIVENESS_HH

@@ -1,0 +1,74 @@
+#include "core/experiment.hh"
+
+#include "common/log.hh"
+
+namespace finereg
+{
+
+SimResult
+Experiment::runApp(const std::string &abbrev, const GpuConfig &config,
+                   double grid_scale)
+{
+    const SuiteEntry &app = Suite::byName(abbrev);
+    const auto kernel = Suite::makeKernel(app, grid_scale);
+    return Simulator::run(config, *kernel);
+}
+
+std::vector<SimResult>
+Experiment::runSuite(const GpuConfig &config, double grid_scale)
+{
+    std::vector<SimResult> results;
+    results.reserve(Suite::all().size());
+    for (const auto &app : Suite::all())
+        results.push_back(runApp(app.abbrev, config, grid_scale));
+    return results;
+}
+
+std::map<std::string, double>
+Experiment::normalizedIpc(const std::vector<SimResult> &results,
+                          const std::vector<SimResult> &baseline)
+{
+    std::map<std::string, double> out;
+    for (const auto &result : results) {
+        for (const auto &base : baseline) {
+            if (base.kernelName == result.kernelName) {
+                out[result.kernelName] = speedup(result, base);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+double
+Experiment::meanOverApps(const std::map<std::string, double> &values)
+{
+    std::vector<double> v;
+    v.reserve(values.size());
+    for (const auto &[app, value] : values)
+        v.push_back(value);
+    return mean(v);
+}
+
+double
+Experiment::meanOverApps(const std::map<std::string, double> &values,
+                         const std::vector<std::string> &apps)
+{
+    std::vector<double> v;
+    for (const auto &app : apps) {
+        const auto it = values.find(app);
+        if (it != values.end())
+            v.push_back(it->second);
+    }
+    return mean(v);
+}
+
+GpuConfig
+Experiment::configFor(PolicyKind kind)
+{
+    GpuConfig config = GpuConfig::gtx980();
+    config.policy.kind = kind;
+    return config;
+}
+
+} // namespace finereg

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Experiment helpers shared by the bench harnesses: run an application (or
+ * the whole suite) under a configuration, normalize against a baseline,
+ * and compute the aggregate means the paper reports.
+ */
+
+#ifndef FINEREG_CORE_EXPERIMENT_HH
+#define FINEREG_CORE_EXPERIMENT_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hh"
+#include "workloads/suite.hh"
+
+namespace finereg
+{
+
+class Experiment
+{
+  public:
+    /** Run one suite application under @p config. */
+    static SimResult runApp(const std::string &abbrev,
+                            const GpuConfig &config,
+                            double grid_scale = 1.0);
+
+    /**
+     * Run every suite application under @p config.
+     *
+     * @param grid_scale shrinks the grids for sweep-heavy experiments.
+     * @return results keyed by abbreviation, in suite order.
+     */
+    static std::vector<SimResult> runSuite(const GpuConfig &config,
+                                           double grid_scale = 1.0);
+
+    /** Per-app IPC of @p results divided by @p baseline (paired by
+     * kernel name). */
+    static std::map<std::string, double>
+    normalizedIpc(const std::vector<SimResult> &results,
+                  const std::vector<SimResult> &baseline);
+
+    /** Ratio helper for a single app pair. */
+    static double speedup(const SimResult &result,
+                          const SimResult &baseline)
+    {
+        return baseline.ipc > 0 ? result.ipc / baseline.ipc : 0.0;
+    }
+
+    /** Arithmetic mean of per-app normalized values (the paper's
+     * "average" bars). */
+    static double meanOverApps(const std::map<std::string, double> &values);
+
+    /** Mean restricted to a subset of app names. */
+    static double meanOverApps(const std::map<std::string, double> &values,
+                               const std::vector<std::string> &apps);
+
+    /** A GTX-980 config preset with the policy set. */
+    static GpuConfig configFor(PolicyKind kind);
+};
+
+} // namespace finereg
+
+#endif // FINEREG_CORE_EXPERIMENT_HH

@@ -1,0 +1,72 @@
+#include "core/gpu_config.hh"
+
+#include <sstream>
+
+namespace finereg
+{
+
+const char *
+policyKindName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Baseline: return "Baseline";
+      case PolicyKind::VirtualThread: return "VirtualThread";
+      case PolicyKind::RegDram: return "Reg+DRAM";
+      case PolicyKind::RegMutex: return "VT+RegMutex";
+      case PolicyKind::FineReg: return "FineReg";
+    }
+    return "?";
+}
+
+GpuConfig
+GpuConfig::gtx980()
+{
+    GpuConfig config;
+    config.numSms = 16;
+    config.clockGhz = 1.126;
+
+    config.sm.maxCtas = 32;
+    config.sm.maxWarps = 64;
+    config.sm.maxThreads = 2048;
+    config.sm.numSchedulers = 4;
+    config.sm.sched = SchedKind::GTO;
+    config.sm.regFileBytes = 256 * 1024;
+    config.sm.shmemBytes = 96 * 1024;
+
+    config.mem.l1 = CacheConfig{48 * 1024, 8, 128, 28, 64};
+    config.mem.l2 = CacheConfig{2048 * 1024, 8, 128, 300, 256, true};
+    // 352.5 GB/s at 1.126 GHz core clock.
+    config.mem.dram.bytesPerCycle = 352.5e9 / 1.126e9;
+    config.mem.dram.accessLatency = 500;
+    return config;
+}
+
+std::string
+GpuConfig::toString() const
+{
+    std::ostringstream oss;
+    oss << "# of SMs                    " << numSms << '\n'
+        << "Clock frequency             " << clockGhz * 1000 << "MHz\n"
+        << "SIMD width                  " << kWarpSize << '\n'
+        << "Max # of warps per SM       " << sm.maxWarps << '\n'
+        << "Max # of threads per SM     " << sm.maxThreads << '\n'
+        << "Max CTAs per SM             " << sm.maxCtas << '\n'
+        << "# of warp schedulers per SM " << sm.numSchedulers << '\n'
+        << "Warp scheduling             "
+        << (sm.sched == SchedKind::GTO ? "Greedy-then-oldest (GTO)"
+                                       : "Loose round-robin (LRR)")
+        << '\n'
+        << "Register file size per SM   " << sm.regFileBytes / 1024 << "KB\n"
+        << "Shared memory size per SM   " << sm.shmemBytes / 1024 << "KB\n"
+        << "L1 cache size per SM        " << mem.l1.sizeBytes / 1024 << "KB, "
+        << mem.l1.assoc << "-way\n"
+        << "L2 shared cache size        " << mem.l2.sizeBytes / 1024 << "KB, "
+        << mem.l2.assoc << "-way\n"
+        << "Off-chip DRAM bandwidth     "
+        << mem.dram.bytesPerCycle * clockGhz << "GB/s\n"
+        << "Policy                      " << policyKindName(policy.kind)
+        << '\n';
+    return oss.str();
+}
+
+} // namespace finereg

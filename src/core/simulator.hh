@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Simulator: the library's main entry point. Wraps Gpu construction and
+ * execution, applies unified-on-chip-memory (UM) config transforms
+ * (Sec. VI-G3), and condenses a finished run's stat group into a SimResult
+ * that benches and tests consume directly.
+ */
+
+#ifndef FINEREG_CORE_SIMULATOR_HH
+#define FINEREG_CORE_SIMULATOR_HH
+
+#include <memory>
+#include <string>
+
+#include "core/gpu_config.hh"
+#include "energy/energy_model.hh"
+#include "isa/kernel.hh"
+#include "policies/policy.hh"
+
+namespace finereg
+{
+
+/** Condensed outcome of one kernel execution. */
+struct SimResult
+{
+    std::string kernelName;
+    std::string policyName;
+
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+    double ipc = 0.0;
+    bool hitCycleLimit = false;
+    unsigned completedCtas = 0;
+
+    /** Time-averaged per-SM occupancy. */
+    double avgResidentCtas = 0.0;
+    double avgActiveCtas = 0.0;
+    double avgActiveThreads = 0.0;
+
+    /** Off-chip traffic split (Fig. 15). */
+    std::uint64_t dramBytesData = 0;
+    std::uint64_t dramBytesCtaContext = 0;
+    std::uint64_t dramBytesBitvec = 0;
+    std::uint64_t dramBytesTotal() const
+    {
+        return dramBytesData + dramBytesCtaContext + dramBytesBitvec;
+    }
+
+    /** Fraction of cycles stalled on RF depletion (Fig. 14). */
+    double depletionStallFraction = 0.0;
+
+    /** L1 behaviour (aggregated over SMs). */
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+
+    /** Fig. 5 register-usage window stats (when usageTracking was on). */
+    double rfUsageMean = 0.0;
+    double rfUsageMin = 0.0;
+    double rfUsageMax = 0.0;
+
+    /** Table III stall-episode stats (when stallProbe was on). */
+    double stallEpisodeMean = 0.0;
+    std::uint64_t stallEpisodes = 0;
+
+    /** Fig. 16 energy stack. */
+    EnergyBreakdown energy;
+
+    /** Scheme storage overhead (Sec. V-F), bits. */
+    std::uint64_t policyStorageBits = 0;
+};
+
+class Simulator
+{
+  public:
+    /**
+     * Run @p kernel under @p config to completion.
+     *
+     * @param policy optional pre-built policy (nullptr selects from
+     *               config.policy.kind).
+     */
+    static SimResult run(const GpuConfig &config, const Kernel &kernel,
+                         std::unique_ptr<Policy> policy = nullptr);
+
+    /**
+     * The UM transform applied to a config before construction: carves the
+     * 272 KB pooled store into shared memory, (for FineReg) PCRF, and L1
+     * according to the kernel's declared demand.
+     */
+    static GpuConfig applyUnifiedMemory(GpuConfig config,
+                                        const Kernel &kernel);
+};
+
+} // namespace finereg
+
+#endif // FINEREG_CORE_SIMULATOR_HH

@@ -1,0 +1,69 @@
+#include "energy/energy_model.hh"
+
+namespace finereg
+{
+
+EnergyBreakdown
+EnergyModel::compute(const StatGroup &stats, Cycle cycles,
+                     unsigned num_sms) const
+{
+    EnergyBreakdown out;
+
+    // Off-chip DRAM: every byte of every traffic class.
+    const double dram_bytes =
+        static_cast<double>(stats.counterValue("dram.bytes_data") +
+                            stats.counterValue("dram.bytes_cta_context") +
+                            stats.counterValue("dram.bytes_bitvec"));
+    out.dramDyn = dram_bytes * coeffs_.dramByteEnergy;
+
+    // Main register file (ACRF or baseline RF).
+    const double rf_accesses =
+        static_cast<double>(stats.counterValue("sm.rf_reads") +
+                            stats.counterValue("sm.rf_writes"));
+    out.rfDyn = rf_accesses * coeffs_.rfAccessEnergy;
+
+    // Everything else dynamic: issue, caches, shared memory.
+    double cache_accesses = 0.0;
+    for (const auto &name : stats.counterNames()) {
+        if (name.starts_with("l1_") || name.starts_with("l2.")) {
+            if (name.ends_with(".hits") || name.ends_with(".misses")) {
+                const double energy = name.starts_with("l2.")
+                                          ? coeffs_.l2AccessEnergy
+                                          : coeffs_.l1AccessEnergy;
+                cache_accesses +=
+                    static_cast<double>(stats.counterValue(name)) * energy;
+            }
+        }
+    }
+    out.othersDyn =
+        static_cast<double>(stats.counterValue("sm.issued")) *
+            coeffs_.issueEnergy +
+        static_cast<double>(stats.counterValue("sm.shared_accesses")) *
+            coeffs_.sharedAccessEnergy +
+        cache_accesses;
+
+    // Static leakage over the run.
+    out.leakage = static_cast<double>(cycles) * num_sms *
+                  coeffs_.leakagePerSmCycle;
+
+    // FineReg scheduling resources: bit-vector cache + RMU gathers.
+    out.fineregOverhead =
+        static_cast<double>(stats.counterValue("bitvec_cache.hits") +
+                            stats.counterValue("bitvec_cache.misses")) *
+            coeffs_.bitvecAccessEnergy +
+        static_cast<double>(stats.counterValue("rmu.gathers")) *
+            coeffs_.rmuGatherEnergy;
+
+    // CTA switching: PCRF entry movement + switch control logic.
+    out.ctaSwitching =
+        static_cast<double>(stats.counterValue("pcrf.reads") +
+                            stats.counterValue("pcrf.writes")) *
+            coeffs_.pcrfAccessEnergy +
+        static_cast<double>(stats.counterValue("pcrf.stored_ctas") +
+                            stats.counterValue("pcrf.restored_ctas")) *
+            coeffs_.switchEnergy;
+
+    return out;
+}
+
+} // namespace finereg

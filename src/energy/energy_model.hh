@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Event-based energy model in the spirit of GPUWattch [24] / register file
+ * virtualization [12]: each architectural event (RF access, cache access,
+ * DRAM byte, issued instruction) costs a fixed energy, plus per-SM-cycle
+ * leakage. The breakdown mirrors Fig. 16's stacks: DRAM_Dyn, RF_Dyn,
+ * Others_Dyn, Leakage, FineReg scheduling resources, and CTA switching.
+ * Units are arbitrary ("energy units"); only relative comparisons between
+ * configurations are meaningful, matching the paper's normalized plot.
+ */
+
+#ifndef FINEREG_ENERGY_ENERGY_MODEL_HH
+#define FINEREG_ENERGY_ENERGY_MODEL_HH
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace finereg
+{
+
+struct EnergyCoefficients
+{
+    double rfAccessEnergy = 1.6;     ///< Per warp-operand RF read/write.
+    double pcrfAccessEnergy = 0.4;   ///< Per PCRF entry read/write
+                                     ///  (small single-bank SRAM vs the
+                                     ///  banked, operand-collected RF).
+    double bitvecAccessEnergy = 0.1; ///< Per bit-vector cache probe.
+    double rmuGatherEnergy = 1.0;    ///< Per RMU gather operation.
+    double switchEnergy = 2.0;       ///< Per CTA switch (control logic).
+    double l1AccessEnergy = 3.0;     ///< Per L1 transaction.
+    double l2AccessEnergy = 7.0;     ///< Per L2 transaction.
+    double sharedAccessEnergy = 2.0; ///< Per shared-memory access.
+    double dramByteEnergy = 0.35;    ///< Per byte moved off-chip.
+    double issueEnergy = 3.0;        ///< Per issued warp instruction
+                                     ///  (fetch/decode/execute lumped).
+    double leakagePerSmCycle = 34.0; ///< Static energy per SM per cycle.
+};
+
+/** Fig. 16 component stack. */
+struct EnergyBreakdown
+{
+    double dramDyn = 0.0;
+    double rfDyn = 0.0;
+    double othersDyn = 0.0;
+    double leakage = 0.0;
+    double fineregOverhead = 0.0; ///< RMU + status monitor activity.
+    double ctaSwitching = 0.0;    ///< PCRF traffic + switch logic.
+
+    double
+    total() const
+    {
+        return dramDyn + rfDyn + othersDyn + leakage + fineregOverhead +
+               ctaSwitching;
+    }
+};
+
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(EnergyCoefficients coeffs = {})
+        : coeffs_(coeffs)
+    {}
+
+    /**
+     * Evaluate a finished run from its stat group.
+     *
+     * @param stats  the simulation's stat group (SM, cache, DRAM, PCRF
+     *               counters).
+     * @param cycles total executed cycles.
+     * @param num_sms SM count (leakage scales with it).
+     */
+    EnergyBreakdown compute(const StatGroup &stats, Cycle cycles,
+                            unsigned num_sms) const;
+
+    const EnergyCoefficients &coefficients() const { return coeffs_; }
+
+  private:
+    EnergyCoefficients coeffs_;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_ENERGY_ENERGY_MODEL_HH

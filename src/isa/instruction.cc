@@ -1,0 +1,34 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+namespace finereg
+{
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream oss;
+    oss << "0x" << std::hex << pc << std::dec << ": " << opcodeName(op);
+    if (dst >= 0)
+        oss << " R" << dst;
+    bool first = dst < 0;
+    for (int src : srcs) {
+        if (src < 0)
+            continue;
+        oss << (first ? " " : ", ") << 'R' << src;
+        first = false;
+    }
+    if (op == Opcode::BRA || op == Opcode::JMP) {
+        oss << " -> B" << targetBlock;
+        if (tripCount > 0)
+            oss << " (loop x" << tripCount << ")";
+    }
+    if (isMemory(op)) {
+        oss << " [region " << mem.region << ", " << mem.transactions
+            << " txn]";
+    }
+    return oss.str();
+}
+
+} // namespace finereg

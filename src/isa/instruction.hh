@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Static instruction representation: register operands, memory access
+ * pattern, and control-flow annotations. Kernels are synthesized rather than
+ * compiled from CUDA, so memory instructions carry an address-pattern
+ * descriptor from which the simulator derives concrete warp addresses.
+ */
+
+#ifndef FINEREG_ISA_INSTRUCTION_HH
+#define FINEREG_ISA_INSTRUCTION_HH
+
+#include <array>
+#include <string>
+
+#include "common/types.hh"
+#include "isa/opcode.hh"
+
+namespace finereg
+{
+
+/**
+ * Describes how a global/shared memory instruction touches memory. The warp
+ * address is derived deterministically from (region, cta, warp, iteration);
+ * cache behaviour then emerges from the footprint and stride.
+ */
+struct MemPattern
+{
+    /** Logical data region; distinct regions never alias. */
+    unsigned region = 0;
+
+    /** Total bytes the kernel touches in this region (wraps around). */
+    std::uint64_t footprint = 1 << 20;
+
+    /** Per-warp 128-byte transactions generated (1 = fully coalesced). */
+    unsigned transactions = 1;
+
+    /**
+     * Address stride between successive dynamic executions of this
+     * instruction by the same warp (bytes). Small strides give L1 reuse,
+     * large strides stream through the caches.
+     */
+    std::uint64_t stride = 128;
+
+    /** Probability that a dynamic access rehits the previous line. */
+    double reuse = 0.0;
+
+    /**
+     * Shared data structure: every warp walks the same addresses (lookup
+     * tables, filter taps, centroids) instead of a private slice, so the
+     * cache working set does not grow with thread-level parallelism.
+     */
+    bool shared = false;
+};
+
+/**
+ * One static instruction. Destination/source operands are architectural
+ * register indices; -1 marks an unused slot.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::IADD;
+
+    /** Destination register or -1. */
+    int dst = -1;
+
+    /** Source registers; unused slots are -1. */
+    std::array<int, 3> srcs{-1, -1, -1};
+
+    /** BRA/JMP: index of the target basic block within the kernel. */
+    int targetBlock = -1;
+
+    /**
+     * BRA only: probability that the warp's lanes disagree, causing SIMT
+     * divergence with serialized execution until the reconvergence point.
+     */
+    double divergeProb = 0.0;
+
+    /** BRA only (non-loop): probability the branch is taken warp-wide. */
+    double takenProb = 0.5;
+
+    /**
+     * BRA only: if > 0, this is a loop back-edge that is taken exactly
+     * tripCount - 1 times (the loop body executes tripCount times).
+     */
+    unsigned tripCount = 0;
+
+    /** Memory instructions: the address pattern. */
+    MemPattern mem;
+
+    /** Assigned at kernel finalization: byte PC of this instruction. */
+    Pc pc = 0;
+
+    /** Kernel-wide flat index (pc / kInstrBytes). */
+    unsigned index = 0;
+
+    /** True for loop back-edges (tripCount > 0). */
+    bool isLoopBranch() const { return op == Opcode::BRA && tripCount > 0; }
+
+    /** Human-readable one-line disassembly. */
+    std::string toString() const;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_ISA_INSTRUCTION_HH

@@ -1,0 +1,51 @@
+#include "isa/kernel.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace finereg
+{
+
+const Instruction &
+Kernel::instrAt(Pc pc) const
+{
+    const unsigned idx = instrIndexOf(pc);
+    if (idx >= instrs_.size())
+        FINEREG_PANIC("PC 0x", pc, " beyond kernel ", name_);
+    return instrs_[idx];
+}
+
+int
+Kernel::blockOfInstr(unsigned instr_index) const
+{
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+        const auto &blk = blocks_[b];
+        if (instr_index >= blk.firstInstr &&
+            instr_index < blk.firstInstr + blk.numInstrs) {
+            return static_cast<int>(b);
+        }
+    }
+    return -1;
+}
+
+std::string
+Kernel::toString() const
+{
+    std::ostringstream oss;
+    oss << "kernel " << name_ << ": " << instrs_.size() << " instrs, "
+        << blocks_.size() << " blocks, " << regsPerThread_ << " regs/thread, "
+        << threadsPerCta_ << " threads/CTA, " << shmemPerCta_
+        << "B shmem/CTA, " << gridCtas_ << " CTAs\n";
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+        oss << "B" << b << ":\n";
+        const auto &blk = blocks_[b];
+        for (unsigned i = blk.firstInstr; i < blk.firstInstr + blk.numInstrs;
+             ++i) {
+            oss << "  " << instrs_[i].toString() << '\n';
+        }
+    }
+    return oss.str();
+}
+
+} // namespace finereg

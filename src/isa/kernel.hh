@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Kernel: the static program a grid of CTAs executes — a CFG of basic
+ * blocks over the mini ISA plus the launch-time resource declaration
+ * (registers/thread, threads/CTA, shared memory/CTA, grid size) that the CTA
+ * dispatcher uses to enforce scheduling limits.
+ */
+
+#ifndef FINEREG_ISA_KERNEL_HH
+#define FINEREG_ISA_KERNEL_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace finereg
+{
+
+/** A straight-line sequence of instructions ending in a terminator. */
+struct BasicBlock
+{
+    /** Indices into Kernel::instrs() of this block's instructions. */
+    unsigned firstInstr = 0;
+    unsigned numInstrs = 0;
+
+    /** CFG successors (block indices); filled at finalization. */
+    std::vector<int> succs;
+
+    /** CFG predecessors (block indices); filled at finalization. */
+    std::vector<int> preds;
+};
+
+/**
+ * An immutable, finalized kernel. Construct through KernelBuilder, which
+ * validates the CFG and assigns PCs.
+ */
+class Kernel
+{
+  public:
+    const std::string &name() const { return name_; }
+
+    const std::vector<Instruction> &instrs() const { return instrs_; }
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+
+    const Instruction &instrAt(Pc pc) const;
+    unsigned instrIndexOf(Pc pc) const { return pc / kInstrBytes; }
+
+    /** Block containing instruction @p instr_index. */
+    int blockOfInstr(unsigned instr_index) const;
+
+    /** Entry block index (always 0). */
+    int entryBlock() const { return 0; }
+
+    /** PC of the first instruction of block @p b. */
+    Pc
+    blockStartPc(int b) const
+    {
+        return static_cast<Pc>(blocks_[b].firstInstr * kInstrBytes);
+    }
+
+    // Launch-time resource declaration -------------------------------------
+
+    /** Architectural registers statically allocated per thread. */
+    unsigned regsPerThread() const { return regsPerThread_; }
+
+    /** Threads per CTA (multiple of warp size). */
+    unsigned threadsPerCta() const { return threadsPerCta_; }
+
+    unsigned warpsPerCta() const { return threadsPerCta_ / kWarpSize; }
+
+    /** Shared memory bytes per CTA. */
+    unsigned shmemPerCta() const { return shmemPerCta_; }
+
+    /** Number of CTAs in the launched grid. */
+    unsigned gridCtas() const { return gridCtas_; }
+
+    /** Register bytes one CTA reserves: regs x threads x 4B. */
+    std::uint64_t
+    regBytesPerCta() const
+    {
+        return std::uint64_t(regsPerThread_) * threadsPerCta_ * 4;
+    }
+
+    /** Warp-registers one CTA reserves (allocation granule of the RF). */
+    unsigned
+    warpRegsPerCta() const
+    {
+        return regsPerThread_ * warpsPerCta();
+    }
+
+    /** Total static instruction count. */
+    unsigned staticInstrs() const { return instrs_.size(); }
+
+    std::string toString() const;
+
+  private:
+    friend class KernelBuilder;
+    Kernel() = default;
+
+    std::string name_;
+    std::vector<Instruction> instrs_;
+    std::vector<BasicBlock> blocks_;
+    unsigned regsPerThread_ = 16;
+    unsigned threadsPerCta_ = 256;
+    unsigned shmemPerCta_ = 0;
+    unsigned gridCtas_ = 64;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_ISA_KERNEL_HH

@@ -1,0 +1,277 @@
+#include "isa/kernel_builder.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace finereg
+{
+
+KernelBuilder::KernelBuilder(std::string name) : name_(std::move(name))
+{
+}
+
+KernelBuilder &
+KernelBuilder::regsPerThread(unsigned n)
+{
+    if (n == 0 || n > kMaxRegsPerThread)
+        FINEREG_FATAL("regsPerThread ", n, " outside [1, ",
+                      kMaxRegsPerThread, "]");
+    regsPerThread_ = n;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::threadsPerCta(unsigned n)
+{
+    if (n == 0 || n % kWarpSize != 0)
+        FINEREG_FATAL("threadsPerCta ", n, " must be a positive multiple of ",
+                      kWarpSize);
+    threadsPerCta_ = n;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::shmemPerCta(unsigned bytes)
+{
+    shmemPerCta_ = bytes;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::gridCtas(unsigned n)
+{
+    if (n == 0)
+        FINEREG_FATAL("gridCtas must be positive");
+    gridCtas_ = n;
+    return *this;
+}
+
+int
+KernelBuilder::newBlock()
+{
+    blocks_.emplace_back();
+    return static_cast<int>(blocks_.size()) - 1;
+}
+
+Instruction &
+KernelBuilder::append(Instruction instr)
+{
+    if (blocks_.empty())
+        newBlock();
+    blocks_.back().instrs.push_back(instr);
+    return blocks_.back().instrs.back();
+}
+
+Instruction &
+KernelBuilder::alu(Opcode op, int dst, int src0, int src1, int src2)
+{
+    Instruction instr;
+    instr.op = op;
+    instr.dst = dst;
+    instr.srcs = {src0, src1, src2};
+    return append(instr);
+}
+
+Instruction &
+KernelBuilder::mov(int dst, int src)
+{
+    return alu(Opcode::MOV, dst, src);
+}
+
+Instruction &
+KernelBuilder::sfu(int dst, int src)
+{
+    return alu(Opcode::SFU, dst, src);
+}
+
+Instruction &
+KernelBuilder::load(Opcode op, int dst, int addr_src,
+                    const MemPattern &pattern)
+{
+    if (!isLoad(op))
+        FINEREG_PANIC("load() with non-load opcode ", opcodeName(op));
+    Instruction instr;
+    instr.op = op;
+    instr.dst = dst;
+    instr.srcs = {addr_src, -1, -1};
+    instr.mem = pattern;
+    return append(instr);
+}
+
+Instruction &
+KernelBuilder::store(Opcode op, int addr_src, int data_src,
+                     const MemPattern &pattern)
+{
+    if (!isStore(op))
+        FINEREG_PANIC("store() with non-store opcode ", opcodeName(op));
+    Instruction instr;
+    instr.op = op;
+    instr.srcs = {addr_src, data_src, -1};
+    instr.mem = pattern;
+    return append(instr);
+}
+
+Instruction &
+KernelBuilder::branch(int target_block, int cond_src, double taken_prob,
+                      double diverge_prob)
+{
+    Instruction instr;
+    instr.op = Opcode::BRA;
+    instr.srcs = {cond_src, -1, -1};
+    instr.targetBlock = target_block;
+    instr.takenProb = taken_prob;
+    instr.divergeProb = diverge_prob;
+    return append(instr);
+}
+
+Instruction &
+KernelBuilder::loopBranch(int target_block, int cond_src,
+                          unsigned trip_count, double diverge_prob)
+{
+    if (trip_count == 0)
+        FINEREG_FATAL("loop trip count must be positive");
+    Instruction instr;
+    instr.op = Opcode::BRA;
+    instr.srcs = {cond_src, -1, -1};
+    instr.targetBlock = target_block;
+    instr.tripCount = trip_count;
+    instr.divergeProb = diverge_prob;
+    return append(instr);
+}
+
+Instruction &
+KernelBuilder::jump(int target_block)
+{
+    Instruction instr;
+    instr.op = Opcode::JMP;
+    instr.targetBlock = target_block;
+    return append(instr);
+}
+
+Instruction &
+KernelBuilder::barrier()
+{
+    Instruction instr;
+    instr.op = Opcode::BAR;
+    return append(instr);
+}
+
+Instruction &
+KernelBuilder::exit()
+{
+    Instruction instr;
+    instr.op = Opcode::EXIT;
+    return append(instr);
+}
+
+void
+KernelBuilder::validateRegs(const Instruction &instr) const
+{
+    auto check = [&](int reg) {
+        if (reg >= static_cast<int>(regsPerThread_))
+            FINEREG_FATAL("kernel ", name_, ": instruction ",
+                          instr.toString(), " uses R", reg,
+                          " beyond declared regsPerThread ", regsPerThread_);
+    };
+    check(instr.dst);
+    for (int src : instr.srcs)
+        check(src);
+}
+
+std::unique_ptr<Kernel>
+KernelBuilder::finalize()
+{
+    if (finalized_)
+        FINEREG_PANIC("kernel ", name_, " finalized twice");
+    finalized_ = true;
+    if (blocks_.empty())
+        FINEREG_FATAL("kernel ", name_, " has no blocks");
+
+    auto kernel = std::unique_ptr<Kernel>(new Kernel);
+    kernel->name_ = name_;
+    kernel->regsPerThread_ = regsPerThread_;
+    kernel->threadsPerCta_ = threadsPerCta_;
+    kernel->shmemPerCta_ = shmemPerCta_;
+    kernel->gridCtas_ = gridCtas_;
+
+    const int n_blocks = static_cast<int>(blocks_.size());
+
+    // Flatten instructions and record block extents.
+    for (int b = 0; b < n_blocks; ++b) {
+        auto &pending = blocks_[b];
+        if (pending.instrs.empty())
+            FINEREG_FATAL("kernel ", name_, ": block B", b, " is empty");
+
+        // Only the final instruction of a block may be a terminator.
+        for (std::size_t i = 0; i + 1 < pending.instrs.size(); ++i) {
+            const Opcode op = pending.instrs[i].op;
+            if (op == Opcode::BRA || op == Opcode::JMP || op == Opcode::EXIT)
+                FINEREG_FATAL("kernel ", name_, ": terminator ",
+                              opcodeName(op), " mid-block in B", b);
+        }
+
+        BasicBlock blk;
+        blk.firstInstr = static_cast<unsigned>(kernel->instrs_.size());
+        blk.numInstrs = static_cast<unsigned>(pending.instrs.size());
+        for (auto &instr : pending.instrs) {
+            validateRegs(instr);
+            kernel->instrs_.push_back(instr);
+        }
+        kernel->blocks_.push_back(std::move(blk));
+    }
+
+    // Assign PCs and flat indices.
+    for (std::size_t i = 0; i < kernel->instrs_.size(); ++i) {
+        kernel->instrs_[i].pc = static_cast<Pc>(i * kInstrBytes);
+        kernel->instrs_[i].index = static_cast<unsigned>(i);
+    }
+
+    // Build CFG edges from terminators.
+    for (int b = 0; b < n_blocks; ++b) {
+        auto &blk = kernel->blocks_[b];
+        const Instruction &last =
+            kernel->instrs_[blk.firstInstr + blk.numInstrs - 1];
+
+        auto add_edge = [&](int to) {
+            if (to < 0 || to >= n_blocks)
+                FINEREG_FATAL("kernel ", name_, ": B", b,
+                              " targets nonexistent block B", to);
+            blk.succs.push_back(to);
+            kernel->blocks_[to].preds.push_back(b);
+        };
+
+        switch (last.op) {
+          case Opcode::EXIT:
+            break;
+          case Opcode::JMP:
+            add_edge(last.targetBlock);
+            break;
+          case Opcode::BRA:
+            add_edge(last.targetBlock);
+            if (b + 1 >= n_blocks)
+                FINEREG_FATAL("kernel ", name_, ": BRA in final block B", b,
+                              " has no fall-through");
+            add_edge(b + 1);
+            break;
+          default:
+            // Fall through to next block.
+            if (b + 1 >= n_blocks)
+                FINEREG_FATAL("kernel ", name_, ": final block B", b,
+                              " does not end in EXIT or JMP");
+            add_edge(b + 1);
+            break;
+        }
+    }
+
+    // The kernel must be able to terminate.
+    const bool has_exit = std::any_of(
+        kernel->instrs_.begin(), kernel->instrs_.end(),
+        [](const Instruction &instr) { return instr.op == Opcode::EXIT; });
+    if (!has_exit)
+        FINEREG_FATAL("kernel ", name_, " has no EXIT instruction");
+
+    return kernel;
+}
+
+} // namespace finereg

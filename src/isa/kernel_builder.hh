@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fluent construction of kernels. Workload generators create blocks, append
+ * instructions, wire control flow, and finalize() validates the CFG, assigns
+ * PCs, and produces an immutable Kernel.
+ */
+
+#ifndef FINEREG_ISA_KERNEL_BUILDER_HH
+#define FINEREG_ISA_KERNEL_BUILDER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/kernel.hh"
+
+namespace finereg
+{
+
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string name);
+
+    // Resource declaration ---------------------------------------------------
+
+    KernelBuilder &regsPerThread(unsigned n);
+    KernelBuilder &threadsPerCta(unsigned n);
+    KernelBuilder &shmemPerCta(unsigned bytes);
+    KernelBuilder &gridCtas(unsigned n);
+
+    // CFG construction -------------------------------------------------------
+
+    /** Start a new basic block; returns its index. Instructions append to
+     * the most recently opened block. */
+    int newBlock();
+
+    /** Append an instruction to the current block; returns a reference that
+     * remains valid until finalize(). */
+    Instruction &append(Instruction instr);
+
+    // Convenience emitters ---------------------------------------------------
+
+    Instruction &alu(Opcode op, int dst, int src0, int src1 = -1,
+                     int src2 = -1);
+    Instruction &mov(int dst, int src);
+    Instruction &sfu(int dst, int src);
+    Instruction &load(Opcode op, int dst, int addr_src,
+                      const MemPattern &pattern);
+    Instruction &store(Opcode op, int addr_src, int data_src,
+                       const MemPattern &pattern);
+
+    /** Conditional branch to @p target_block; falls through otherwise. */
+    Instruction &branch(int target_block, int cond_src, double taken_prob,
+                        double diverge_prob);
+
+    /** Loop back-edge: taken trip_count-1 times, then falls through. */
+    Instruction &loopBranch(int target_block, int cond_src,
+                            unsigned trip_count, double diverge_prob = 0.0);
+
+    Instruction &jump(int target_block);
+    Instruction &barrier();
+    Instruction &exit();
+
+    /**
+     * Validate and seal the kernel:
+     *  - every block ends in exactly one terminator (BRA falls through to
+     *    the next block; the last block must end in EXIT or JMP),
+     *  - all register indices < kMaxRegsPerThread and < regsPerThread,
+     *  - all branch targets exist,
+     *  - successor/predecessor lists are computed,
+     *  - PCs and flat indices are assigned.
+     */
+    std::unique_ptr<Kernel> finalize();
+
+  private:
+    struct PendingBlock
+    {
+        std::vector<Instruction> instrs;
+    };
+
+    void validateRegs(const Instruction &instr) const;
+
+    std::string name_;
+    std::vector<PendingBlock> blocks_;
+    unsigned regsPerThread_ = 16;
+    unsigned threadsPerCta_ = 256;
+    unsigned shmemPerCta_ = 0;
+    unsigned gridCtas_ = 64;
+    bool finalized_ = false;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_ISA_KERNEL_BUILDER_HH

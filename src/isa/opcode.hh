@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Opcodes of the mini GPU ISA the simulator executes. The set is the minimum
+ * needed to express the register/memory/control behaviour the paper's
+ * mechanisms react to: ALU ops with register defs/uses, long-latency memory
+ * ops that stall warps, divergent branches, loops, barriers.
+ */
+
+#ifndef FINEREG_ISA_OPCODE_HH
+#define FINEREG_ISA_OPCODE_HH
+
+#include <string_view>
+
+namespace finereg
+{
+
+enum class Opcode : unsigned char
+{
+    IADD,      ///< Integer add, short ALU latency.
+    IMUL,      ///< Integer multiply, short ALU latency.
+    FADD,      ///< FP add, short ALU latency.
+    FMUL,      ///< FP multiply, short ALU latency.
+    FFMA,      ///< Fused multiply-add, three sources.
+    MOV,       ///< Register move.
+    SFU,       ///< Special-function op (rsqrt, sin, ...), long ALU latency.
+    LD_GLOBAL, ///< Load from global memory via L1/L2/DRAM.
+    ST_GLOBAL, ///< Store to global memory.
+    LD_SHARED, ///< Load from on-chip shared memory.
+    ST_SHARED, ///< Store to on-chip shared memory.
+    BRA,       ///< Conditional branch (possibly divergent, possibly a loop).
+    JMP,       ///< Unconditional jump.
+    BAR,       ///< CTA-wide barrier.
+    EXIT,      ///< Thread termination.
+};
+
+/** Functional-unit class an opcode issues to. */
+enum class FuncUnit : unsigned char
+{
+    ALU,  ///< Short-latency integer/FP pipe.
+    SFU,  ///< Special function unit.
+    MEM,  ///< Load/store unit.
+    CTRL, ///< Branch/barrier/exit handled at issue.
+};
+
+constexpr FuncUnit
+funcUnitOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::SFU:
+        return FuncUnit::SFU;
+      case Opcode::LD_GLOBAL:
+      case Opcode::ST_GLOBAL:
+      case Opcode::LD_SHARED:
+      case Opcode::ST_SHARED:
+        return FuncUnit::MEM;
+      case Opcode::BRA:
+      case Opcode::JMP:
+      case Opcode::BAR:
+      case Opcode::EXIT:
+        return FuncUnit::CTRL;
+      default:
+        return FuncUnit::ALU;
+    }
+}
+
+constexpr bool
+isMemory(Opcode op)
+{
+    return funcUnitOf(op) == FuncUnit::MEM;
+}
+
+constexpr bool
+isGlobalMemory(Opcode op)
+{
+    return op == Opcode::LD_GLOBAL || op == Opcode::ST_GLOBAL;
+}
+
+constexpr bool
+isLoad(Opcode op)
+{
+    return op == Opcode::LD_GLOBAL || op == Opcode::LD_SHARED;
+}
+
+constexpr bool
+isStore(Opcode op)
+{
+    return op == Opcode::ST_GLOBAL || op == Opcode::ST_SHARED;
+}
+
+constexpr bool
+isControl(Opcode op)
+{
+    return funcUnitOf(op) == FuncUnit::CTRL;
+}
+
+constexpr std::string_view
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::IADD: return "IADD";
+      case Opcode::IMUL: return "IMUL";
+      case Opcode::FADD: return "FADD";
+      case Opcode::FMUL: return "FMUL";
+      case Opcode::FFMA: return "FFMA";
+      case Opcode::MOV: return "MOV";
+      case Opcode::SFU: return "SFU";
+      case Opcode::LD_GLOBAL: return "LD.G";
+      case Opcode::ST_GLOBAL: return "ST.G";
+      case Opcode::LD_SHARED: return "LD.S";
+      case Opcode::ST_SHARED: return "ST.S";
+      case Opcode::BRA: return "BRA";
+      case Opcode::JMP: return "JMP";
+      case Opcode::BAR: return "BAR";
+      case Opcode::EXIT: return "EXIT";
+    }
+    return "?";
+}
+
+} // namespace finereg
+
+#endif // FINEREG_ISA_OPCODE_HH

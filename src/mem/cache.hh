@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Set-associative cache with LRU replacement and MSHR-style miss merging.
+ * Used for both per-SM L1 data caches and the shared L2 (Table I: 48 KB
+ * 8-way L1, 2 MB 8-way L2).
+ */
+
+#ifndef FINEREG_MEM_CACHE_HH
+#define FINEREG_MEM_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace finereg
+{
+
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 48 * 1024;
+    unsigned assoc = 8;
+    unsigned lineBytes = 128;
+    unsigned hitLatency = 28;
+    unsigned mshrEntries = 64;
+
+    /** Allocate lines on write misses (GPU L2s are write-back
+     * write-allocate; L1s are typically write-through no-allocate). */
+    bool writeAllocate = false;
+};
+
+class Cache
+{
+  public:
+    Cache(std::string name, const CacheConfig &config, StatGroup &stats);
+
+    /**
+     * Look up @p addr, update replacement state, and allocate the line on a
+     * miss.
+     *
+     * @retval true on hit, false on miss.
+     */
+    bool access(Addr addr, bool is_write);
+
+    /** Look up without touching replacement or contents. */
+    bool probe(Addr addr) const;
+
+    /**
+     * MSHR check: if the line is already being fetched, return the cycle
+     * its fill completes (the new request merges with it).
+     */
+    std::optional<Cycle> outstandingFill(Addr addr, Cycle now);
+
+    /** Record that a miss to @p addr fills at @p fill_cycle. */
+    void registerFill(Addr addr, Cycle fill_cycle);
+
+    /** Drop every cached line and outstanding fill (between experiments). */
+    void invalidateAll();
+
+    /** Resize the cache, keeping associativity/line size (UM mode). */
+    void resize(std::uint64_t size_bytes);
+
+    unsigned hitLatency() const { return config_.hitLatency; }
+    unsigned lineBytes() const { return config_.lineBytes; }
+    std::uint64_t sizeBytes() const { return config_.sizeBytes; }
+
+    std::uint64_t hits() const { return hits_->value(); }
+    std::uint64_t misses() const { return misses_->value(); }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    Addr lineAddr(Addr addr) const { return addr / config_.lineBytes; }
+
+    /** XOR-folded set index: strided access patterns (per-warp slices)
+     * would otherwise concentrate into a fraction of the sets. */
+    std::size_t
+    setOf(Addr line) const
+    {
+        const Addr hashed = line ^ (line >> 11) ^ (line >> 22);
+        return hashed % numSets_;
+    }
+
+    /** Full line address is kept as the tag (set hashing makes the
+     * classic tag/set split non-invertible). */
+    Addr tagOf(Addr line) const { return line; }
+    void rebuild();
+
+    std::string name_;
+    CacheConfig config_;
+    std::size_t numSets_ = 1;
+    std::vector<Line> lines_; // numSets_ x assoc, row-major
+    std::uint64_t useClock_ = 0;
+
+    /** Outstanding line fills: line address -> completion cycle. */
+    std::unordered_map<Addr, Cycle> mshrs_;
+
+    Counter *hits_;
+    Counter *misses_;
+    Counter *mshrMerges_;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_MEM_CACHE_HH

@@ -1,0 +1,104 @@
+#include "mem/mem_hierarchy.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace finereg
+{
+
+MemHierarchy::MemHierarchy(const MemHierarchyConfig &config,
+                           unsigned num_sms, StatGroup &stats)
+    : config_(config)
+{
+    l1s_.reserve(num_sms);
+    for (unsigned sm = 0; sm < num_sms; ++sm) {
+        l1s_.push_back(std::make_unique<Cache>(
+            "l1_" + std::to_string(sm), config_.l1, stats));
+    }
+    l2_ = std::make_unique<Cache>("l2", config_.l2, stats);
+    dram_ = std::make_unique<Dram>(config_.dram, stats);
+}
+
+MemAccessResult
+MemHierarchy::warpAccess(SmId sm, Addr addr, unsigned transactions,
+                         bool is_write, Cycle now)
+{
+    if (sm >= l1s_.size())
+        FINEREG_PANIC("warpAccess from unknown SM ", sm);
+
+    MemAccessResult result;
+    Cache &l1 = *l1s_[sm];
+    const unsigned line_bytes = l1.lineBytes();
+
+    for (unsigned t = 0; t < transactions; ++t) {
+        const Addr txn_addr = addr + std::uint64_t(t) * line_bytes;
+        Cycle done;
+
+        if (l1.access(txn_addr, is_write)) {
+            ++result.l1Hits;
+            done = now + l1.hitLatency();
+        } else {
+            ++result.l1Misses;
+            // Merge with an outstanding fill of the same line if present.
+            if (auto fill = l1.outstandingFill(txn_addr, now)) {
+                done = *fill;
+            } else {
+                // Pay the L2 queue: each transaction occupies a slot.
+                l2NextFree_ = std::max(l2NextFree_,
+                                       static_cast<double>(now)) +
+                              1.0 / config_.l2TransactionsPerCycle;
+                const Cycle l2_start = static_cast<Cycle>(l2NextFree_);
+
+                if (l2_->access(txn_addr, is_write)) {
+                    ++result.l2Hits;
+                    done = l2_start + l2_->hitLatency();
+                } else {
+                    ++result.l2Misses;
+                    if (auto l2_fill = l2_->outstandingFill(txn_addr, now)) {
+                        done = *l2_fill;
+                    } else {
+                        done = dram_->serve(l2_start, line_bytes,
+                                            TrafficClass::Data);
+                        l2_->registerFill(txn_addr, done);
+                    }
+                }
+                if (!is_write)
+                    l1.registerFill(txn_addr, done);
+            }
+        }
+        result.completeCycle = std::max(result.completeCycle, done);
+    }
+
+    // Stores retire from the warp's perspective once accepted by L1.
+    if (is_write)
+        result.completeCycle = now + l1.hitLatency();
+
+    return result;
+}
+
+Cycle
+MemHierarchy::offchipTransfer(Cycle now, std::uint64_t bytes,
+                              TrafficClass cls)
+{
+    return dram_->serve(now, bytes, cls);
+}
+
+void
+MemHierarchy::resizeL1(std::uint64_t bytes)
+{
+    for (auto &l1 : l1s_)
+        l1->resize(bytes);
+}
+
+void
+MemHierarchy::reset()
+{
+    for (auto &l1 : l1s_)
+        l1->invalidateAll();
+    l2_->invalidateAll();
+    dram_->reset();
+    l2NextFree_ = 0.0;
+}
+
+} // namespace finereg

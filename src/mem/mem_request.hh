@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Memory access descriptors shared between the SM load/store unit and the
+ * memory hierarchy, and the traffic classes Fig. 15 distinguishes.
+ */
+
+#ifndef FINEREG_MEM_MEM_REQUEST_HH
+#define FINEREG_MEM_MEM_REQUEST_HH
+
+#include "common/types.hh"
+
+namespace finereg
+{
+
+/**
+ * Off-chip traffic classes. Fig. 15 compares baseline data traffic against
+ * the extra traffic Reg+DRAM's context switching and FineReg's bit-vector
+ * fetches generate.
+ */
+enum class TrafficClass : unsigned char
+{
+    Data,       ///< Ordinary global loads/stores spilling past L2.
+    CtaContext, ///< CTA register context moved to/from DRAM (Reg+DRAM).
+    BitVector,  ///< Live-register bit vector fetches (FineReg RMU misses).
+};
+
+inline constexpr unsigned kNumTrafficClasses = 3;
+
+/** Outcome of a warp-level memory access through the hierarchy. */
+struct MemAccessResult
+{
+    /** Cycle at which the last transaction's data is back at the SM. */
+    Cycle completeCycle = 0;
+
+    unsigned l1Hits = 0;
+    unsigned l1Misses = 0;
+    unsigned l2Hits = 0;
+    unsigned l2Misses = 0;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_MEM_MEM_REQUEST_HH

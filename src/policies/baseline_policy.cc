@@ -1,0 +1,50 @@
+#include "policies/baseline_policy.hh"
+
+#include "core/gpu_config.hh"
+#include "sm/gpu.hh"
+
+namespace finereg
+{
+
+void
+BaselinePolicy::onBind()
+{
+    rfs_.clear();
+    for (unsigned s = 0; s < gpu().config().numSms; ++s) {
+        rfs_.push_back(std::make_unique<RegFileAllocator>(
+            "rf_sm" + std::to_string(s), gpu().config().sm.regFileBytes));
+    }
+}
+
+RegFileAllocator &
+BaselinePolicy::rf(const Sm &sm) const
+{
+    return *rfs_[sm.id()];
+}
+
+void
+BaselinePolicy::tick(Sm &sm, Cycle now)
+{
+    const Kernel &kernel = sm.context().kernel();
+    const unsigned warp_regs = kernel.warpRegsPerCta();
+
+    // At most a couple of fresh CTAs per SM per cycle: the hardware
+    // dispatcher hands out CTAs round-robin, so one SM must not drain
+    // the grid before its neighbours get a turn.
+    unsigned launched = 0;
+    while (launched < 2 && dispatcher().hasWork() && sm.canActivateCta() &&
+           sm.shmemFree() >= kernel.shmemPerCta() &&
+           rf(sm).canAllocate(warp_regs)) {
+        Cta *cta = sm.launchCta(dispatcher().pop(), now);
+        cta->regAllocHandle = rf(sm).allocate(warp_regs);
+        ++launched;
+    }
+}
+
+void
+BaselinePolicy::onCtaFinished(Sm &sm, Cta &cta, Cycle)
+{
+    rf(sm).free(cta.regAllocHandle);
+}
+
+} // namespace finereg

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Conventional GPU CTA management: a CTA launches only when a scheduler
+ * slot, full static register allocation, and shared memory are all
+ * available; once launched it runs to completion with no switching. The
+ * number of concurrent CTAs is min(scheduler limit, RF fit, shmem fit) —
+ * the behaviour Figs. 2/4 demonstrate to be the bottleneck.
+ */
+
+#ifndef FINEREG_POLICIES_BASELINE_POLICY_HH
+#define FINEREG_POLICIES_BASELINE_POLICY_HH
+
+#include <memory>
+#include <vector>
+
+#include "policies/policy.hh"
+#include "regfile/register_file.hh"
+
+namespace finereg
+{
+
+class BaselinePolicy : public Policy
+{
+  public:
+    const char *name() const override { return "Baseline"; }
+
+    void tick(Sm &sm, Cycle now) override;
+    void onCtaFinished(Sm &sm, Cta &cta, Cycle now) override;
+
+  protected:
+    void onBind() override;
+
+    RegFileAllocator &rf(const Sm &sm) const;
+
+  private:
+    std::vector<std::unique_ptr<RegFileAllocator>> rfs_;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_POLICIES_BASELINE_POLICY_HH

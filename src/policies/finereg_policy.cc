@@ -1,0 +1,325 @@
+#include "policies/finereg_policy.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "core/gpu_config.hh"
+#include "sm/gpu.hh"
+
+namespace finereg
+{
+
+void
+FineRegPolicy::onBind()
+{
+    const PolicyConfig &pc = config().policy;
+    // Under UM the PCRF lives in the pooled store instead of the RF, so
+    // the split-equals-RF invariant only applies to the plain design.
+    if (!pc.unifiedMemory &&
+        pc.acrfBytes + pc.pcrfBytes != gpu().config().sm.regFileBytes) {
+        FINEREG_FATAL("ACRF (", pc.acrfBytes, ") + PCRF (", pc.pcrfBytes,
+                      ") must equal the baseline register file (",
+                      gpu().config().sm.regFileBytes, ")");
+    }
+
+    RmuConfig rmu_config;
+    rmu_config.bitvecCacheEntries = pc.bitvecCacheEntries;
+    rmu_config.pcrfAccessLatency = pc.pcrfAccessLatency;
+    rmu_config.fullContextBackup = pc.fullContextBackup;
+
+    states_.clear();
+    for (unsigned s = 0; s < gpu().config().numSms; ++s) {
+        auto st = std::make_unique<SmState>();
+        st->acrf = std::make_unique<RegFileAllocator>(
+            "acrf_sm" + std::to_string(s), pc.acrfBytes);
+        st->pcrf = std::make_unique<Pcrf>(pc.pcrfBytes, gpu().stats());
+        st->rmu = std::make_unique<Rmu>(rmu_config, gpu().context(),
+                                        gpu().mem(), gpu().stats());
+        states_.push_back(std::move(st));
+    }
+}
+
+Cta *
+FineRegPolicy::bestPendingCta(Sm &sm, Cycle at_most) const
+{
+    SmState &st = state(sm);
+    Cta *best = nullptr;
+    Cycle best_ready = kNoCycle;
+    for (auto &cta : sm.residentCtas()) {
+        if (cta->state() != CtaState::Pending)
+            continue;
+        const auto it = st.pendingReady.find(cta->gridId());
+        if (it == st.pendingReady.end())
+            continue;
+        const Cycle ready = it->second;
+        if (ready <= at_most && ready < best_ready) {
+            best = cta.get();
+            best_ready = ready;
+        }
+    }
+    return best;
+}
+
+void
+FineRegPolicy::restoreCta(Sm &sm, Cta &cta, Cycle now, Cycle extra_latency)
+{
+    SmState &st = state(sm);
+    const Kernel &kernel = sm.context().kernel();
+
+    cta.regAllocHandle = st.acrf->allocate(kernel.warpRegsPerCta());
+    const auto regs = st.pcrf->restoreCta(cta.gridId());
+    st.pendingReady.erase(cta.gridId());
+
+    st.monitor.setContext(cta.gridId(), ContextLocation::Pipeline);
+    st.monitor.setRegisters(cta.gridId(), RegisterLocation::Acrf);
+    sm.resumeCta(cta, now, extra_latency);
+    wakeWarpsAsRegistersArrive(sm, cta, regs, now + extra_latency);
+}
+
+void
+FineRegPolicy::wakeWarpsAsRegistersArrive(Sm &sm, Cta &cta,
+                                          const std::vector<LiveReg> &regs,
+                                          Cycle start)
+{
+    if (config().policy.zeroSwitchLatency)
+        return;
+    SmState &st = state(sm);
+    // The PCRF chain walk restores one entry per cycle after the fixed
+    // tag+register access (Sec. V-E); each warp may issue as soon as its
+    // own registers have landed, so earlier chain positions wake sooner.
+    std::vector<unsigned> regs_through_warp(cta.numWarps(), 0);
+    unsigned position = 0;
+    for (const LiveReg &reg : regs) {
+        ++position;
+        if (reg.warp < regs_through_warp.size())
+            regs_through_warp[reg.warp] = position;
+    }
+    for (auto &warp : cta.warps()) {
+        if (warp->finished())
+            continue;
+        warp->setEarliestIssue(
+            start +
+            st.rmu->transferLatency(regs_through_warp[warp->id()]));
+    }
+}
+
+void
+FineRegPolicy::evictCta(Sm &sm, Cta &cta, const Rmu::Gather &gather,
+                        Cycle now)
+{
+    SmState &st = state(sm);
+    // The CTA can be reactivated once its operands are back AND its live
+    // registers have finished draining into the PCRF (bit-vector fetch +
+    // pipelined chain write run in the background; Sec. V-E).
+    const Cycle drain_done =
+        config().policy.zeroSwitchLatency
+            ? now
+            : std::max(gather.bitvecReadyCycle, now) +
+                  st.rmu->transferLatency(
+                      static_cast<unsigned>(gather.regs.size()));
+    st.pendingReady[cta.gridId()] =
+        std::max(cta.estimateReadyCycle(now), drain_done);
+    sm.suspendCta(cta, now);
+    st.pcrf->storeCta(cta.gridId(), gather.regs);
+    st.acrf->free(cta.regAllocHandle);
+    cta.regAllocHandle = kInvalidId;
+    st.monitor.setContext(cta.gridId(), ContextLocation::SharedMemory);
+    st.monitor.setRegisters(cta.gridId(), RegisterLocation::Pcrf);
+}
+
+void
+FineRegPolicy::fillActiveSlots(Sm &sm, Cycle now)
+{
+    SmState &st = state(sm);
+    const Kernel &kernel = sm.context().kernel();
+    const unsigned warp_regs = kernel.warpRegsPerCta();
+
+    unsigned launched = 0;
+    while (sm.canActivateCta()) {
+        // Ready pending CTAs restore from the PCRF first.
+        if (st.acrf->canAllocate(warp_regs)) {
+            if (Cta *pending = bestPendingCta(sm, now)) {
+                restoreCta(sm, *pending, now, 0);
+                continue;
+            }
+        }
+        // Fresh grid CTAs while the ACRF and shared memory have room.
+        if (launched < 2 && dispatcher().hasWork() &&
+            sm.shmemFree() >= kernel.shmemPerCta() &&
+            st.acrf->canAllocate(warp_regs) && sm.hasResidencyHeadroom()) {
+            Cta *cta = sm.launchCta(dispatcher().pop(), now);
+            cta->regAllocHandle = st.acrf->allocate(warp_regs);
+            st.monitor.onLaunch(cta->gridId());
+            ++launched;
+            continue;
+        }
+        // Anti-idle fallback: restore the soonest pending CTA.
+        if (launched > 0)
+            break;
+        if (st.acrf->canAllocate(warp_regs)) {
+            if (Cta *pending = bestPendingCta(sm, kNoCycle - 1)) {
+                restoreCta(sm, *pending, now, 0);
+                continue;
+            }
+        }
+        break;
+    }
+}
+
+void
+FineRegPolicy::switchStalledCtas(Sm &sm, Cycle now)
+{
+    SmState &st = state(sm);
+    const Kernel &kernel = sm.context().kernel();
+    const unsigned warp_regs = kernel.warpRegsPerCta();
+
+    std::vector<Cta *> stalled = collectStalledCtas(sm, now);
+    gpu().stats().counter("finereg.stalled_found").inc(stalled.size());
+
+    for (Cta *cta : stalled) {
+        const bool pending_saturated = pendingSaturated(sm);
+        const bool can_grow = dispatcher().hasWork() &&
+                              sm.shmemFree() >= kernel.shmemPerCta() &&
+                              sm.hasResidencyHeadroom() &&
+                              !pending_saturated;
+        Cta *ready_pending = bestPendingCta(sm, now);
+        if (!can_grow && !ready_pending) {
+            gpu().stats().counter("finereg.no_partner").inc();
+            continue;
+        }
+
+        const Rmu::Gather gather = st.rmu->gatherLiveRegs(*cta, now);
+        const auto n_live = static_cast<unsigned>(gather.regs.size());
+        // The outgoing drain is pipelined through the RMU's staging buffer
+        // (Sec. V-E), so the incoming CTA pays only the fixed switch
+        // initiation cost (plus its own restore chain when resuming).
+        const Cycle base_latency =
+            config().policy.zeroSwitchLatency
+                ? 0
+                : config().policy.switchBaseLatency;
+
+        if (st.pcrf->canStore(n_live)) {
+            // Fig. 6(a): free PCRF slots — evict and introduce a CTA.
+            evictCta(sm, *cta, gather, now);
+            if (ready_pending) {
+                restoreCta(sm, *ready_pending, now, base_latency);
+            } else {
+                Cta *fresh = sm.launchCta(dispatcher().pop(), now);
+                fresh->regAllocHandle = st.acrf->allocate(warp_regs);
+                st.monitor.onLaunch(fresh->gridId());
+                for (auto &warp : fresh->warps())
+                    warp->setEarliestIssue(now + base_latency);
+            }
+            continue;
+        }
+
+        // Fig. 6(b): PCRF full — context switch only, and only when the
+        // stalled CTA's live set fits the free slots plus those the
+        // departing pending CTA releases (Sec. V-E). If the soonest-ready
+        // pending CTA's chain is too short to make room, try other ready
+        // CTAs whose chains free enough entries.
+        if (ready_pending &&
+            n_live > st.pcrf->freeEntries() +
+                         st.pcrf->liveCountOf(ready_pending->gridId())) {
+            Cta *fitting = nullptr;
+            for (auto &candidate : sm.residentCtas()) {
+                if (candidate->state() != CtaState::Pending)
+                    continue;
+                const auto it = st.pendingReady.find(candidate->gridId());
+                if (it == st.pendingReady.end() || it->second > now)
+                    continue;
+                if (n_live <= st.pcrf->freeEntries() +
+                                  st.pcrf->liveCountOf(candidate->gridId())) {
+                    fitting = candidate.get();
+                    break;
+                }
+            }
+            if (fitting)
+                ready_pending = fitting;
+        }
+        if (ready_pending) {
+            const unsigned freed =
+                st.pcrf->liveCountOf(ready_pending->gridId());
+            if (n_live <= st.pcrf->freeEntries() + freed) {
+                // Stage the pending CTA's registers through the RMU's
+                // 128-byte buffer: drain its PCRF chain first so the
+                // stalled CTA's live set fits, then swap slots.
+                const auto staged =
+                    st.pcrf->restoreCta(ready_pending->gridId());
+
+                evictCta(sm, *cta, gather, now);
+
+                ready_pending->regAllocHandle =
+                    st.acrf->allocate(warp_regs);
+                st.pendingReady.erase(ready_pending->gridId());
+                st.monitor.setContext(ready_pending->gridId(),
+                                      ContextLocation::Pipeline);
+                st.monitor.setRegisters(ready_pending->gridId(),
+                                        RegisterLocation::Acrf);
+                sm.resumeCta(*ready_pending, now, base_latency);
+                wakeWarpsAsRegistersArrive(sm, *ready_pending, staged,
+                                           now + base_latency);
+                continue;
+            }
+        }
+
+        // Sec. V-B "rare situations": the stalled CTA must stay in the
+        // ACRF until the PCRF drains. This is a register-file-depletion
+        // stall when there is otherwise runnable work.
+        if (ready_pending || dispatcher().hasWork())
+            st.pcrfBlocked = true;
+    }
+}
+
+void
+FineRegPolicy::tick(Sm &sm, Cycle now)
+{
+    SmState &st = state(sm);
+    st.pcrfBlocked = false;
+    fillActiveSlots(sm, now);
+    switchStalledCtas(sm, now);
+}
+
+void
+FineRegPolicy::onCtaFinished(Sm &sm, Cta &cta, Cycle)
+{
+    SmState &st = state(sm);
+    if (cta.regAllocHandle == kInvalidId)
+        FINEREG_PANIC("finished CTA ", cta.gridId(), " has no ACRF handle");
+    st.acrf->free(cta.regAllocHandle);
+    st.monitor.onRetire(cta.gridId());
+    st.pendingReady.erase(cta.gridId());
+}
+
+bool
+FineRegPolicy::rfDepletionBlocked(const Sm &sm, Cycle) const
+{
+    return state(sm).pcrfBlocked;
+}
+
+Cycle
+FineRegPolicy::nextEventCycle(const Sm &sm, Cycle now) const
+{
+    const SmState &st = state(sm);
+    Cycle next = kNoCycle;
+    for (const auto &[cta, ready] : st.pendingReady)
+        next = std::min(next, std::max(ready, now + 1));
+    return next;
+}
+
+std::uint64_t
+FineRegPolicy::storageOverheadBits() const
+{
+    if (states_.empty())
+        return 0;
+    const SmState &st = *states_.front();
+    const std::uint64_t monitor_bits = st.monitor.storageBits();
+    const std::uint64_t cache_bits = st.rmu->storageBits();
+    const std::uint64_t pointer_bits = st.pcrf->pointerTableBits();
+    const std::uint64_t tag_bits = st.pcrf->tagOverheadBits();
+    const std::uint64_t switch_logic_bits = std::uint64_t(2400) * 8;
+    return monitor_bits + cache_bits + pointer_bits + tag_bits +
+           switch_logic_bits;
+}
+
+} // namespace finereg

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * FineReg (Secs. IV-V): the register file is split into the ACRF (full
+ * allocations of active CTAs) and the PCRF (live registers of pending CTAs
+ * as tagged chains). When all warps of an active CTA stall on memory, the
+ * RMU gathers the warps' live-register bit vectors (bit-vector cache;
+ * misses fetch 12 B from off-chip), the live registers move into the PCRF,
+ * the CTA's ACRF allocation is released, and either a fresh CTA launches or
+ * a ready pending CTA is restored. When the PCRF is full, only
+ * ACRF<->PCRF context switches happen, and only when the stalled CTA's
+ * live set fits the space a departing pending CTA frees (Sec. V-E). The
+ * CTA status monitor tracks Table IV's context/register location encoding.
+ */
+
+#ifndef FINEREG_POLICIES_FINEREG_POLICY_HH
+#define FINEREG_POLICIES_FINEREG_POLICY_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "policies/policy.hh"
+#include "sm/sm.hh"
+#include "regfile/cta_status_monitor.hh"
+#include "regfile/pcrf.hh"
+#include "regfile/register_file.hh"
+#include "regfile/rmu.hh"
+
+namespace finereg
+{
+
+class FineRegPolicy : public Policy
+{
+  public:
+    const char *name() const override { return "FineReg"; }
+
+    void tick(Sm &sm, Cycle now) override;
+    void onCtaFinished(Sm &sm, Cta &cta, Cycle now) override;
+    bool rfDepletionBlocked(const Sm &sm, Cycle now) const override;
+    Cycle nextEventCycle(const Sm &sm, Cycle now) const override;
+
+    /** Sec. V-F storage accounting: status monitor + bit-vector cache +
+     * PCRF pointer table + PCRF tags + CTA switching logic (2.4 KB). */
+    std::uint64_t storageOverheadBits() const override;
+
+    /** Introspection for tests/benches. */
+    const Pcrf &pcrfOf(const Sm &sm) const { return *state(sm).pcrf; }
+    const CtaStatusMonitor &monitorOf(const Sm &sm) const
+    {
+        return state(sm).monitor;
+    }
+    const RegFileAllocator &acrfOf(const Sm &sm) const
+    {
+        return *state(sm).acrf;
+    }
+
+  protected:
+    void onBind() override;
+
+  private:
+    struct SmState
+    {
+        std::unique_ptr<RegFileAllocator> acrf;
+        std::unique_ptr<Pcrf> pcrf;
+        std::unique_ptr<Rmu> rmu;
+        CtaStatusMonitor monitor;
+
+        /** Pending CTA -> estimated operand-ready cycle. */
+        std::unordered_map<GridCtaId, Cycle> pendingReady;
+
+        /** Fig. 14 flag: a switch was blocked by PCRF depletion. */
+        bool pcrfBlocked = false;
+    };
+
+    SmState &state(const Sm &sm) const { return *states_[sm.id()]; }
+
+    Cta *bestPendingCta(Sm &sm, Cycle at_most) const;
+
+    /** Restore a pending CTA into the ACRF (allocates full set). */
+    void restoreCta(Sm &sm, Cta &cta, Cycle now, Cycle extra_latency);
+
+    /** Pipelined chain walk: wake each warp when its registers land. */
+    void wakeWarpsAsRegistersArrive(Sm &sm, Cta &cta,
+                                    const std::vector<LiveReg> &regs,
+                                    Cycle start);
+
+    /** Evict a fully stalled CTA's live registers into the PCRF. */
+    void evictCta(Sm &sm, Cta &cta, const Rmu::Gather &gather, Cycle now);
+
+    void fillActiveSlots(Sm &sm, Cycle now);
+    void switchStalledCtas(Sm &sm, Cycle now);
+
+    mutable std::vector<std::unique_ptr<SmState>> states_;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_POLICIES_FINEREG_POLICY_HH

@@ -1,0 +1,115 @@
+#include "policies/policy.hh"
+
+#include <algorithm>
+
+#include "sm/cta.hh"
+
+#include "common/log.hh"
+#include "core/gpu_config.hh"
+#include "policies/baseline_policy.hh"
+#include "policies/finereg_policy.hh"
+#include "policies/reg_dram_policy.hh"
+#include "policies/regmutex_policy.hh"
+#include "policies/virtual_thread_policy.hh"
+#include "sm/gpu.hh"
+
+namespace finereg
+{
+
+void
+Policy::bind(Gpu &gpu)
+{
+    gpu_ = &gpu;
+    onBind();
+}
+
+CtaDispatcher &
+Policy::dispatcher() const
+{
+    return gpu_->dispatcher();
+}
+
+const GpuConfig &
+Policy::config() const
+{
+    return gpu_->config();
+}
+
+unsigned
+Policy::baselineActiveEstimate(const Sm &sm) const
+{
+    const Kernel &kernel = sm.context().kernel();
+    const SmConfig &smc = config().sm;
+    unsigned estimate = std::min(
+        {smc.maxCtas, smc.maxWarps / kernel.warpsPerCta(),
+         smc.maxThreads / kernel.threadsPerCta()});
+    const std::uint64_t cta_reg_bytes = kernel.regBytesPerCta();
+    if (cta_reg_bytes > 0) {
+        estimate = std::min<std::uint64_t>(
+            estimate, smc.regFileBytes / cta_reg_bytes);
+    }
+    if (kernel.shmemPerCta() > 0) {
+        estimate = std::min<std::uint64_t>(
+            estimate, smc.shmemBytes / kernel.shmemPerCta());
+    }
+    return std::max(1u, estimate);
+}
+
+bool
+Policy::pendingSaturated(const Sm &sm) const
+{
+    return sm.pendingCtaCount() >=
+           config().policy.pendingGrowthFactor *
+               baselineActiveEstimate(sm);
+}
+
+std::vector<Cta *>
+Policy::collectStalledCtas(Sm &sm, Cycle now) const
+{
+    std::vector<Cta *> stalled;
+    for (auto &cta : sm.residentCtas()) {
+        if (cta->state() != CtaState::Active)
+            continue;
+        if (cta->lastIssueCycle() == now)
+            continue;
+        if (now >= cta->stallRecheck()) {
+            // Horizon expired: rescan the warps and cache the result.
+            cta->setStallRecheck(cta->fullyStalledUntil(now));
+        }
+        if (cta->stallRecheck() > now)
+            stalled.push_back(cta.get());
+    }
+    return stalled;
+}
+
+bool
+Policy::rfDepletionBlocked(const Sm &, Cycle) const
+{
+    return false;
+}
+
+Cycle
+Policy::nextEventCycle(const Sm &, Cycle) const
+{
+    return kNoCycle;
+}
+
+std::unique_ptr<Policy>
+makePolicy(const GpuConfig &config)
+{
+    switch (config.policy.kind) {
+      case PolicyKind::Baseline:
+        return std::make_unique<BaselinePolicy>();
+      case PolicyKind::VirtualThread:
+        return std::make_unique<VirtualThreadPolicy>();
+      case PolicyKind::RegDram:
+        return std::make_unique<RegDramPolicy>();
+      case PolicyKind::RegMutex:
+        return std::make_unique<RegMutexPolicy>();
+      case PolicyKind::FineReg:
+        return std::make_unique<FineRegPolicy>();
+    }
+    FINEREG_PANIC("unknown policy kind");
+}
+
+} // namespace finereg

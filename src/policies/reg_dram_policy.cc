@@ -1,0 +1,232 @@
+#include "policies/reg_dram_policy.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "core/gpu_config.hh"
+#include "sm/gpu.hh"
+
+namespace finereg
+{
+
+void
+RegDramPolicy::onBind()
+{
+    VirtualThreadPolicy::onBind();
+    dramStates_.clear();
+    for (unsigned s = 0; s < gpu().config().numSms; ++s)
+        dramStates_.push_back(std::make_unique<DramState>());
+}
+
+std::uint64_t
+RegDramPolicy::contextBytes(const Sm &sm) const
+{
+    return sm.context().kernel().regBytesPerCta();
+}
+
+void
+RegDramPolicy::demoteToDram(Sm &sm, Cta &cta, Cycle now)
+{
+    SmState &st = state(sm);
+    DramState &ds = dram(sm);
+
+    st.rf->free(cta.regAllocHandle);
+    cta.regAllocHandle = kInvalidId;
+
+    // Stream the full register context out; the channel time is charged
+    // but the SM does not wait on the store.
+    sm.mem().offchipTransfer(now, contextBytes(sm),
+                             TrafficClass::CtaContext);
+
+    const auto it = st.pendingReady.find(cta.gridId());
+    ds.inDram[cta.gridId()] = {it == st.pendingReady.end() ? now
+                                                           : it->second};
+    st.pendingReady.erase(cta.gridId());
+}
+
+void
+RegDramPolicy::promoteFromDram(Sm &sm, Cta &cta, Cycle now)
+{
+    SmState &st = state(sm);
+    DramState &ds = dram(sm);
+    const Kernel &kernel = sm.context().kernel();
+
+    cta.regAllocHandle = st.rf->allocate(kernel.warpRegsPerCta());
+    ds.inDram.erase(cta.gridId());
+
+    const Cycle loaded = sm.mem().offchipTransfer(
+        now, contextBytes(sm), TrafficClass::CtaContext);
+    sm.resumeCta(cta, now, (loaded - now) + switchLatency());
+}
+
+Cta *
+RegDramPolicy::bestDramPendingCta(Sm &sm, Cycle at_most) const
+{
+    DramState &ds = dram(sm);
+    Cta *best = nullptr;
+    Cycle best_ready = kNoCycle;
+    for (auto &cta : sm.residentCtas()) {
+        if (cta->state() != CtaState::Pending)
+            continue;
+        const auto it = ds.inDram.find(cta->gridId());
+        if (it == ds.inDram.end())
+            continue;
+        if (it->second.readyCycle <= at_most &&
+            it->second.readyCycle < best_ready) {
+            best = cta.get();
+            best_ready = it->second.readyCycle;
+        }
+    }
+    return best;
+}
+
+void
+RegDramPolicy::fillSlotsWithDramTier(Sm &sm, Cycle now)
+{
+    SmState &st = state(sm);
+    const Kernel &kernel = sm.context().kernel();
+    const unsigned warp_regs = kernel.warpRegsPerCta();
+
+    unsigned launched = 0;
+    while (sm.canActivateCta()) {
+        // On-chip pending CTAs resume cheaply; prefer them.
+        if (Cta *pending = bestPendingCta(sm, now)) {
+            st.pendingReady.erase(pending->gridId());
+            sm.resumeCta(*pending, now, switchLatency());
+            continue;
+        }
+        // Ready DRAM-tier CTAs next, if their registers fit again.
+        if (st.rf->canAllocate(warp_regs)) {
+            if (Cta *dram_cta = bestDramPendingCta(sm, now)) {
+                promoteFromDram(sm, *dram_cta, now);
+                continue;
+            }
+        }
+        // Fresh grid CTAs.
+        if (launched < 2 && dispatcher().hasWork() &&
+            sm.shmemFree() >= kernel.shmemPerCta() &&
+            st.rf->canAllocate(warp_regs) && sm.hasResidencyHeadroom()) {
+            Cta *cta = sm.launchCta(dispatcher().pop(), now);
+            cta->regAllocHandle = st.rf->allocate(warp_regs);
+            ++launched;
+            continue;
+        }
+        // Anti-idle fallback: not-yet-ready *on-chip* pending CTAs only.
+        // Unready DRAM-tier CTAs are left alone — promoting them early
+        // would ping-pong full contexts across the channel; the policy's
+        // nextEventCycle() wakes the device when one becomes ready.
+        if (launched > 0)
+            break;
+        if (Cta *pending = bestPendingCta(sm, kNoCycle - 1)) {
+            st.pendingReady.erase(pending->gridId());
+            sm.resumeCta(*pending, now, switchLatency());
+            continue;
+        }
+        break;
+    }
+}
+
+void
+RegDramPolicy::switchStalledWithDramTier(Sm &sm, Cycle now)
+{
+    SmState &st = state(sm);
+    DramState &ds = dram(sm);
+    const Kernel &kernel = sm.context().kernel();
+    const unsigned warp_regs = kernel.warpRegsPerCta();
+    // The paper tunes the DRAM-pending count per application (Sec. VI-A).
+    // For very large contexts the best setting is zero — the transfer
+    // cost can never be recovered — which reduces this scheme to VT.
+    const unsigned dram_cap =
+        contextBytes(sm) > 16 * 1024 ? 0
+                                     : config().policy.maxDramPendingCtas;
+
+    std::vector<Cta *> stalled = collectStalledCtas(sm, now);
+
+    for (Cta *cta : stalled) {
+        const bool pending_saturated = pendingSaturated(sm);
+        // (a) VT-style growth inside the register file.
+        if (!pending_saturated && dispatcher().hasWork() &&
+            st.rf->canAllocate(warp_regs) &&
+            sm.shmemFree() >= kernel.shmemPerCta() &&
+            sm.hasResidencyHeadroom()) {
+            st.pendingReady[cta->gridId()] = cta->estimateReadyCycle(now);
+            sm.suspendCta(*cta, now);
+            Cta *fresh = sm.launchCta(dispatcher().pop(), now);
+            fresh->regAllocHandle = st.rf->allocate(warp_regs);
+            for (auto &warp : fresh->warps())
+                warp->setEarliestIssue(now + switchLatency());
+            continue;
+        }
+        // (b) Swap with a ready on-chip pending CTA.
+        if (Cta *ready = bestPendingCta(sm, now)) {
+            st.pendingReady[cta->gridId()] = cta->estimateReadyCycle(now);
+            sm.suspendCta(*cta, now);
+            st.pendingReady.erase(ready->gridId());
+            sm.resumeCta(*ready, now, switchLatency());
+            continue;
+        }
+        // (c) DRAM tier: demote the stalled CTA and use the freed
+        //     registers for a fresh CTA or a ready DRAM-tier CTA. Only
+        //     profitable when the stall comfortably outlasts the
+        //     round-trip of the full register context through the DRAM
+        //     channel — otherwise the context traffic melts the channel
+        //     (the effect Fig. 15 charges this scheme for).
+        const Cycle ready_estimate = cta->estimateReadyCycle(now);
+        const auto ctx_cycles = static_cast<Cycle>(
+            contextBytes(sm) / config().mem.dram.bytesPerCycle);
+        const Cycle profit_threshold =
+            config().mem.dram.accessLatency / 2 + 4 * ctx_cycles;
+        const bool dram_room =
+            ds.inDram.size() < dram_cap && !pending_saturated &&
+            ready_estimate > now + profit_threshold &&
+            now >= ds.nextDemoteAllowed;
+        if (dram_room && sm.hasResidencyHeadroom() &&
+            (dispatcher().hasWork() ||
+             bestDramPendingCta(sm, now) != nullptr)) {
+            st.pendingReady[cta->gridId()] = ready_estimate;
+            sm.suspendCta(*cta, now);
+            demoteToDram(sm, *cta, now);
+            // Budget context movement to ~8% of channel bandwidth: a
+            // demote+promote pair moves 2x the context, across all SMs.
+            ds.nextDemoteAllowed =
+                now + 2 * ctx_cycles * gpu().config().numSms * 12;
+
+            if (Cta *dram_ready = bestDramPendingCta(sm, now)) {
+                promoteFromDram(sm, *dram_ready, now);
+            } else if (dispatcher().hasWork() &&
+                       st.rf->canAllocate(warp_regs) &&
+                       sm.shmemFree() >= kernel.shmemPerCta()) {
+                Cta *fresh = sm.launchCta(dispatcher().pop(), now);
+                fresh->regAllocHandle = st.rf->allocate(warp_regs);
+                for (auto &warp : fresh->warps())
+                    warp->setEarliestIssue(now + switchLatency());
+            }
+        }
+    }
+}
+
+void
+RegDramPolicy::tick(Sm &sm, Cycle now)
+{
+    fillSlotsWithDramTier(sm, now);
+    switchStalledWithDramTier(sm, now);
+}
+
+void
+RegDramPolicy::onCtaFinished(Sm &sm, Cta &cta, Cycle now)
+{
+    dram(sm).inDram.erase(cta.gridId());
+    if (cta.regAllocHandle != kInvalidId)
+        VirtualThreadPolicy::onCtaFinished(sm, cta, now);
+}
+
+Cycle
+RegDramPolicy::nextEventCycle(const Sm &sm, Cycle now) const
+{
+    Cycle next = VirtualThreadPolicy::nextEventCycle(sm, now);
+    for (const auto &[cta, entry] : dram(sm).inDram)
+        next = std::min(next, std::max(entry.readyCycle, now + 1));
+    return next;
+}
+
+} // namespace finereg

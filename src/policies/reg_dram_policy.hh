@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reg+DRAM: the Zorua-like comparator (Sec. VI-A). Virtual Thread's on-chip
+ * switching plus a second tier of pending CTAs whose register contexts are
+ * written to off-chip DRAM, freeing their register-file allocation so yet
+ * more CTAs can launch. Every demotion/promotion moves the CTA's full
+ * register context across the DRAM channel (TrafficClass::CtaContext) —
+ * the traffic Fig. 15 charges this scheme for.
+ */
+
+#ifndef FINEREG_POLICIES_REG_DRAM_POLICY_HH
+#define FINEREG_POLICIES_REG_DRAM_POLICY_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "policies/virtual_thread_policy.hh"
+
+namespace finereg
+{
+
+class RegDramPolicy : public VirtualThreadPolicy
+{
+  public:
+    const char *name() const override { return "Reg+DRAM"; }
+
+    void tick(Sm &sm, Cycle now) override;
+    void onCtaFinished(Sm &sm, Cta &cta, Cycle now) override;
+    Cycle nextEventCycle(const Sm &sm, Cycle now) const override;
+
+  protected:
+    void onBind() override;
+
+  private:
+    struct DramEntry
+    {
+        /** Cycle the CTA's operands are expected back (stall resolution). */
+        Cycle readyCycle = 0;
+    };
+
+    struct DramState
+    {
+        /** CTAs whose register context lives in DRAM. */
+        std::unordered_map<GridCtaId, DramEntry> inDram;
+
+        /** Demotion rate limiter: context movement is budgeted to a
+         * small fraction of channel bandwidth (Fig. 15 measures
+         * Reg+DRAM at +7-10% traffic, not a channel takeover). */
+        Cycle nextDemoteAllowed = 0;
+    };
+
+    DramState &dram(const Sm &sm) const { return *dramStates_[sm.id()]; }
+
+    /** Full per-CTA register context size in bytes. */
+    std::uint64_t contextBytes(const Sm &sm) const;
+
+    /** Demote a (suspended) CTA's registers to DRAM, freeing its RF. */
+    void demoteToDram(Sm &sm, Cta &cta, Cycle now);
+
+    /** Promote a DRAM CTA back: allocate RF, stream context in, resume. */
+    void promoteFromDram(Sm &sm, Cta &cta, Cycle now);
+
+    Cta *bestDramPendingCta(Sm &sm, Cycle at_most) const;
+
+    void fillSlotsWithDramTier(Sm &sm, Cycle now);
+    void switchStalledWithDramTier(Sm &sm, Cycle now);
+
+    mutable std::vector<std::unique_ptr<DramState>> dramStates_;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_POLICIES_REG_DRAM_POLICY_HH

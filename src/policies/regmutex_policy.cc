@@ -1,0 +1,270 @@
+#include "policies/regmutex_policy.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+#include "core/gpu_config.hh"
+#include "sm/gpu.hh"
+
+namespace finereg
+{
+
+void
+RegMutexPolicy::onBind()
+{
+    const double srp_ratio = config().policy.srpRatio;
+    if (srp_ratio < 0.0 || srp_ratio >= 1.0)
+        FINEREG_FATAL("SRP ratio ", srp_ratio, " outside [0, 1)");
+
+    const std::uint64_t rf_bytes = gpu().config().sm.regFileBytes;
+    const auto srp_bytes = static_cast<std::uint64_t>(rf_bytes * srp_ratio);
+
+    states_.clear();
+    for (unsigned s = 0; s < gpu().config().numSms; ++s) {
+        auto st = std::make_unique<SmState>();
+        st->brsPool = std::make_unique<RegFileAllocator>(
+            "brs_sm" + std::to_string(s), rf_bytes - srp_bytes);
+        st->srpPool = std::make_unique<RegFileAllocator>(
+            "srp_sm" + std::to_string(s), srp_bytes);
+        states_.push_back(std::move(st));
+    }
+}
+
+Cycle
+RegMutexPolicy::switchLatency() const
+{
+    return config().policy.zeroSwitchLatency
+               ? 0
+               : config().policy.switchBaseLatency;
+}
+
+unsigned
+RegMutexPolicy::brsRegsPerThread(const Sm &sm) const
+{
+    const Kernel &kernel = sm.context().kernel();
+    const unsigned regs = kernel.regsPerThread();
+    const auto brs = static_cast<unsigned>(
+        std::ceil(regs * config().policy.brsFraction));
+    const unsigned clamped = std::max(1u, std::min(brs, regs));
+
+    // If even one CTA's extended set cannot fit the SRP, no CTA could
+    // ever launch; the hardware would fall back to full static
+    // allocation (SRP disabled for this kernel).
+    const auto srp_capacity = static_cast<unsigned>(
+        gpu().config().sm.regFileBytes * config().policy.srpRatio /
+        kBytesPerWarpReg);
+    const unsigned ext_per_cta =
+        (regs - clamped) * kernel.warpsPerCta();
+    if (ext_per_cta > srp_capacity)
+        return regs;
+    return clamped;
+}
+
+unsigned
+RegMutexPolicy::extendedWarpRegsPerCta(const Sm &sm) const
+{
+    const Kernel &kernel = sm.context().kernel();
+    const unsigned ext =
+        kernel.regsPerThread() - brsRegsPerThread(sm);
+    return ext * kernel.warpsPerCta();
+}
+
+bool
+RegMutexPolicy::setSrpHolding(SmState &st, GridCtaId cta, unsigned target)
+{
+    const unsigned held =
+        st.srpHeld.count(cta) ? st.srpHeld[cta] : 0;
+    if (target == held)
+        return true;
+
+    if (target > held &&
+        !st.srpPool->canAllocate(target - held)) {
+        return false;
+    }
+
+    // Reallocate the holding as one fresh grant.
+    if (st.srpHandle.count(cta) && st.srpHandle[cta] != 0)
+        st.srpPool->free(st.srpHandle[cta]);
+    st.srpHandle[cta] = target > 0 ? st.srpPool->allocate(target) : 0;
+    st.srpHeld[cta] = target;
+    return true;
+}
+
+unsigned
+RegMutexPolicy::liveExtendedRegs(const Sm &sm, const Cta &cta) const
+{
+    const unsigned brs = brsRegsPerThread(sm);
+    const auto &table = sm.context().liveTable();
+    unsigned live_ext = 0;
+    for (const auto &warp : cta.warps()) {
+        if (warp->finished())
+            continue;
+        RegBitVec live;
+        for (const auto &entry : warp->simtStack())
+            live |= table.lookup(entry.pc);
+        live.forEach([&](RegIndex r) {
+            if (r >= brs)
+                ++live_ext;
+        });
+    }
+    return live_ext;
+}
+
+Cta *
+RegMutexPolicy::bestPendingCta(Sm &sm, Cycle at_most) const
+{
+    SmState &st = state(sm);
+    Cta *best = nullptr;
+    Cycle best_ready = kNoCycle;
+    for (auto &cta : sm.residentCtas()) {
+        if (cta->state() != CtaState::Pending)
+            continue;
+        const auto it = st.pendingReady.find(cta->gridId());
+        if (it == st.pendingReady.end())
+            continue;
+        const Cycle ready = it->second;
+        if (ready <= at_most && ready < best_ready) {
+            best = cta.get();
+            best_ready = ready;
+        }
+    }
+    return best;
+}
+
+void
+RegMutexPolicy::fillActiveSlots(Sm &sm, Cycle now)
+{
+    SmState &st = state(sm);
+    const Kernel &kernel = sm.context().kernel();
+    const unsigned brs_warp_regs =
+        brsRegsPerThread(sm) * kernel.warpsPerCta();
+    const unsigned ext_regs = extendedWarpRegsPerCta(sm);
+
+    unsigned launched = 0;
+    while (sm.canActivateCta()) {
+        // Resume a ready pending CTA: it must re-acquire its full
+        // extended set from the SRP before re-entering the pipeline.
+        if (Cta *pending = bestPendingCta(sm, now)) {
+            if (!setSrpHolding(st, pending->gridId(), ext_regs)) {
+                st.srpBlocked = true; // ready work blocked on SRP
+                break;
+            }
+            st.pendingReady.erase(pending->gridId());
+            sm.resumeCta(*pending, now, switchLatency());
+            continue;
+        }
+        // Launch a fresh CTA: BRS allocation + SRP grant.
+        if (launched < 2 && dispatcher().hasWork() &&
+            sm.shmemFree() >= kernel.shmemPerCta() &&
+            st.brsPool->canAllocate(brs_warp_regs) &&
+            sm.hasResidencyHeadroom()) {
+            if (!st.srpPool->canAllocate(ext_regs)) {
+                st.srpBlocked = true;
+                break;
+            }
+            Cta *cta = sm.launchCta(dispatcher().pop(), now);
+            cta->regAllocHandle = st.brsPool->allocate(brs_warp_regs);
+            setSrpHolding(st, cta->gridId(), ext_regs);
+            ++launched;
+            continue;
+        }
+        // Anti-idle fallback: resume the soonest pending CTA if its SRP
+        // demand fits.
+        if (launched > 0)
+            break;
+        if (Cta *pending = bestPendingCta(sm, kNoCycle - 1)) {
+            if (!setSrpHolding(st, pending->gridId(), ext_regs))
+                break;
+            st.pendingReady.erase(pending->gridId());
+            sm.resumeCta(*pending, now, switchLatency());
+            continue;
+        }
+        break;
+    }
+}
+
+void
+RegMutexPolicy::switchStalledCtas(Sm &sm, Cycle now)
+{
+    SmState &st = state(sm);
+    const Kernel &kernel = sm.context().kernel();
+    const unsigned brs_warp_regs =
+        brsRegsPerThread(sm) * kernel.warpsPerCta();
+    const unsigned ext_regs = extendedWarpRegsPerCta(sm);
+
+    std::vector<Cta *> stalled = collectStalledCtas(sm, now);
+
+    for (Cta *cta : stalled) {
+        const bool pending_saturated = pendingSaturated(sm);
+        const bool can_grow = dispatcher().hasWork() &&
+                              st.brsPool->canAllocate(brs_warp_regs) &&
+                              sm.shmemFree() >= kernel.shmemPerCta() &&
+                              sm.hasResidencyHeadroom() &&
+                              !pending_saturated;
+        Cta *ready_pending = bestPendingCta(sm, now);
+        if (!can_grow && !ready_pending)
+            continue;
+
+        // RegMutex does NOT release SRP held by live extended registers
+        // when a CTA stalls; only the dead portion returns to the pool.
+        const unsigned keep =
+            std::min(ext_regs, liveExtendedRegs(sm, *cta));
+
+        st.pendingReady[cta->gridId()] = cta->estimateReadyCycle(now);
+        sm.suspendCta(*cta, now);
+        setSrpHolding(st, cta->gridId(), keep);
+
+        if (can_grow && st.srpPool->canAllocate(ext_regs)) {
+            Cta *fresh = sm.launchCta(dispatcher().pop(), now);
+            fresh->regAllocHandle = st.brsPool->allocate(brs_warp_regs);
+            setSrpHolding(st, fresh->gridId(), ext_regs);
+            for (auto &warp : fresh->warps())
+                warp->setEarliestIssue(now + switchLatency());
+        } else if (ready_pending &&
+                   setSrpHolding(st, ready_pending->gridId(), ext_regs)) {
+            st.pendingReady.erase(ready_pending->gridId());
+            sm.resumeCta(*ready_pending, now, switchLatency());
+        } else if (can_grow || ready_pending) {
+            st.srpBlocked = true; // work existed; SRP said no
+        }
+    }
+}
+
+void
+RegMutexPolicy::tick(Sm &sm, Cycle now)
+{
+    SmState &st = state(sm);
+    st.srpBlocked = false;
+    fillActiveSlots(sm, now);
+    switchStalledCtas(sm, now);
+}
+
+void
+RegMutexPolicy::onCtaFinished(Sm &sm, Cta &cta, Cycle)
+{
+    SmState &st = state(sm);
+    st.brsPool->free(cta.regAllocHandle);
+    setSrpHolding(st, cta.gridId(), 0);
+    st.srpHeld.erase(cta.gridId());
+    st.srpHandle.erase(cta.gridId());
+    st.pendingReady.erase(cta.gridId());
+}
+
+bool
+RegMutexPolicy::rfDepletionBlocked(const Sm &sm, Cycle) const
+{
+    return state(sm).srpBlocked;
+}
+
+Cycle
+RegMutexPolicy::nextEventCycle(const Sm &sm, Cycle now) const
+{
+    const SmState &st = state(sm);
+    Cycle next = kNoCycle;
+    for (const auto &[cta, ready] : st.pendingReady)
+        next = std::min(next, std::max(ready, now + 1));
+    return next;
+}
+
+} // namespace finereg

@@ -1,0 +1,160 @@
+#include "policies/virtual_thread_policy.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "core/gpu_config.hh"
+#include "sm/gpu.hh"
+
+namespace finereg
+{
+
+void
+VirtualThreadPolicy::onBind()
+{
+    states_.clear();
+    for (unsigned s = 0; s < gpu().config().numSms; ++s) {
+        auto st = std::make_unique<SmState>();
+        st->rf = std::make_unique<RegFileAllocator>(
+            "vt_rf_sm" + std::to_string(s), gpu().config().sm.regFileBytes);
+        states_.push_back(std::move(st));
+    }
+}
+
+Cycle
+VirtualThreadPolicy::switchLatency() const
+{
+    return config().policy.zeroSwitchLatency
+               ? 0
+               : config().policy.switchBaseLatency;
+}
+
+Cta *
+VirtualThreadPolicy::bestPendingCta(Sm &sm, Cycle at_most) const
+{
+    SmState &st = state(sm);
+    Cta *best = nullptr;
+    Cycle best_ready = kNoCycle;
+    for (auto &cta : sm.residentCtas()) {
+        if (cta->state() != CtaState::Pending)
+            continue;
+        const auto it = st.pendingReady.find(cta->gridId());
+        if (it == st.pendingReady.end()) {
+            // Not tracked here: e.g. demoted to the DRAM tier by a
+            // derived policy.
+            continue;
+        }
+        const Cycle ready = it->second;
+        if (ready <= at_most && ready < best_ready) {
+            best = cta.get();
+            best_ready = ready;
+        }
+    }
+    return best;
+}
+
+void
+VirtualThreadPolicy::fillActiveSlots(Sm &sm, Cycle now)
+{
+    SmState &st = state(sm);
+    const Kernel &kernel = sm.context().kernel();
+    const unsigned warp_regs = kernel.warpRegsPerCta();
+
+    unsigned launched = 0;
+    while (sm.canActivateCta()) {
+        // 1) Ready pending CTAs already own registers; bring them back.
+        if (Cta *pending = bestPendingCta(sm, now)) {
+            st.pendingReady.erase(pending->gridId());
+            sm.resumeCta(*pending, now, switchLatency());
+            continue;
+        }
+        // 2) New grid CTAs while the register file and shmem have room.
+        if (launched < 2 && dispatcher().hasWork() &&
+            sm.shmemFree() >= kernel.shmemPerCta() &&
+            st.rf->canAllocate(warp_regs) && sm.hasResidencyHeadroom()) {
+            Cta *cta = sm.launchCta(dispatcher().pop(), now);
+            cta->regAllocHandle = st.rf->allocate(warp_regs);
+            ++launched;
+            continue;
+        }
+        // 3) Nothing ready and nothing launchable: resume the
+        //    soonest-ready pending CTA so the SM is never idle-locked.
+        //    (Skipped when this tick already launched fresh CTAs — more
+        //    launches follow next cycle.)
+        if (launched > 0)
+            break;
+        if (Cta *pending = bestPendingCta(sm, kNoCycle - 1)) {
+            st.pendingReady.erase(pending->gridId());
+            sm.resumeCta(*pending, now, switchLatency());
+            continue;
+        }
+        break;
+    }
+}
+
+void
+VirtualThreadPolicy::switchStalledCtas(Sm &sm, Cycle now)
+{
+    SmState &st = state(sm);
+    const Kernel &kernel = sm.context().kernel();
+    const unsigned warp_regs = kernel.warpRegsPerCta();
+
+    // Candidates: active CTAs that issued nothing this cycle and whose
+    // warps are all blocked on global memory.
+    std::vector<Cta *> stalled = collectStalledCtas(sm, now);
+
+    for (Cta *cta : stalled) {
+        // Growing the resident set: a brand-new CTA takes over the slot
+        // while the stalled one keeps its registers and waits. Growth is
+        // dampened once enough pending CTAs exist to hide stalls.
+        const bool pending_saturated = pendingSaturated(sm);
+        const bool can_grow = dispatcher().hasWork() &&
+                              st.rf->canAllocate(warp_regs) &&
+                              sm.shmemFree() >= kernel.shmemPerCta() &&
+                              sm.hasResidencyHeadroom() &&
+                              !pending_saturated;
+        Cta *ready_pending = bestPendingCta(sm, now);
+        if (!can_grow && !ready_pending)
+            continue;
+
+        st.pendingReady[cta->gridId()] = cta->estimateReadyCycle(now);
+        sm.suspendCta(*cta, now);
+
+        if (can_grow) {
+            Cta *fresh = sm.launchCta(dispatcher().pop(), now);
+            fresh->regAllocHandle = st.rf->allocate(warp_regs);
+            for (auto &warp : fresh->warps())
+                warp->setEarliestIssue(now + switchLatency());
+        } else {
+            st.pendingReady.erase(ready_pending->gridId());
+            sm.resumeCta(*ready_pending, now, switchLatency());
+        }
+    }
+}
+
+void
+VirtualThreadPolicy::tick(Sm &sm, Cycle now)
+{
+    fillActiveSlots(sm, now);
+    switchStalledCtas(sm, now);
+}
+
+void
+VirtualThreadPolicy::onCtaFinished(Sm &sm, Cta &cta, Cycle)
+{
+    SmState &st = state(sm);
+    st.rf->free(cta.regAllocHandle);
+    st.pendingReady.erase(cta.gridId());
+}
+
+Cycle
+VirtualThreadPolicy::nextEventCycle(const Sm &sm, Cycle now) const
+{
+    const SmState &st = state(sm);
+    Cycle next = kNoCycle;
+    for (const auto &[cta, ready] : st.pendingReady)
+        next = std::min(next, std::max(ready, now + 1));
+    return next;
+}
+
+} // namespace finereg

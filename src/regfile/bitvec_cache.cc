@@ -1,0 +1,54 @@
+#include "regfile/bitvec_cache.hh"
+
+#include "common/log.hh"
+
+namespace finereg
+{
+
+BitvecCache::BitvecCache(unsigned entries, StatGroup &stats)
+    : lines_(entries),
+      hits_(&stats.counter("bitvec_cache.hits")),
+      misses_(&stats.counter("bitvec_cache.misses"))
+{
+    if (entries == 0)
+        FINEREG_FATAL("bit-vector cache needs at least one entry");
+}
+
+std::size_t
+BitvecCache::indexOf(Pc pc) const
+{
+    // Hash 5 bits of the instruction-granular PC (Sec. V-C): fold the word
+    // address so nearby PCs spread across the sets.
+    const Pc word = pc / kInstrBytes;
+    return (word ^ (word >> 5) ^ (word >> 10)) % lines_.size();
+}
+
+bool
+BitvecCache::access(Pc pc)
+{
+    Line &line = lines_[indexOf(pc)];
+    if (line.valid && line.tag == pc) {
+        hits_->inc();
+        return true;
+    }
+    misses_->inc();
+    line.valid = true;
+    line.tag = pc;
+    return false;
+}
+
+bool
+BitvecCache::probe(Pc pc) const
+{
+    const Line &line = lines_[indexOf(pc)];
+    return line.valid && line.tag == pc;
+}
+
+void
+BitvecCache::clear()
+{
+    for (auto &line : lines_)
+        line.valid = false;
+}
+
+} // namespace finereg

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Live-register bit-vector cache inside the RMU (Sec. V-C, Fig. 10): a
+ * small direct-mapped cache of per-PC 64-bit live vectors. Hits avoid the
+ * off-chip fetch of the compiler-generated table. 32 entries, indexed by a
+ * 5-bit hash of the PC, 12-byte lines (4 B PC tag + 8 B vector).
+ */
+
+#ifndef FINEREG_REGFILE_BITVEC_CACHE_HH
+#define FINEREG_REGFILE_BITVEC_CACHE_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace finereg
+{
+
+class BitvecCache
+{
+  public:
+    BitvecCache(unsigned entries, StatGroup &stats);
+
+    /**
+     * Probe for the vector of @p pc; fills the line on a miss.
+     *
+     * @retval true on hit (vector served on-chip), false on miss (caller
+     *         pays the off-chip fetch).
+     */
+    bool access(Pc pc);
+
+    /** Probe without fill (tests). */
+    bool probe(Pc pc) const;
+
+    unsigned numEntries() const { return lines_.size(); }
+
+    std::uint64_t hits() const { return hits_->value(); }
+    std::uint64_t misses() const { return misses_->value(); }
+
+    /** SRAM bits: 12-byte entries (Sec. V-F: 384 B for 32 entries). */
+    std::uint64_t storageBits() const
+    {
+        return std::uint64_t(lines_.size()) * 12 * 8;
+    }
+
+    void clear();
+
+  private:
+    struct Line
+    {
+        Pc tag = 0;
+        bool valid = false;
+    };
+
+    std::size_t indexOf(Pc pc) const;
+
+    std::vector<Line> lines_;
+    Counter *hits_;
+    Counter *misses_;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_REGFILE_BITVEC_CACHE_HH

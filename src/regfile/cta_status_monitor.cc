@@ -1,0 +1,93 @@
+#include "regfile/cta_status_monitor.hh"
+
+#include "common/log.hh"
+
+namespace finereg
+{
+
+CtaStatusMonitor::CtaStatusMonitor(unsigned max_ctas) : maxCtas_(max_ctas)
+{
+}
+
+void
+CtaStatusMonitor::onLaunch(GridCtaId cta)
+{
+    if (status_.count(cta))
+        FINEREG_PANIC("status monitor: CTA ", cta, " launched twice");
+    if (status_.size() >= maxCtas_)
+        FINEREG_PANIC("status monitor: exceeding ", maxCtas_,
+                      " tracked CTAs");
+    status_[cta] = {ContextLocation::Pipeline, RegisterLocation::Acrf};
+}
+
+void
+CtaStatusMonitor::setContext(GridCtaId cta, ContextLocation loc)
+{
+    const auto it = status_.find(cta);
+    if (it == status_.end())
+        FINEREG_PANIC("status monitor: unknown CTA ", cta);
+    it->second.context = loc;
+}
+
+void
+CtaStatusMonitor::setRegisters(GridCtaId cta, RegisterLocation loc)
+{
+    const auto it = status_.find(cta);
+    if (it == status_.end())
+        FINEREG_PANIC("status monitor: unknown CTA ", cta);
+    it->second.regs = loc;
+}
+
+ContextLocation
+CtaStatusMonitor::contextOf(GridCtaId cta) const
+{
+    const auto it = status_.find(cta);
+    return it == status_.end() ? ContextLocation::NotLaunched
+                               : it->second.context;
+}
+
+RegisterLocation
+CtaStatusMonitor::registersOf(GridCtaId cta) const
+{
+    const auto it = status_.find(cta);
+    return it == status_.end() ? RegisterLocation::NotLaunched
+                               : it->second.regs;
+}
+
+bool
+CtaStatusMonitor::isActive(GridCtaId cta) const
+{
+    const auto it = status_.find(cta);
+    return it != status_.end() &&
+           it->second.context == ContextLocation::Pipeline &&
+           it->second.regs == RegisterLocation::Acrf;
+}
+
+void
+CtaStatusMonitor::onRetire(GridCtaId cta)
+{
+    status_.erase(cta);
+}
+
+std::optional<GridCtaId>
+CtaStatusMonitor::pickResumeCandidate(
+    const std::vector<GridCtaId> &candidates) const
+{
+    // Priority 1: context parked in shared memory, registers still in ACRF.
+    for (GridCtaId cta : candidates) {
+        if (contextOf(cta) == ContextLocation::SharedMemory &&
+            registersOf(cta) == RegisterLocation::Acrf) {
+            return cta;
+        }
+    }
+    // Priority 2: both context and registers backed up (shared mem + PCRF).
+    for (GridCtaId cta : candidates) {
+        if (contextOf(cta) == ContextLocation::SharedMemory &&
+            registersOf(cta) == RegisterLocation::Pcrf) {
+            return cta;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace finereg

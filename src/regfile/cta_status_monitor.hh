@@ -1,0 +1,87 @@
+/**
+ * @file
+ * CTA status monitor (Sec. V-B, Table IV): for every resident CTA, two
+ * 2-bit fields track where the pipeline context lives (not launched /
+ * shared memory / pipeline) and where the registers live (not launched /
+ * PCRF / ACRF). A CTA is active only when both fields read 2. The monitor
+ * also implements the paper's switch-candidate prioritization: first CTAs
+ * with context=1 & regs=2 (context parked but registers still in the ACRF),
+ * then CTAs with both fields 1.
+ */
+
+#ifndef FINEREG_REGFILE_CTA_STATUS_MONITOR_HH
+#define FINEREG_REGFILE_CTA_STATUS_MONITOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace finereg
+{
+
+/** Table IV encodings. */
+enum class ContextLocation : unsigned char
+{
+    NotLaunched = 0,
+    SharedMemory = 1,
+    Pipeline = 2,
+};
+
+enum class RegisterLocation : unsigned char
+{
+    NotLaunched = 0,
+    Pcrf = 1,
+    Acrf = 2,
+};
+
+class CtaStatusMonitor
+{
+  public:
+    explicit CtaStatusMonitor(unsigned max_ctas = 128);
+
+    /** Register a newly launched CTA as fully active. */
+    void onLaunch(GridCtaId cta);
+
+    void setContext(GridCtaId cta, ContextLocation loc);
+    void setRegisters(GridCtaId cta, RegisterLocation loc);
+
+    ContextLocation contextOf(GridCtaId cta) const;
+    RegisterLocation registersOf(GridCtaId cta) const;
+
+    /** Table IV: active means both fields encode 2. */
+    bool isActive(GridCtaId cta) const;
+
+    /** Remove a finished CTA. */
+    void onRetire(GridCtaId cta);
+
+    unsigned numTracked() const { return status_.size(); }
+    unsigned maxCtas() const { return maxCtas_; }
+
+    /**
+     * Switch-candidate priority (Sec. V-B): among @p candidates return the
+     * best pending CTA — first context=SharedMemory & regs=Acrf, then
+     * context=SharedMemory & regs=Pcrf. nullopt when none qualify.
+     */
+    std::optional<GridCtaId>
+    pickResumeCandidate(const std::vector<GridCtaId> &candidates) const;
+
+    /** SRAM bits: 2 fields x 2 bits x maxCtas (Sec. V-F: 512 bits). */
+    std::uint64_t storageBits() const { return std::uint64_t(maxCtas_) * 4; }
+
+  private:
+    struct Fields
+    {
+        ContextLocation context = ContextLocation::NotLaunched;
+        RegisterLocation regs = RegisterLocation::NotLaunched;
+    };
+
+    unsigned maxCtas_;
+    std::unordered_map<GridCtaId, Fields> status_;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_REGFILE_CTA_STATUS_MONITOR_HH

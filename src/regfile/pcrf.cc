@@ -1,0 +1,121 @@
+#include "regfile/pcrf.hh"
+
+#include "common/log.hh"
+
+namespace finereg
+{
+
+Pcrf::Pcrf(std::uint64_t bytes, StatGroup &stats)
+    : entries_(bytes / kBytesPerWarpReg),
+      occupied_(bytes / kBytesPerWarpReg),
+      writes_(&stats.counter("pcrf.writes")),
+      reads_(&stats.counter("pcrf.reads")),
+      storedCtas_(&stats.counter("pcrf.stored_ctas")),
+      restoredCtas_(&stats.counter("pcrf.restored_ctas"))
+{
+}
+
+unsigned
+Pcrf::liveCountOf(GridCtaId cta) const
+{
+    const auto it = pointerTable_.find(cta);
+    return it == pointerTable_.end() ? 0 : it->second.count;
+}
+
+void
+Pcrf::storeCta(GridCtaId cta, const std::vector<LiveReg> &regs)
+{
+    if (holds(cta))
+        FINEREG_PANIC("PCRF already holds CTA ", cta);
+    if (!canStore(regs.size()))
+        FINEREG_PANIC("PCRF overflow storing ", regs.size(),
+                      " registers with ", freeEntries(), " free");
+
+    storedCtas_->inc();
+    PointerLine line{0, static_cast<unsigned>(regs.size())};
+
+    unsigned prev = kInvalidId;
+    for (std::size_t i = 0; i < regs.size(); ++i) {
+        const std::size_t slot = occupied_.firstClear();
+        occupied_.set(slot);
+        Entry &entry = entries_[slot];
+        entry.valid = true;
+        entry.end = (i + 1 == regs.size());
+        entry.next = 0;
+        entry.warp = regs[i].warp;
+        entry.reg = regs[i].reg;
+        writes_->inc();
+
+        if (i == 0)
+            line.head = static_cast<unsigned>(slot);
+        else
+            entries_[prev].next = static_cast<unsigned>(slot);
+        prev = static_cast<unsigned>(slot);
+    }
+
+    pointerTable_[cta] = line;
+}
+
+std::vector<LiveReg>
+Pcrf::restoreCta(GridCtaId cta)
+{
+    const auto it = pointerTable_.find(cta);
+    if (it == pointerTable_.end())
+        FINEREG_PANIC("PCRF restore of absent CTA ", cta);
+
+    restoredCtas_->inc();
+    std::vector<LiveReg> regs;
+    regs.reserve(it->second.count);
+
+    unsigned slot = it->second.head;
+    for (unsigned i = 0; i < it->second.count; ++i) {
+        Entry &entry = entries_[slot];
+        if (!entry.valid)
+            FINEREG_PANIC("PCRF chain of CTA ", cta,
+                          " walked into invalid entry ", slot);
+        reads_->inc();
+        regs.push_back({entry.warp, entry.reg});
+        entry.valid = false;
+        occupied_.reset(slot);
+        const bool at_end = entry.end;
+        slot = entry.next;
+        if (at_end && i + 1 != it->second.count)
+            FINEREG_PANIC("PCRF chain of CTA ", cta, " ended early");
+    }
+
+    pointerTable_.erase(it);
+    return regs;
+}
+
+std::vector<unsigned>
+Pcrf::chainOf(GridCtaId cta) const
+{
+    std::vector<unsigned> chain;
+    const auto it = pointerTable_.find(cta);
+    if (it == pointerTable_.end())
+        return chain;
+    unsigned slot = it->second.head;
+    for (unsigned i = 0; i < it->second.count; ++i) {
+        chain.push_back(slot);
+        slot = entries_[slot].next;
+    }
+    return chain;
+}
+
+std::uint64_t
+Pcrf::pointerTableBits() const
+{
+    // Sec. V-F: 128 lines of 10-bit pointer + 6-bit live count.
+    return std::uint64_t(128) * (10 + 6);
+}
+
+void
+Pcrf::clear()
+{
+    for (auto &entry : entries_)
+        entry.valid = false;
+    occupied_.clearAll();
+    pointerTable_.clear();
+}
+
+} // namespace finereg

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Pending-CTA register file (Sec. V-D/V-E, Fig. 11). Each entry holds one
+ * 128-byte warp-register plus a tag (valid, end, 10-bit next pointer, 5-bit
+ * warp id, 6-bit register index). A pending CTA's live registers form a
+ * chain: the PCRF pointer table maps CTA -> (head entry, live count), each
+ * entry's next pointer links to the following live register, and the end
+ * bit terminates the walk. A free-space monitor (one occupancy flag per
+ * entry) provides free-slot lookup and counting.
+ */
+
+#ifndef FINEREG_REGFILE_PCRF_HH
+#define FINEREG_REGFILE_PCRF_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace finereg
+{
+
+/** One live warp-register of a pending CTA. */
+struct LiveReg
+{
+    WarpId warp = 0;
+    RegIndex reg = 0;
+};
+
+class Pcrf
+{
+  public:
+    /** Tag bits per entry: valid(1) + end(1) + next(10) + warp(5) +
+     * reg(6) ~= 21 bits + data-ready flag, matching Sec. V-F. */
+    static constexpr unsigned kTagBits = 21;
+
+    Pcrf(std::uint64_t bytes, StatGroup &stats);
+
+    unsigned numEntries() const { return entries_.size(); }
+
+    /** Free entries, aggregated from the free-space monitor. */
+    unsigned freeEntries() const
+    {
+        return static_cast<unsigned>(occupied_.countClear());
+    }
+
+    bool canStore(unsigned n_regs) const { return n_regs <= freeEntries(); }
+
+    /** True when the PCRF holds a chain for @p cta. */
+    bool holds(GridCtaId cta) const { return pointerTable_.count(cta) > 0; }
+
+    /** Live-register count stored for @p cta. */
+    unsigned liveCountOf(GridCtaId cta) const;
+
+    /** Number of pending CTAs with chains in the PCRF. */
+    unsigned numPendingCtas() const { return pointerTable_.size(); }
+
+    /**
+     * Store the live registers of a newly pending CTA as a linked chain.
+     * canStore(regs.size()) must hold; an empty register list is recorded
+     * as a zero-length chain (the CTA has no live registers).
+     */
+    void storeCta(GridCtaId cta, const std::vector<LiveReg> &regs);
+
+    /**
+     * Walk the chain of @p cta, restore its registers to the ACRF, and
+     * free the entries.
+     *
+     * @return the registers in chain order.
+     */
+    std::vector<LiveReg> restoreCta(GridCtaId cta);
+
+    /** Chain entry indices of @p cta in traversal order (for tests). */
+    std::vector<unsigned> chainOf(GridCtaId cta) const;
+
+    /** Tag SRAM overhead in bits (Sec. V-F: 21 bits x entries). */
+    std::uint64_t tagOverheadBits() const
+    {
+        return std::uint64_t(kTagBits) * numEntries();
+    }
+
+    /** Pointer-table SRAM in bits: 10-bit head + 6-bit count per line. */
+    std::uint64_t pointerTableBits() const;
+
+    /** Drop all chains (between experiments). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        bool end = false;
+        unsigned next = 0;
+        WarpId warp = 0;
+        RegIndex reg = 0;
+    };
+
+    struct PointerLine
+    {
+        unsigned head = 0;
+        unsigned count = 0;
+    };
+
+    std::vector<Entry> entries_;
+    DynBitSet occupied_;
+    std::unordered_map<GridCtaId, PointerLine> pointerTable_;
+
+    Counter *writes_;
+    Counter *reads_;
+    Counter *storedCtas_;
+    Counter *restoredCtas_;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_REGFILE_PCRF_HH

@@ -1,0 +1,55 @@
+#include "regfile/register_file.hh"
+
+#include "common/log.hh"
+
+namespace finereg
+{
+
+RegFileAllocator::RegFileAllocator(std::string name, std::uint64_t bytes)
+    : name_(std::move(name)),
+      capacity_(static_cast<unsigned>(bytes / kBytesPerWarpReg))
+{
+}
+
+unsigned
+RegFileAllocator::allocate(unsigned warp_regs)
+{
+    if (!canAllocate(warp_regs))
+        FINEREG_PANIC(name_, ": allocation of ", warp_regs,
+                      " warp-regs exceeds free space ", freeWarpRegs());
+    used_ += warp_regs;
+    const unsigned handle = nextHandle_++;
+    allocations_[handle] = warp_regs;
+    return handle;
+}
+
+void
+RegFileAllocator::free(unsigned handle)
+{
+    const auto it = allocations_.find(handle);
+    if (it == allocations_.end())
+        FINEREG_PANIC(name_, ": free of unknown handle ", handle);
+    used_ -= it->second;
+    allocations_.erase(it);
+}
+
+unsigned
+RegFileAllocator::allocationSize(unsigned handle) const
+{
+    const auto it = allocations_.find(handle);
+    if (it == allocations_.end())
+        FINEREG_PANIC(name_, ": size query of unknown handle ", handle);
+    return it->second;
+}
+
+void
+RegFileAllocator::resize(std::uint64_t bytes)
+{
+    const auto new_capacity =
+        static_cast<unsigned>(bytes / kBytesPerWarpReg);
+    if (new_capacity < used_)
+        FINEREG_PANIC(name_, ": resize below current usage");
+    capacity_ = new_capacity;
+}
+
+} // namespace finereg

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Counting register-file allocator. The allocation granule is one
+ * warp-register (32 lanes x 4 B = 128 B), the same granule as PCRF entries.
+ * The baseline RF, the ACRF, VT's whole-RF pool, and RegMutex's BRS/SRP
+ * partitions are all instances of this allocator.
+ */
+
+#ifndef FINEREG_REGFILE_REGISTER_FILE_HH
+#define FINEREG_REGFILE_REGISTER_FILE_HH
+
+#include <string>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace finereg
+{
+
+class RegFileAllocator
+{
+  public:
+    RegFileAllocator(std::string name, std::uint64_t bytes);
+
+    const std::string &name() const { return name_; }
+
+    unsigned capacityWarpRegs() const { return capacity_; }
+    unsigned usedWarpRegs() const { return used_; }
+    unsigned freeWarpRegs() const { return capacity_ - used_; }
+
+    bool canAllocate(unsigned warp_regs) const
+    {
+        return used_ + warp_regs <= capacity_;
+    }
+
+    /**
+     * Reserve @p warp_regs registers.
+     *
+     * @return an allocation handle for free(); panics when out of space
+     *         (callers must check canAllocate()).
+     */
+    unsigned allocate(unsigned warp_regs);
+
+    /** Release a prior allocation. */
+    void free(unsigned handle);
+
+    /** Warp-registers held by @p handle. */
+    unsigned allocationSize(unsigned handle) const;
+
+    /** Number of outstanding allocations. */
+    std::size_t numAllocations() const { return allocations_.size(); }
+
+    /** Resize capacity (sensitivity sweeps); requires used() to fit. */
+    void resize(std::uint64_t bytes);
+
+  private:
+    std::string name_;
+    unsigned capacity_;
+    unsigned used_ = 0;
+    unsigned nextHandle_ = 1;
+    std::unordered_map<unsigned, unsigned> allocations_;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_REGFILE_REGISTER_FILE_HH

@@ -1,0 +1,58 @@
+#include "regfile/rmu.hh"
+
+#include <algorithm>
+
+namespace finereg
+{
+
+Rmu::Rmu(const RmuConfig &config, const KernelContext &context,
+         MemHierarchy &mem, StatGroup &stats)
+    : config_(config), context_(&context), mem_(&mem),
+      cache_(config.bitvecCacheEntries, stats),
+      gathers_(&stats.counter("rmu.gathers"))
+{
+}
+
+Rmu::Gather
+Rmu::gatherLiveRegs(const Cta &cta, Cycle now)
+{
+    gathers_->inc();
+    Gather out;
+    out.bitvecReadyCycle = now;
+
+    const unsigned regs_per_thread =
+        context_->kernel().regsPerThread();
+
+    for (const auto &warp : cta.warps()) {
+        if (warp->finished())
+            continue;
+
+        RegBitVec live;
+        if (config_.fullContextBackup) {
+            for (unsigned r = 0; r < regs_per_thread; ++r)
+                live.set(static_cast<RegIndex>(r));
+        } else {
+            // Union of liveness over every SIMT-stack level: diverged
+            // paths each need their registers preserved.
+            for (const auto &entry : warp->simtStack()) {
+                live |= context_->liveTable().lookup(entry.pc);
+                if (!cache_.access(entry.pc)) {
+                    ++out.cacheMisses;
+                    // 12-byte table entry fetched from off-chip memory.
+                    const Cycle done = mem_->offchipTransfer(
+                        now, 12, TrafficClass::BitVector);
+                    out.bitvecReadyCycle =
+                        std::max(out.bitvecReadyCycle, done);
+                }
+            }
+        }
+
+        live.forEach([&](RegIndex r) {
+            out.regs.push_back({warp->id(), r});
+        });
+    }
+
+    return out;
+}
+
+} // namespace finereg

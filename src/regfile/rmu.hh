@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Register management unit (Sec. V-C, Fig. 10). On a CTA switch the RMU
+ * looks up each stalled warp's PC in the live-register bit-vector cache;
+ * misses fetch the 12-byte table entry from off-chip memory (TrafficClass::
+ * BitVector). The decoded register indices drive the ACRF<->PCRF transfer,
+ * whose chain walk is pipelined at one entry per cycle after a fixed
+ * tag+register access delay.
+ */
+
+#ifndef FINEREG_REGFILE_RMU_HH
+#define FINEREG_REGFILE_RMU_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/mem_hierarchy.hh"
+#include "regfile/bitvec_cache.hh"
+#include "regfile/pcrf.hh"
+#include "sm/cta.hh"
+#include "sm/kernel_context.hh"
+
+namespace finereg
+{
+
+struct RmuConfig
+{
+    unsigned bitvecCacheEntries = 32;
+    Cycle pcrfAccessLatency = 4;
+
+    /** Ablation: treat every allocated register as live. */
+    bool fullContextBackup = false;
+};
+
+class Rmu
+{
+  public:
+    Rmu(const RmuConfig &config, const KernelContext &context,
+        MemHierarchy &mem, StatGroup &stats);
+
+    struct Gather
+    {
+        /** Live warp-registers of the CTA, warp-major order. */
+        std::vector<LiveReg> regs;
+
+        /** Cycle at which all needed bit vectors are on-chip. */
+        Cycle bitvecReadyCycle = 0;
+
+        unsigned cacheMisses = 0;
+    };
+
+    /**
+     * Determine the live register set of a stalled CTA. For warps that are
+     * mid-divergence the union of liveness over all SIMT-stack PCs is used
+     * (every path's registers must survive).
+     */
+    Gather gatherLiveRegs(const Cta &cta, Cycle now);
+
+    /**
+     * Latency of moving @p n_regs through the PCRF port: one fixed
+     * tag+register access, then pipelined one entry per cycle (Sec. V-E).
+     */
+    Cycle
+    transferLatency(unsigned n_regs) const
+    {
+        if (n_regs == 0)
+            return config_.pcrfAccessLatency;
+        return config_.pcrfAccessLatency + n_regs;
+    }
+
+    BitvecCache &cache() { return cache_; }
+    const RmuConfig &config() const { return config_; }
+
+    /** RMU SRAM bits: bit-vector cache + pointer-table contribution is
+     * reported by the Pcrf; here only the cache. */
+    std::uint64_t storageBits() const { return cache_.storageBits(); }
+
+  private:
+    RmuConfig config_;
+    const KernelContext *context_;
+    MemHierarchy *mem_;
+    BitvecCache cache_;
+    Counter *gathers_;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_REGFILE_RMU_HH

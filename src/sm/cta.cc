@@ -1,0 +1,87 @@
+#include "sm/cta.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace finereg
+{
+
+Cta::Cta(GridCtaId grid_id, unsigned launch_seq, const KernelContext &context)
+    : gridId_(grid_id), launchSeq_(launch_seq), context_(&context)
+{
+    const unsigned n_warps = context.kernel().warpsPerCta();
+    warps_.reserve(n_warps);
+    for (unsigned w = 0; w < n_warps; ++w)
+        warps_.push_back(std::make_unique<Warp>(this, WarpId(w), context));
+}
+
+bool
+Cta::arriveAtBarrier()
+{
+    ++barrierCount_;
+    const unsigned live = numWarps() - finishedWarps_;
+    return barrierCount_ >= live;
+}
+
+bool
+Cta::fullyStalledOnMemory(Cycle now) const
+{
+    return fullyStalledUntil(now) > now;
+}
+
+Cycle
+Cta::fullyStalledUntil(Cycle now) const
+{
+    bool any_mem_blocked = false;
+    Cycle until = kNoCycle;
+    for (const auto &warp : warps_) {
+        if (warp->finished())
+            continue;
+        if (warp->atBarrier()) {
+            // A barrier-parked warp neither runs nor blocks switching:
+            // whether the CTA is stalled depends on the warps still
+            // executing toward the barrier.
+            continue;
+        }
+        if (warp->earliestIssue() > now)
+            return 0; // still in its issue shadow; not a stall
+        const Instruction &instr = warp->currentInstr();
+        if (!warp->scoreboard().blockedOnMemory(instr, now))
+            return 0;
+        any_mem_blocked = true;
+        // The warp stays blocked until its operands land.
+        Scoreboard &sb = const_cast<Scoreboard &>(warp->scoreboard());
+        until = std::min(until, sb.readyCycle(instr, now));
+    }
+    if (!any_mem_blocked)
+        return 0;
+    return std::max(until, now + 1);
+}
+
+Cycle
+Cta::estimateReadyCycle(Cycle now) const
+{
+    std::vector<Cycle> wake;
+    for (const auto &warp : warps_) {
+        if (warp->finished() || warp->atBarrier())
+            continue;
+        wake.push_back(warp->scoreboard().lastPendingCycle(now));
+    }
+    if (wake.empty())
+        return now;
+    std::sort(wake.begin(), wake.end());
+    // Ready when half the blocked warps can run again.
+    return wake[(wake.size() - 1) / 2];
+}
+
+Cycle
+Cta::closeExecutionEpisode(Cycle now)
+{
+    if (!episodeOpen_)
+        return 0;
+    episodeOpen_ = false;
+    return now > episodeStart_ ? now - episodeStart_ : 0;
+}
+
+} // namespace finereg

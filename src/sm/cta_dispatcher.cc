@@ -1,0 +1,16 @@
+#include "sm/cta_dispatcher.hh"
+
+#include "common/log.hh"
+
+namespace finereg
+{
+
+GridCtaId
+CtaDispatcher::pop()
+{
+    if (!hasWork())
+        FINEREG_PANIC("CtaDispatcher::pop with empty grid");
+    return next_++;
+}
+
+} // namespace finereg

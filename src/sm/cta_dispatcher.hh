@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Grid cursor: hands out the next CTA of the launched grid to whichever
+ * SM/policy asks, and tracks completion for simulation termination.
+ */
+
+#ifndef FINEREG_SM_CTA_DISPATCHER_HH
+#define FINEREG_SM_CTA_DISPATCHER_HH
+
+#include "common/types.hh"
+
+namespace finereg
+{
+
+class CtaDispatcher
+{
+  public:
+    explicit CtaDispatcher(unsigned grid_ctas) : gridCtas_(grid_ctas) {}
+
+    /** CTAs not yet handed to any SM. */
+    bool hasWork() const { return next_ < gridCtas_; }
+
+    unsigned remaining() const { return gridCtas_ - next_; }
+
+    /** Take the next CTA id; hasWork() must be true. */
+    GridCtaId pop();
+
+    void noteCompleted() { ++completed_; }
+    bool allComplete() const { return completed_ >= gridCtas_; }
+    unsigned completed() const { return completed_; }
+    unsigned gridCtas() const { return gridCtas_; }
+
+  private:
+    unsigned gridCtas_;
+    unsigned next_ = 0;
+    unsigned completed_ = 0;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_SM_CTA_DISPATCHER_HH

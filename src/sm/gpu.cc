@@ -1,0 +1,115 @@
+#include "sm/gpu.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace finereg
+{
+
+Gpu::Gpu(const GpuConfig &config, const Kernel &kernel,
+         std::unique_ptr<Policy> policy)
+    : config_(config), stats_("gpu"),
+      context_(std::make_unique<KernelContext>(kernel)),
+      mem_(std::make_unique<MemHierarchy>(config.mem, config.numSms,
+                                          stats_)),
+      dispatcher_(kernel.gridCtas()),
+      policy_(policy ? std::move(policy) : makePolicy(config)),
+      cyclesCtr_(&stats_.counter("gpu.cycles")),
+      depletionStallCycles_(&stats_.counter("gpu.depletion_stall_cycles"))
+{
+    sms_.reserve(config_.numSms);
+    for (unsigned s = 0; s < config_.numSms; ++s) {
+        sms_.push_back(std::make_unique<Sm>(
+            SmId(s), config_.sm, *context_, *mem_, stats_,
+            config_.seed + 0x1000ull * (s + 1)));
+        sms_.back()->enableUsageTracking(config_.usageTracking);
+        sms_.back()->enableStallProbe(config_.stallProbe);
+    }
+    policy_->bind(*this);
+}
+
+Gpu::~Gpu() = default;
+
+GpuRunResult
+Gpu::run()
+{
+    GpuRunResult result;
+    now_ = 0;
+    Cycle idle_streak = 0;
+
+    while (!dispatcher_.allComplete()) {
+        if (now_ >= config_.maxCycles) {
+            FINEREG_WARN("kernel ", context_->kernel().name(),
+                         " hit the cycle cap at ", now_, " with ",
+                         dispatcher_.completed(), "/",
+                         dispatcher_.gridCtas(), " CTAs done");
+            result.hitCycleLimit = true;
+            break;
+        }
+
+        unsigned issued = 0;
+        for (auto &sm : sms_)
+            issued += sm->tick(now_);
+
+        // Retire CTAs that finished this cycle.
+        for (auto &sm : sms_) {
+            for (Cta *cta : sm->takeFinished()) {
+                policy_->onCtaFinished(*sm, *cta, now_);
+                dispatcher_.noteCompleted();
+                sm->destroyCta(*cta);
+            }
+        }
+
+        // Policy decisions: launches, stall detection, switches.
+        for (auto &sm : sms_)
+            policy_->tick(*sm, now_);
+
+        // Decide how far to advance.
+        Cycle next = now_ + 1;
+        if (issued == 0) {
+            Cycle wake = kNoCycle;
+            for (auto &sm : sms_) {
+                wake = std::min(wake, sm->nextWakeCycle(now_));
+                wake = std::min(wake, policy_->nextEventCycle(*sm, now_));
+            }
+            if (wake == kNoCycle) {
+                // No scheduled event: advance conservatively; the policy
+                // may unblock on a later tick (e.g., via new grid work).
+                next = now_ + 1000;
+                ++idle_streak;
+                if (idle_streak > 10000) {
+                    FINEREG_PANIC("no forward progress on kernel ",
+                                  context_->kernel().name(), " at cycle ",
+                                  now_);
+                }
+            } else {
+                next = std::max(now_ + 1, wake);
+                idle_streak = 0;
+            }
+        } else {
+            idle_streak = 0;
+        }
+
+        const Cycle delta = next - now_;
+        for (auto &sm : sms_) {
+            sm->accumulateOccupancy(delta);
+            // Fig. 14: cycles where the SM sits idle purely because the
+            // register scheme ran out of space.
+            if (sm->issuedLastTick() == 0 &&
+                policy_->rfDepletionBlocked(*sm, now_)) {
+                depletionStallCycles_->inc(delta);
+            }
+        }
+        cyclesCtr_->inc(delta);
+        now_ = next;
+    }
+
+    result.cycles = now_;
+    result.completedCtas = dispatcher_.completed();
+    for (auto &sm : sms_)
+        result.instructions += sm->issuedInstrs();
+    return result;
+}
+
+} // namespace finereg

@@ -1,0 +1,28 @@
+#include "sm/kernel_context.hh"
+
+namespace finereg
+{
+
+KernelContext::KernelContext(const Kernel &kernel)
+    : kernel_(kernel), cfg_(kernel), liveTable_(kernel)
+{
+    const auto &instrs = kernel.instrs();
+    loopId_.assign(instrs.size(), -1);
+    memId_.assign(instrs.size(), -1);
+    reconvPc_.assign(instrs.size(), 0);
+
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+        const Instruction &instr = instrs[i];
+        if (instr.isLoopBranch())
+            loopId_[i] = static_cast<int>(numLoops_++);
+        if (isMemory(instr.op))
+            memId_[i] = static_cast<int>(numMemInstrs_++);
+        if (instr.op == Opcode::BRA) {
+            const int block = kernel.blockOfInstr(static_cast<unsigned>(i));
+            reconvPc_[i] = cfg_.reconvergencePc(block);
+        }
+    }
+    endPc_ = static_cast<Pc>(instrs.size() * kInstrBytes);
+}
+
+} // namespace finereg

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Per-launch derived kernel state shared by every SM running the kernel:
+ * CFG analysis (reconvergence PCs), the compiler's live-register table, and
+ * dense side tables (loop ids, memory-instruction ids) the warps index.
+ */
+
+#ifndef FINEREG_SM_KERNEL_CONTEXT_HH
+#define FINEREG_SM_KERNEL_CONTEXT_HH
+
+#include <vector>
+
+#include "compiler/cfg_analysis.hh"
+#include "compiler/live_info.hh"
+#include "isa/kernel.hh"
+
+namespace finereg
+{
+
+class KernelContext
+{
+  public:
+    explicit KernelContext(const Kernel &kernel);
+
+    const Kernel &kernel() const { return kernel_; }
+    const CfgAnalysis &cfg() const { return cfg_; }
+    const LiveRegisterTable &liveTable() const { return liveTable_; }
+
+    /** Loop index of a loop back-edge instruction, or -1. */
+    int loopId(unsigned instr_index) const { return loopId_[instr_index]; }
+
+    /** Memory-instruction index of a load/store, or -1. */
+    int memId(unsigned instr_index) const { return memId_[instr_index]; }
+
+    unsigned numLoops() const { return numLoops_; }
+    unsigned numMemInstrs() const { return numMemInstrs_; }
+
+    /** Reconvergence PC for the branch at @p instr_index. */
+    Pc reconvergencePc(unsigned instr_index) const
+    {
+        return reconvPc_[instr_index];
+    }
+
+    /** PC one past the last instruction (SIMT-stack sentinel). */
+    Pc endPc() const { return endPc_; }
+
+  private:
+    const Kernel &kernel_;
+    CfgAnalysis cfg_;
+    LiveRegisterTable liveTable_;
+    std::vector<int> loopId_;
+    std::vector<int> memId_;
+    std::vector<Pc> reconvPc_;
+    unsigned numLoops_ = 0;
+    unsigned numMemInstrs_ = 0;
+    Pc endPc_ = 0;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_SM_KERNEL_CONTEXT_HH

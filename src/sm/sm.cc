@@ -1,0 +1,573 @@
+#include "sm/sm.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace finereg
+{
+
+Sm::Sm(SmId id, const SmConfig &config, const KernelContext &context,
+       MemHierarchy &mem, StatGroup &stats, std::uint64_t seed)
+    : id_(id), config_(config), context_(&context), mem_(&mem),
+      stats_(&stats), rng_(seed),
+      issuedCtr_(&stats.counter("sm.issued")),
+      rfReads_(&stats.counter("sm.rf_reads")),
+      rfWrites_(&stats.counter("sm.rf_writes")),
+      sharedAccesses_(&stats.counter("sm.shared_accesses")),
+      divergences_(&stats.counter("sm.divergences")),
+      barriersHit_(&stats.counter("sm.barriers")),
+      residentCtaCycles_(&stats.counter("sm.resident_cta_cycles")),
+      activeCtaCycles_(&stats.counter("sm.active_cta_cycles")),
+      activeThreadCycles_(&stats.counter("sm.active_thread_cycles")),
+      occupancyCycles_(&stats.counter("sm.occupancy_cycles")),
+      usageWindow_(&stats.distribution("sm.rf_usage_window")),
+      stallEpisode_(&stats.distribution("sm.stall_episode_cycles"))
+{
+    schedulers_.reserve(config_.numSchedulers);
+    for (unsigned s = 0; s < config_.numSchedulers; ++s)
+        schedulers_.emplace_back(config_.sched, s);
+}
+
+bool
+Sm::canActivateCta() const
+{
+    const Kernel &kernel = context_->kernel();
+    return activeCtas_ + 1 <= config_.maxCtas &&
+           activeWarpSlots_ + kernel.warpsPerCta() <= config_.maxWarps &&
+           activeThreadSlots_ + kernel.threadsPerCta() <= config_.maxThreads;
+}
+
+bool
+Sm::hasResidencyHeadroom() const
+{
+    const Kernel &kernel = context_->kernel();
+    return ctas_.size() + 1 <= config_.maxResidentCtas &&
+           residentWarpCount() + kernel.warpsPerCta() <=
+               config_.maxResidentWarps;
+}
+
+unsigned
+Sm::pendingCtaCount() const
+{
+    unsigned n = 0;
+    for (const auto &cta : ctas_)
+        n += cta->state() == CtaState::Pending ? 1 : 0;
+    return n;
+}
+
+unsigned
+Sm::residentWarpCount() const
+{
+    unsigned n = 0;
+    for (const auto &cta : ctas_)
+        n += cta->numWarps();
+    return n;
+}
+
+Cta *
+Sm::launchCta(GridCtaId grid_id, Cycle now)
+{
+    const Kernel &kernel = context_->kernel();
+    if (!canActivateCta())
+        FINEREG_PANIC("launchCta without active slots on SM ", id_);
+    if (shmemFree() < kernel.shmemPerCta())
+        FINEREG_PANIC("launchCta without shared memory on SM ", id_);
+
+    auto cta = std::make_unique<Cta>(grid_id, launchSeq_++, *context_);
+    Cta *raw = cta.get();
+    ctas_.push_back(std::move(cta));
+
+    shmemUsed_ += kernel.shmemPerCta();
+    ++activeCtas_;
+    activeWarpSlots_ += kernel.warpsPerCta();
+    activeThreadSlots_ += kernel.threadsPerCta();
+
+    for (auto &warp : raw->warps())
+        warp->setEarliestIssue(now + 1);
+    addWarpToSchedulers(*raw);
+    raw->startExecutionEpisode(now);
+    return raw;
+}
+
+void
+Sm::suspendCta(Cta &cta, Cycle now)
+{
+    if (cta.state() != CtaState::Active)
+        FINEREG_PANIC("suspend of non-active CTA ", cta.gridId());
+    const Kernel &kernel = context_->kernel();
+    removeWarpFromSchedulers(cta);
+    cta.setState(CtaState::Pending);
+    --activeCtas_;
+    activeWarpSlots_ -= kernel.warpsPerCta();
+    activeThreadSlots_ -= kernel.threadsPerCta();
+
+    if (stallProbe_) {
+        const Cycle episode = cta.closeExecutionEpisode(now);
+        if (episode > 0)
+            stallEpisode_->sample(static_cast<double>(episode));
+    } else {
+        cta.closeExecutionEpisode(now);
+    }
+}
+
+void
+Sm::resumeCta(Cta &cta, Cycle now, Cycle wake_latency)
+{
+    if (cta.state() != CtaState::Pending)
+        FINEREG_PANIC("resume of non-pending CTA ", cta.gridId());
+    if (!canActivateCta())
+        FINEREG_PANIC("resume without active slots on SM ", id_);
+    const Kernel &kernel = context_->kernel();
+    cta.setState(CtaState::Active);
+    ++activeCtas_;
+    activeWarpSlots_ += kernel.warpsPerCta();
+    activeThreadSlots_ += kernel.threadsPerCta();
+    for (auto &warp : cta.warps()) {
+        if (!warp->finished())
+            warp->setEarliestIssue(now + wake_latency);
+    }
+    addWarpToSchedulers(cta);
+    cta.startExecutionEpisode(now + wake_latency);
+}
+
+std::vector<Cta *>
+Sm::takeFinished()
+{
+    std::vector<Cta *> out;
+    out.swap(finished_);
+    return out;
+}
+
+void
+Sm::destroyCta(Cta &cta)
+{
+    if (cta.state() != CtaState::Done)
+        FINEREG_PANIC("destroying CTA ", cta.gridId(), " that is not Done");
+    const auto it = std::find_if(
+        ctas_.begin(), ctas_.end(),
+        [&](const std::unique_ptr<Cta> &p) { return p.get() == &cta; });
+    if (it == ctas_.end())
+        FINEREG_PANIC("destroyCta: CTA not resident on SM ", id_);
+    ctas_.erase(it);
+}
+
+Cycle
+Sm::ctaLastIssue(const Cta &cta) const
+{
+    return cta.lastIssueCycle();
+}
+
+void
+Sm::addWarpToSchedulers(Cta &cta)
+{
+    for (auto &warp : cta.warps()) {
+        if (warp->finished())
+            continue;
+        const unsigned slot =
+            (cta.launchSeq() * cta.numWarps() + warp->id()) %
+            config_.numSchedulers;
+        schedulers_[slot].addWarp(warp.get());
+    }
+}
+
+void
+Sm::removeWarpFromSchedulers(Cta &cta)
+{
+    for (auto &warp : cta.warps()) {
+        for (auto &sched : schedulers_)
+            sched.removeWarp(warp.get());
+    }
+}
+
+bool
+Sm::warpIssuable(Warp *warp, Cycle now)
+{
+    if (warp->finished() || warp->atBarrier())
+        return false;
+    if (warp->earliestIssue() > now)
+        return false;
+    if (warp->pastEnd())
+        return true; // will be retired at issue
+    const Instruction &instr = warp->currentInstr();
+    if (isMemory(instr.op) && isGlobalMemory(instr.op) &&
+        memIssuedThisCycle_ >= config_.memPortsPerCycle) {
+        return false;
+    }
+    return warp->scoreboard().ready(instr, now);
+}
+
+unsigned
+Sm::tick(Cycle now)
+{
+    memIssuedThisCycle_ = 0;
+    issuedLastTick_ = 0;
+
+    for (auto &sched : schedulers_) {
+        Warp *warp =
+            sched.pick([&](Warp *w) { return warpIssuable(w, now); });
+        if (!warp)
+            continue;
+        if (warp->pastEnd()) {
+            finishWarp(*warp, now);
+            continue;
+        }
+        issueInstr(*warp, now);
+        ++issuedLastTick_;
+    }
+
+    issuedTotal_ += issuedLastTick_;
+    issuedCtr_->inc(issuedLastTick_);
+
+    if (stallProbe_)
+        checkStallEpisodes(now);
+
+    return issuedLastTick_;
+}
+
+void
+Sm::checkStallEpisodes(Cycle now)
+{
+    for (auto &cta : ctas_) {
+        if (cta->state() != CtaState::Active)
+            continue;
+        if (ctaLastIssue(*cta) == now)
+            continue; // issued this cycle; not stalled
+        if (cta->fullyStalledOnMemory(now)) {
+            const Cycle episode = cta->closeExecutionEpisode(now);
+            if (episode > 0)
+                stallEpisode_->sample(static_cast<double>(episode));
+        }
+    }
+}
+
+void
+Sm::issueInstr(Warp &warp, Cycle now)
+{
+    const Instruction &instr = warp.currentInstr();
+
+    // If a stall episode was closed by the probe, the first issue after the
+    // stall opens a new one.
+    warp.cta()->startExecutionEpisodeIfClosed(now);
+
+    warp.bumpIssuedInstrs();
+    warp.setLastIssueCycle(now);
+    warp.cta()->noteIssue(now);
+    warp.setEarliestIssue(now + 1);
+
+    // Register file activity for the energy model.
+    unsigned reads = 0;
+    for (int src : instr.srcs)
+        reads += src >= 0 ? 1 : 0;
+    rfReads_->inc(reads);
+    if (instr.dst >= 0)
+        rfWrites_->inc();
+
+    if (usageTracking_)
+        trackUsage(warp, instr);
+
+    switch (funcUnitOf(instr.op)) {
+      case FuncUnit::ALU:
+        if (instr.dst >= 0) {
+            warp.scoreboard().recordWrite(
+                static_cast<RegIndex>(instr.dst), now + config_.aluLatency,
+                false);
+        }
+        warp.setPc(warp.pc() + kInstrBytes);
+        break;
+      case FuncUnit::SFU:
+        if (instr.dst >= 0) {
+            warp.scoreboard().recordWrite(
+                static_cast<RegIndex>(instr.dst), now + config_.sfuLatency,
+                false);
+        }
+        warp.setPc(warp.pc() + kInstrBytes);
+        break;
+      case FuncUnit::MEM:
+        execMemory(warp, instr, now);
+        warp.setPc(warp.pc() + kInstrBytes);
+        break;
+      case FuncUnit::CTRL:
+        switch (instr.op) {
+          case Opcode::BRA:
+            execBranch(warp, instr, now);
+            break;
+          case Opcode::JMP:
+            warp.setPc(context_->kernel().blockStartPc(instr.targetBlock));
+            warp.setEarliestIssue(now + config_.branchLatency);
+            break;
+          case Opcode::BAR: {
+            barriersHit_->inc();
+            warp.setAtBarrier(true);
+            warp.setPc(warp.pc() + kInstrBytes);
+            if (warp.cta()->arriveAtBarrier()) {
+                for (auto &w : warp.cta()->warps()) {
+                    if (!w->finished()) {
+                        w->setAtBarrier(false);
+                        w->setEarliestIssue(now + 1);
+                    }
+                }
+                warp.cta()->releaseBarrier();
+            }
+            break;
+          }
+          case Opcode::EXIT:
+            execExit(warp, now);
+            break;
+          default:
+            FINEREG_PANIC("unhandled control op");
+        }
+        break;
+    }
+
+    if (!warp.finished())
+        warp.reconvergeIfNeeded();
+}
+
+void
+Sm::execBranch(Warp &warp, const Instruction &instr, Cycle now)
+{
+    const Kernel &kernel = context_->kernel();
+    const Pc target_pc = kernel.blockStartPc(instr.targetBlock);
+    const Pc fall_pc = warp.pc() + kInstrBytes;
+    warp.setEarliestIssue(now + config_.branchLatency);
+
+    if (instr.isLoopBranch()) {
+        const int loop = context_->loopId(instr.index);
+        unsigned remaining = warp.loopRemaining(loop);
+        if (remaining == 0)
+            remaining = instr.tripCount; // entering the loop
+        --remaining;
+        warp.setLoopRemaining(loop, remaining);
+        warp.setPc(remaining > 0 ? target_pc : fall_pc);
+        return;
+    }
+
+    const bool can_diverge = warp.activeLanes() > 1;
+    if (can_diverge && rng_.chance(instr.divergeProb)) {
+        // Split the active mask into two non-empty groups.
+        const std::uint32_t mask = warp.activeMask();
+        std::uint32_t taken = static_cast<std::uint32_t>(rng_.next()) & mask;
+        if (taken == 0 || taken == mask) {
+            // Fallback: lowest active lane takes the branch.
+            taken = mask & (~mask + 1);
+        }
+        divergences_->inc();
+        warp.diverge(target_pc, taken, fall_pc,
+                     context_->reconvergencePc(instr.index));
+        return;
+    }
+
+    warp.setPc(rng_.chance(instr.takenProb) ? target_pc : fall_pc);
+}
+
+Addr
+Sm::generateAddress(Warp &warp, const Instruction &instr)
+{
+    const Kernel &kernel = context_->kernel();
+    const MemPattern &mp = instr.mem;
+    const int mem_id = context_->memId(instr.index);
+    const std::uint32_t k = warp.memExecCount(mem_id);
+
+    if (k > 0 && mp.reuse > 0.0 && rng_.chance(mp.reuse)) {
+        warp.bumpMemExecCount(mem_id);
+        return warp.lastMemAddr(mem_id);
+    }
+
+    const Addr region_base = static_cast<Addr>(mp.region) << 40;
+    const std::uint64_t total_warps =
+        std::uint64_t(kernel.gridCtas()) * kernel.warpsPerCta();
+    // Shared structures are walked identically by every warp; private
+    // data is partitioned into per-warp slices.
+    const std::uint64_t warp_index =
+        mp.shared ? 0
+                  : std::uint64_t(warp.cta()->gridId()) *
+                            kernel.warpsPerCta() +
+                        warp.id();
+    std::uint64_t slice =
+        mp.shared ? 0
+                  : mp.footprint / std::max<std::uint64_t>(total_warps, 1);
+    slice = mp.shared ? 0
+                      : std::max<std::uint64_t>(slice & ~std::uint64_t(127),
+                                                128);
+
+    std::uint64_t offset =
+        (warp_index * slice + std::uint64_t(k) * mp.stride) % mp.footprint;
+    offset &= ~std::uint64_t(127);
+
+    const Addr addr = region_base + offset;
+    warp.setLastMemAddr(mem_id, addr);
+    warp.bumpMemExecCount(mem_id);
+    return addr;
+}
+
+void
+Sm::execMemory(Warp &warp, const Instruction &instr, Cycle now)
+{
+    if (!isGlobalMemory(instr.op)) {
+        sharedAccesses_->inc();
+        if (isLoad(instr.op) && instr.dst >= 0) {
+            warp.scoreboard().recordWrite(
+                static_cast<RegIndex>(instr.dst),
+                now + config_.sharedLatency, false);
+        }
+        return;
+    }
+
+    ++memIssuedThisCycle_;
+    const Addr addr = generateAddress(warp, instr);
+
+    // Scale the transaction count by the active-lane fraction.
+    const unsigned lanes = warp.activeLanes();
+    unsigned txns = std::max(
+        1u, static_cast<unsigned>(std::ceil(
+                instr.mem.transactions * (lanes / double(kWarpSize)))));
+
+    const bool is_write = isStore(instr.op);
+    const MemAccessResult result =
+        mem_->warpAccess(id_, addr, txns, is_write, now);
+
+    if (isLoad(instr.op) && instr.dst >= 0) {
+        warp.scoreboard().recordWrite(static_cast<RegIndex>(instr.dst),
+                                      result.completeCycle, true);
+    }
+}
+
+void
+Sm::execExit(Warp &warp, Cycle now)
+{
+    warp.exitCurrentPath();
+    if (warp.finished())
+        finishWarp(warp, now);
+}
+
+void
+Sm::finishWarp(Warp &warp, Cycle now)
+{
+    Cta *cta = warp.cta();
+    for (auto &sched : schedulers_)
+        sched.removeWarp(&warp);
+
+    if (!warp.finished()) {
+        // Retired via pastEnd(): mark done.
+        warp.exitCurrentPath();
+    }
+    cta->noteWarpFinished();
+
+    // A warp leaving can release a barrier the rest of the CTA waits on.
+    if (!cta->allWarpsFinished()) {
+        unsigned waiting = 0;
+        unsigned live = 0;
+        for (auto &w : cta->warps()) {
+            if (w->finished())
+                continue;
+            ++live;
+            waiting += w->atBarrier() ? 1 : 0;
+        }
+        if (live > 0 && waiting == live) {
+            for (auto &w : cta->warps()) {
+                if (!w->finished()) {
+                    w->setAtBarrier(false);
+                    w->setEarliestIssue(now + 1);
+                }
+            }
+            cta->releaseBarrier();
+        }
+        return;
+    }
+
+    // Whole CTA done.
+    const Kernel &kernel = context_->kernel();
+    if (cta->state() == CtaState::Active) {
+        --activeCtas_;
+        activeWarpSlots_ -= kernel.warpsPerCta();
+        activeThreadSlots_ -= kernel.threadsPerCta();
+    }
+    removeWarpFromSchedulers(*cta);
+    cta->setState(CtaState::Done);
+    shmemUsed_ -= kernel.shmemPerCta();
+    finished_.push_back(cta);
+}
+
+Cycle
+Sm::nextWakeCycle(Cycle now) const
+{
+    Cycle wake = kNoCycle;
+    for (const auto &cta : ctas_) {
+        if (cta->state() != CtaState::Active)
+            continue;
+        for (const auto &warp : cta->warps()) {
+            if (warp->finished() || warp->atBarrier())
+                continue;
+            Cycle candidate = warp->earliestIssue();
+            if (candidate <= now && !warp->pastEnd()) {
+                // Blocked on the scoreboard; wake when operands land.
+                Scoreboard &sb = const_cast<Scoreboard &>(warp->scoreboard());
+                candidate = sb.readyCycle(warp->currentInstr(), now);
+                if (candidate <= now)
+                    return now + 1; // issuable immediately
+            }
+            wake = std::min(wake, candidate);
+        }
+    }
+    return wake;
+}
+
+void
+Sm::accumulateOccupancy(Cycle delta)
+{
+    const Kernel &kernel = context_->kernel();
+    std::uint64_t resident = ctas_.size();
+    std::uint64_t active_threads = 0;
+    for (const auto &cta : ctas_) {
+        if (cta->state() == CtaState::Active) {
+            const unsigned live_warps = cta->numWarps() - cta->finishedWarps();
+            active_threads += std::uint64_t(live_warps) * kWarpSize;
+        }
+    }
+    (void)kernel;
+    residentCtaCycles_->inc(resident * delta);
+    activeCtaCycles_->inc(std::uint64_t(activeCtas_) * delta);
+    activeThreadCycles_->inc(active_threads * delta);
+    occupancyCycles_->inc(delta);
+}
+
+void
+Sm::trackUsage(const Warp &warp, const Instruction &instr)
+{
+    // Key: (cta launch seq, warp id, reg) -> one warp-register.
+    auto touch = [&](int reg) {
+        if (reg < 0)
+            return;
+        const std::uint64_t key =
+            (std::uint64_t(warp.cta()->launchSeq()) << 24) |
+            (std::uint64_t(warp.id()) << 8) | std::uint64_t(reg);
+        touchedRegs_.insert(key);
+    };
+    touch(instr.dst);
+    for (int src : instr.srcs)
+        touch(src);
+
+    if (++windowIssued_ >= 1000) {
+        // Allocated warp-registers across resident CTAs.
+        std::uint64_t allocated = 0;
+        for (const auto &cta : ctas_) {
+            if (cta->state() == CtaState::Done)
+                continue;
+            allocated += context_->kernel().warpRegsPerCta();
+        }
+        if (allocated > 0) {
+            // CTAs that retired mid-window leave touches without a
+            // matching allocation at window close; clamp to 100%.
+            usageWindow_->sample(std::min(
+                1.0, static_cast<double>(touchedRegs_.size()) /
+                         static_cast<double>(allocated)));
+        }
+        touchedRegs_.clear();
+        windowIssued_ = 0;
+    }
+}
+
+} // namespace finereg

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Warp: 32 threads executing in lockstep. Carries the SIMT reconvergence
+ * stack (PDOM divergence handling), the scoreboard, loop trip counters, and
+ * per-memory-instruction execution counts used for deterministic address
+ * generation.
+ */
+
+#ifndef FINEREG_SM_WARP_HH
+#define FINEREG_SM_WARP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "sm/kernel_context.hh"
+#include "sm/scoreboard.hh"
+
+namespace finereg
+{
+
+class Cta;
+
+/** Why a warp cannot issue right now. */
+enum class BlockReason : unsigned char
+{
+    None,      ///< Issuable.
+    Execution, ///< Scoreboard dependence on a short-latency op.
+    Memory,    ///< Scoreboard dependence on a global-memory load.
+    Barrier,   ///< Waiting at a CTA barrier.
+    Finished,  ///< All lanes exited.
+};
+
+class Warp
+{
+  public:
+    Warp(Cta *cta, WarpId id, const KernelContext &context);
+
+    Cta *cta() const { return cta_; }
+    WarpId id() const { return id_; }
+
+    // SIMT stack ------------------------------------------------------------
+
+    struct StackEntry
+    {
+        Pc pc;
+        std::uint32_t mask;
+        Pc reconvPc;
+    };
+
+    Pc pc() const { return stack_.back().pc; }
+    void setPc(Pc pc) { stack_.back().pc = pc; }
+    std::uint32_t activeMask() const { return stack_.back().mask; }
+    unsigned activeLanes() const;
+
+    const std::vector<StackEntry> &simtStack() const { return stack_; }
+
+    /**
+     * Diverge at the current PC: the current entry becomes the
+     * reconvergence entry, and the two path entries are pushed (taken path
+     * on top, so it executes first).
+     */
+    void diverge(Pc taken_pc, std::uint32_t taken_mask, Pc fall_pc,
+                 Pc reconv_pc);
+
+    /** Pop reconverged entries; returns true if the warp is mid-divergence
+     * and just merged. */
+    void reconvergeIfNeeded();
+
+    /** Mark the current stack entry's lanes as exited. */
+    void exitCurrentPath();
+
+    bool finished() const { return finished_; }
+
+    // Scheduling state -------------------------------------------------------
+
+    Scoreboard &scoreboard() { return scoreboard_; }
+    const Scoreboard &scoreboard() const { return scoreboard_; }
+
+    /** Earliest cycle the front end may issue from this warp. */
+    Cycle earliestIssue() const { return earliestIssue_; }
+    void setEarliestIssue(Cycle c) { earliestIssue_ = std::max(earliestIssue_, c); }
+
+    bool atBarrier() const { return atBarrier_; }
+    void setAtBarrier(bool v) { atBarrier_ = v; }
+
+    /** Last cycle this warp issued (GTO greediness / age tiebreaks). */
+    Cycle lastIssueCycle() const { return lastIssueCycle_; }
+    void setLastIssueCycle(Cycle c) { lastIssueCycle_ = c; }
+
+    // Loop and memory side state ---------------------------------------------
+
+    /** Remaining iterations of loop @p loop_id (0 = counter idle). */
+    unsigned loopRemaining(int loop_id) const { return loopRemaining_[loop_id]; }
+    void setLoopRemaining(int loop_id, unsigned n) { loopRemaining_[loop_id] = n; }
+
+    /** Dynamic execution count of memory instruction @p mem_id. */
+    std::uint32_t memExecCount(int mem_id) const { return memExec_[mem_id]; }
+    void bumpMemExecCount(int mem_id) { ++memExec_[mem_id]; }
+
+    Addr lastMemAddr(int mem_id) const { return lastAddr_[mem_id]; }
+    void setLastMemAddr(int mem_id, Addr a) { lastAddr_[mem_id] = a; }
+
+    /** Dynamic instructions this warp has issued. */
+    std::uint64_t issuedInstrs() const { return issuedInstrs_; }
+    void bumpIssuedInstrs() { ++issuedInstrs_; }
+
+    const KernelContext &context() const { return *context_; }
+
+    /** Next instruction this warp will execute; finished() must be false. */
+    const Instruction &currentInstr() const;
+
+    /** True when the current PC has run past the kernel end. */
+    bool pastEnd() const { return pc() >= context_->endPc(); }
+
+  private:
+    Cta *cta_;
+    WarpId id_;
+    const KernelContext *context_;
+
+    std::vector<StackEntry> stack_;
+    bool finished_ = false;
+    bool atBarrier_ = false;
+
+    Scoreboard scoreboard_;
+    Cycle earliestIssue_ = 0;
+    Cycle lastIssueCycle_ = 0;
+
+    std::vector<unsigned> loopRemaining_;
+    std::vector<std::uint32_t> memExec_;
+    std::vector<Addr> lastAddr_;
+    std::uint64_t issuedInstrs_ = 0;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_SM_WARP_HH

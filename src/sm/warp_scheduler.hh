@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Warp schedulers. Each SM has several (Table I: 4); every resident active
+ * warp is statically assigned to one. GTO (greedy-then-oldest, the paper's
+ * configuration) keeps issuing from the same warp until it stalls, then
+ * falls back to the oldest schedulable warp; LRR round-robins.
+ */
+
+#ifndef FINEREG_SM_WARP_SCHEDULER_HH
+#define FINEREG_SM_WARP_SCHEDULER_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.hh"
+#include "sm/cta.hh"
+#include "sm/warp.hh"
+
+namespace finereg
+{
+
+enum class SchedKind : unsigned char { GTO, LRR };
+
+class WarpScheduler
+{
+  public:
+    WarpScheduler(SchedKind kind, unsigned id) : kind_(kind), id_(id) {}
+
+    unsigned id() const { return id_; }
+
+    void
+    addWarp(Warp *warp)
+    {
+        warps_.push_back(warp);
+    }
+
+    void
+    removeWarp(Warp *warp)
+    {
+        warps_.erase(std::remove(warps_.begin(), warps_.end(), warp),
+                     warps_.end());
+        if (greedy_ == warp)
+            greedy_ = nullptr;
+        if (rrIndex_ >= warps_.size())
+            rrIndex_ = 0;
+    }
+
+    const std::vector<Warp *> &warps() const { return warps_; }
+
+    /**
+     * Pick a warp to issue from. @p issuable is a predicate invoked on
+     * candidate warps; the first satisfying warp under the policy's
+     * priority order wins.
+     */
+    template <typename Pred>
+    Warp *
+    pick(Pred &&issuable)
+    {
+        if (warps_.empty())
+            return nullptr;
+
+        if (kind_ == SchedKind::GTO) {
+            // Greedy: stick with the last issuer while it can go.
+            if (greedy_ && issuable(greedy_))
+                return greedy_;
+            // Then-oldest: earliest CTA launch, then lowest warp id.
+            Warp *best = nullptr;
+            for (Warp *w : warps_) {
+                if (!issuable(w))
+                    continue;
+                if (!best || olderThan(w, best))
+                    best = w;
+            }
+            greedy_ = best ? best : greedy_;
+            return best;
+        }
+
+        // LRR: rotate through the list starting after the last pick.
+        const std::size_t n = warps_.size();
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::size_t i = (rrIndex_ + 1 + k) % n;
+            if (issuable(warps_[i])) {
+                rrIndex_ = i;
+                return warps_[i];
+            }
+        }
+        return nullptr;
+    }
+
+  private:
+    static bool
+    olderThan(const Warp *a, const Warp *b)
+    {
+        const unsigned sa = a->cta()->launchSeq();
+        const unsigned sb = b->cta()->launchSeq();
+        if (sa != sb)
+            return sa < sb;
+        return a->id() < b->id();
+    }
+
+    SchedKind kind_;
+    unsigned id_;
+    std::vector<Warp *> warps_;
+    Warp *greedy_ = nullptr;
+    std::size_t rrIndex_ = 0;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_SM_WARP_SCHEDULER_HH

@@ -1,0 +1,400 @@
+#include "workloads/suite.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace finereg
+{
+
+namespace
+{
+
+constexpr std::uint64_t kMiB = 1024ull * 1024ull;
+
+/** Shorthand for assembling a suite entry. */
+SuiteEntry
+entry(std::string abbrev, std::string full, std::string origin,
+      WorkloadParams params)
+{
+    params.name = abbrev;
+    return SuiteEntry{std::move(abbrev), std::move(full), std::move(origin),
+                      std::move(params)};
+}
+
+std::vector<SuiteEntry>
+buildSuite()
+{
+    std::vector<SuiteEntry> suite;
+
+    // ---------------- Type-S: scheduler-limited (Table II, top) -----------
+
+    {
+        // Breadth-First Search: irregular graph traversal; scattered loads
+        // stall CTAs almost immediately (Table III: 193 cycles), heavily
+        // memory-bound so extra CTAs convert poorly into IPC (Fig. 13).
+        WorkloadParams p;
+        p.typeR = false;
+        p.regsPerThread = 12;
+        p.threadsPerCta = 64;
+        p.gridCtas = 4096;
+        p.persistentRegs = 2;
+        p.coldRegs = 2;
+        p.loopTrips = 8;
+        p.loadsPerIter = 2;
+        p.computePerLoad = 1;
+        p.divergeProb = 0.25;
+        p.pattern = {0, 64 * kMiB, 1, 256, 0.0};
+        suite.push_back(entry("BF", "Breadth-First Search", "Rodinia", p));
+    }
+    {
+        // BiCGStab: sparse linear algebra with a balanced compute/memory
+        // mix; responds strongly to extra CTAs (>60% with 2x, Fig. 13).
+        WorkloadParams p;
+        p.typeR = false;
+        p.regsPerThread = 16;
+        p.threadsPerCta = 64;
+        p.gridCtas = 3072;
+        p.persistentRegs = 3;
+        p.coldRegs = 2;
+        p.loopTrips = 12;
+        p.loadsPerIter = 2;
+        p.computePerLoad = 1;
+        p.pattern = {0, 32 * kMiB, 1, 32, 0.0};
+        suite.push_back(entry("BI", "BiCGStab", "PolyBench", p));
+    }
+    {
+        // Convolution Separable: the Fig. 4 case study; coalesced loads
+        // with halo reuse, modest shared-memory staging.
+        WorkloadParams p;
+        p.typeR = false;
+        p.regsPerThread = 16;
+        p.threadsPerCta = 128;
+        p.shmemPerCta = 2 * 1024;
+        p.gridCtas = 2048;
+        p.persistentRegs = 4;
+        p.coldRegs = 2;
+        p.loopTrips = 10;
+        p.loadsPerIter = 2;
+        p.computePerLoad = 1;
+        p.sharedOpsPerIter = 2;
+        p.pattern = {0, 32 * kMiB, 1, 32, 0.0};
+        suite.push_back(entry("CS", "Convolution Separable", "CUDA SDK", p));
+    }
+    {
+        // Fluid Dynamics: long-running CTAs (Table III: 2018 cycles),
+        // streaming stencils; one of the Fig. 15 traffic cases.
+        WorkloadParams p;
+        p.typeR = false;
+        p.regsPerThread = 14;
+        p.threadsPerCta = 64;
+        p.gridCtas = 3072;
+        p.persistentRegs = 3;
+        p.coldRegs = 1;
+        p.loopTrips = 16;
+        p.loadsPerIter = 2;
+        p.computePerLoad = 1;
+        p.storesPerIter = 0;
+        p.pattern = {0, 48 * kMiB, 1, 32, 0.0};
+        suite.push_back(entry("FD", "Fluid Dynamics", "PolyBench", p));
+    }
+    {
+        // Kmeans: centroid distance scans; streaming, memory-bound, so
+        // 2.5x CTAs yield <40% IPC (Sec. VI-C).
+        WorkloadParams p;
+        p.typeR = false;
+        p.regsPerThread = 10;
+        p.threadsPerCta = 64;
+        p.gridCtas = 4096;
+        p.persistentRegs = 2;
+        p.coldRegs = 2;
+        p.loopTrips = 10;
+        p.loadsPerIter = 2;
+        p.computePerLoad = 2;
+        p.pattern = {0, 32 * kMiB, 1, 32, 0.0};
+        suite.push_back(entry("KM", "Kmeans", "Rodinia", p));
+    }
+    {
+        // Monte Carlo: SFU-heavy path simulation; tiny persistent state,
+        // hence the <15% live-register floor in Fig. 5.
+        WorkloadParams p;
+        p.typeR = false;
+        p.regsPerThread = 14;
+        p.threadsPerCta = 64;
+        p.gridCtas = 2048;
+        p.persistentRegs = 1;
+        p.coldRegs = 4;
+        p.loopTrips = 12;
+        p.loadsPerIter = 1;
+        p.computePerLoad = 3;
+        p.sfuPerIter = 1;
+        p.pattern = {0, 32 * kMiB, 1, 32, 0.0};
+        suite.push_back(entry("MC", "Monte Carlo", "Parboil", p));
+    }
+    {
+        // Needleman-Wunsch: wavefront dynamic programming; short bursts
+        // (Table III: 311), divergent, low live fraction.
+        WorkloadParams p;
+        p.typeR = false;
+        p.regsPerThread = 12;
+        p.threadsPerCta = 64;
+        p.shmemPerCta = 2 * 1024;
+        p.gridCtas = 3072;
+        p.persistentRegs = 1;
+        p.coldRegs = 3;
+        p.loopTrips = 6;
+        p.loadsPerIter = 2;
+        p.computePerLoad = 1;
+        p.divergeProb = 0.2;
+        p.pattern = {0, 32 * kMiB, 1, 32, 0.0};
+        suite.push_back(entry("NW", "Needleman-Wunsch", "Rodinia", p));
+    }
+    {
+        // Stencil: 7-point streaming stencil; Fig. 15 traffic case.
+        WorkloadParams p;
+        p.typeR = false;
+        p.regsPerThread = 16;
+        p.threadsPerCta = 64;
+        p.gridCtas = 2048;
+        p.persistentRegs = 3;
+        p.coldRegs = 1;
+        p.loopTrips = 12;
+        p.loadsPerIter = 2;
+        p.computePerLoad = 1;
+        p.storesPerIter = 0;
+        p.pattern = {0, 48 * kMiB, 1, 32, 0.0};
+        suite.push_back(entry("ST", "Stencil", "Parboil", p));
+    }
+    {
+        // Symmetric Rank-2k update: memory-intensive BLAS-3 variant
+        // (listed with KM/BF in the Fig. 14 stall study).
+        WorkloadParams p;
+        p.typeR = false;
+        p.regsPerThread = 16;
+        p.threadsPerCta = 64;
+        p.gridCtas = 3072;
+        p.persistentRegs = 3;
+        p.coldRegs = 2;
+        p.loopTrips = 14;
+        p.loadsPerIter = 2;
+        p.computePerLoad = 1;
+        p.pattern = {0, 32 * kMiB, 1, 32, 0.0};
+        suite.push_back(entry("SY2", "Symmetric Rank 2k", "PolyBench", p));
+    }
+
+    // ---------------- Type-R: register/shmem-limited (Table II, bottom) ----
+
+    {
+        // Transpose Vector Multiply (atax): register-heavy with strong
+        // reuse — a main beneficiary of the UM configuration (Fig. 19).
+        WorkloadParams p;
+        p.typeR = true;
+        p.regsPerThread = 40;
+        p.threadsPerCta = 64;
+        p.gridCtas = 1536;
+        p.persistentRegs = 10;
+        p.coldRegs = 6;
+        p.loopTrips = 10;
+        p.loadsPerIter = 2;
+        p.computePerLoad = 3;
+        p.pattern = {0, 16 * kMiB, 1, 64, 0.0};
+        suite.push_back(entry("AT", "Transpose Vector Multiply",
+                              "PolyBench", p));
+    }
+    {
+        // CFD Solver: the Fig. 7 liveness example; wide register working
+        // set, streaming flux computation.
+        WorkloadParams p;
+        p.typeR = true;
+        p.regsPerThread = 48;
+        p.threadsPerCta = 64;
+        p.gridCtas = 1536;
+        p.persistentRegs = 8;
+        p.coldRegs = 6;
+        p.loopTrips = 10;
+        p.loadsPerIter = 3;
+        p.computePerLoad = 2;
+        p.pattern = {0, 32 * kMiB, 1, 64, 0.0};
+        suite.push_back(entry("CF", "CFD Solver", "Rodinia", p));
+    }
+    {
+        // Hotspot: thermal stencil with shared-memory tiles.
+        WorkloadParams p;
+        p.typeR = true;
+        p.regsPerThread = 36;
+        p.threadsPerCta = 128;
+        p.shmemPerCta = 4 * 1024;
+        p.gridCtas = 768;
+        p.persistentRegs = 5;
+        p.coldRegs = 4;
+        p.loopTrips = 8;
+        p.loadsPerIter = 2;
+        p.computePerLoad = 3;
+        p.sharedOpsPerIter = 2;
+        p.barrierPerIter = true;
+        p.pattern = {0, 16 * kMiB, 1, 64, 0.0};
+        suite.push_back(entry("HS", "Hotspot", "Rodinia", p));
+    }
+    {
+        // LIBOR: market-rate path simulation; many registers allocated,
+        // few simultaneously live (<15% floor in Fig. 5).
+        WorkloadParams p;
+        p.typeR = true;
+        p.regsPerThread = 56;
+        p.threadsPerCta = 64;
+        p.gridCtas = 1536;
+        p.persistentRegs = 5;
+        p.coldRegs = 10;
+        p.loopTrips = 12;
+        p.loadsPerIter = 1;
+        p.computePerLoad = 5;
+        p.sfuPerIter = 1;
+        p.pattern = {0, 16 * kMiB, 1, 32, 0.0};
+        suite.push_back(entry("LI", "LIBOR", "GPGPU-Sim", p));
+    }
+    {
+        // Lattice-Boltzmann: enormous streaming working set, wide
+        // register allocation.
+        WorkloadParams p;
+        p.typeR = true;
+        p.regsPerThread = 44;
+        p.threadsPerCta = 64;
+        p.gridCtas = 1536;
+        p.persistentRegs = 10;
+        p.coldRegs = 4;
+        p.loopTrips = 8;
+        p.loadsPerIter = 3;
+        p.computePerLoad = 2;
+        p.storesPerIter = 2;
+        p.pattern = {0, 48 * kMiB, 1, 64, 0.0};
+        suite.push_back(entry("LB", "Lattice-Boltzmann", "Parboil", p));
+    }
+    {
+        // SGEMM: blocked matrix multiply; the longest stall-free bursts
+        // (Table III: 2299 cycles), barrier-synchronized tiles.
+        WorkloadParams p;
+        p.typeR = true;
+        p.regsPerThread = 40;
+        p.threadsPerCta = 128;
+        p.shmemPerCta = 4 * 1024;
+        p.gridCtas = 768;
+        p.persistentRegs = 6;
+        p.coldRegs = 4;
+        p.loopTrips = 16;
+        p.loadsPerIter = 2;
+        p.computePerLoad = 2;
+        p.sharedOpsPerIter = 4;
+        p.barrierPerIter = true;
+        p.pattern = {0, 16 * kMiB, 1, 32, 0.0};
+        suite.push_back(entry("SG", "SGEMM", "PolyBench", p));
+    }
+    {
+        // Sradv2: speckle-reducing anisotropic diffusion; divergent,
+        // low live fraction despite a wide allocation.
+        WorkloadParams p;
+        p.typeR = true;
+        p.regsPerThread = 36;
+        p.threadsPerCta = 64;
+        p.gridCtas = 1536;
+        p.persistentRegs = 3;
+        p.coldRegs = 8;
+        p.loopTrips = 8;
+        p.loadsPerIter = 2;
+        p.computePerLoad = 2;
+        p.divergeProb = 0.15;
+        p.pattern = {0, 16 * kMiB, 1, 64, 0.0};
+        suite.push_back(entry("SR2", "Sradv2", "Rodinia", p));
+    }
+    {
+        // Two Point Angular correlation: shared-memory histograms deplete
+        // shmem so thoroughly that no scheme can add CTAs (Sec. VI-C).
+        WorkloadParams p;
+        p.typeR = true;
+        p.regsPerThread = 32;
+        p.threadsPerCta = 128;
+        p.shmemPerCta = 32 * 1024;
+        p.gridCtas = 768;
+        p.persistentRegs = 6;
+        p.coldRegs = 6;
+        p.loopTrips = 10;
+        p.loadsPerIter = 2;
+        p.computePerLoad = 3;
+        p.sharedOpsPerIter = 4;
+        p.barrierPerIter = true;
+        p.pattern = {0, 16 * kMiB, 1, 32, 0.0};
+        suite.push_back(entry("TA", "Two Point Angular", "Parboil", p));
+    }
+    {
+        // Transpose: bandwidth-bound tile transpose with partially
+        // uncoalesced accesses.
+        WorkloadParams p;
+        p.typeR = true;
+        p.regsPerThread = 34;
+        p.threadsPerCta = 256;
+        p.shmemPerCta = 8 * 1024;
+        p.gridCtas = 768;
+        p.persistentRegs = 8;
+        p.coldRegs = 4;
+        p.loopTrips = 6;
+        p.loadsPerIter = 2;
+        p.computePerLoad = 2;
+        p.storesPerIter = 2;
+        p.barrierPerIter = true;
+        p.pattern = {0, 24 * kMiB, 1, 64, 0.0};
+        suite.push_back(entry("TR", "Transpose", "CUDA SDK", p));
+    }
+
+    return suite;
+}
+
+} // namespace
+
+const std::vector<SuiteEntry> &
+Suite::all()
+{
+    static const std::vector<SuiteEntry> suite = buildSuite();
+    return suite;
+}
+
+const SuiteEntry &
+Suite::byName(const std::string &abbrev)
+{
+    for (const auto &app : all()) {
+        if (app.abbrev == abbrev)
+            return app;
+    }
+    FINEREG_FATAL("unknown benchmark '", abbrev, "'");
+}
+
+std::unique_ptr<Kernel>
+Suite::makeKernel(const SuiteEntry &app, double grid_scale)
+{
+    WorkloadParams params = app.params;
+    params.gridCtas = std::max(
+        1u, static_cast<unsigned>(params.gridCtas * grid_scale));
+    return buildWorkloadKernel(params);
+}
+
+std::vector<std::string>
+Suite::typeS()
+{
+    std::vector<std::string> names;
+    for (const auto &app : all()) {
+        if (!app.typeR())
+            names.push_back(app.abbrev);
+    }
+    return names;
+}
+
+std::vector<std::string>
+Suite::typeRNames()
+{
+    std::vector<std::string> names;
+    for (const auto &app : all()) {
+        if (app.typeR())
+            names.push_back(app.abbrev);
+    }
+    return names;
+}
+
+} // namespace finereg

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The benchmark suite: the paper's 18 applications (Table II), each mapped
+ * to a synthetic kernel whose parameters reproduce its published
+ * characteristics — Type-S/Type-R classification, per-CTA footprint
+ * (Fig. 3), live-register band (Fig. 5), and stall cadence (Table III).
+ */
+
+#ifndef FINEREG_WORKLOADS_SUITE_HH
+#define FINEREG_WORKLOADS_SUITE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace finereg
+{
+
+struct SuiteEntry
+{
+    std::string abbrev;   ///< Paper abbreviation (BF, BI, ...).
+    std::string fullName; ///< e.g. "Breadth-First Search".
+    std::string origin;   ///< Source suite in the paper (Rodinia, ...).
+    WorkloadParams params;
+
+    bool typeR() const { return params.typeR; }
+};
+
+class Suite
+{
+  public:
+    /** All 18 applications in the paper's Table II order. */
+    static const std::vector<SuiteEntry> &all();
+
+    /** Lookup by abbreviation; fatal on unknown names. */
+    static const SuiteEntry &byName(const std::string &abbrev);
+
+    /** Build the kernel for an entry, optionally scaling the grid. */
+    static std::unique_ptr<Kernel> makeKernel(const SuiteEntry &entry,
+                                              double grid_scale = 1.0);
+
+    /** Abbreviations of all Type-S (scheduler-limited) applications. */
+    static std::vector<std::string> typeS();
+
+    /** Abbreviations of all Type-R (register/shmem-limited) applications. */
+    static std::vector<std::string> typeRNames();
+};
+
+} // namespace finereg
+
+#endif // FINEREG_WORKLOADS_SUITE_HH

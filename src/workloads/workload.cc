@@ -1,0 +1,192 @@
+#include "workloads/workload.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "isa/kernel_builder.hh"
+
+namespace finereg
+{
+
+namespace
+{
+
+/**
+ * Register-index layout within a workload kernel:
+ *   [0, P)            persistent registers (P = persistentRegs)
+ *   [P, P+L)          load destination registers (L = loadsPerIter)
+ *   [P+L, P+L+C)      compute scratch registers
+ *   [R-cold, R)       cold registers (written once, never read)
+ * The compute scratch region is whatever remains.
+ */
+struct RegLayout
+{
+    unsigned persistent;
+    unsigned loads;
+    unsigned scratchBegin;
+    unsigned scratchCount;
+    unsigned coldBegin;
+    unsigned coldCount;
+
+    int p(unsigned i) const { return static_cast<int>(i % persistent); }
+    int l(unsigned i) const { return static_cast<int>(persistent + i % loads); }
+    int s(unsigned i) const
+    {
+        return static_cast<int>(scratchBegin + i % scratchCount);
+    }
+};
+
+RegLayout
+makeLayout(const WorkloadParams &params)
+{
+    const unsigned regs = params.regsPerThread;
+    RegLayout layout{};
+    layout.persistent = std::max(1u, std::min(params.persistentRegs, regs));
+    layout.loads =
+        std::max(1u, std::min(params.loadsPerIter,
+                              regs - layout.persistent > 0
+                                  ? regs - layout.persistent
+                                  : 1u));
+    const unsigned used = layout.persistent + layout.loads;
+    if (used >= regs) {
+        // Degenerate small-register kernel: overlap scratch with loads.
+        layout.scratchBegin = layout.persistent;
+        layout.scratchCount = std::max(1u, regs - layout.persistent);
+        layout.coldBegin = regs;
+        layout.coldCount = 0;
+        return layout;
+    }
+    const unsigned cold = std::min(params.coldRegs, regs - used - 1);
+    layout.scratchBegin = used;
+    layout.scratchCount = std::max(1u, regs - used - cold);
+    layout.coldBegin = regs - cold;
+    layout.coldCount = cold;
+    return layout;
+}
+
+} // namespace
+
+std::unique_ptr<Kernel>
+buildWorkloadKernel(const WorkloadParams &params)
+{
+    if (params.regsPerThread < 4)
+        FINEREG_FATAL("workload ", params.name, " needs >= 4 registers");
+
+    KernelBuilder builder(params.name);
+    builder.regsPerThread(params.regsPerThread)
+        .threadsPerCta(params.threadsPerCta)
+        .shmemPerCta(params.shmemPerCta)
+        .gridCtas(params.gridCtas);
+
+    const RegLayout layout = makeLayout(params);
+    const bool diamond = params.divergeProb > 0.0;
+
+    // Block indices are assigned in creation order; compute them up front
+    // so branches can reference forward blocks.
+    // B0 prologue, B1 body, [B2 else, B3 then, B4 tail], B_latch, B_epi.
+    const int b_body = 1;
+    const int b_then = diamond ? 3 : -1;
+    const int b_tail = diamond ? 4 : -1;
+    const int b_latch = diamond ? 5 : 2;
+    const int b_epi = b_latch + 1;
+
+    // --- B0: prologue -------------------------------------------------------
+    builder.newBlock();
+    // Seed the first persistent register (thread id surrogate), then chain.
+    builder.alu(Opcode::MOV, layout.p(0), layout.p(0));
+    for (unsigned i = 1; i < layout.persistent; ++i)
+        builder.alu(Opcode::IADD, layout.p(i), layout.p(i - 1), layout.p(0));
+    // Cold registers: defined, never used again.
+    for (unsigned i = 0; i < layout.coldCount; ++i) {
+        builder.alu(Opcode::MOV, static_cast<int>(layout.coldBegin + i),
+                    layout.p(0));
+    }
+
+    // --- B1: loop body ------------------------------------------------------
+    builder.newBlock();
+    // Issue all loads back-to-back (memory-level parallelism), then the
+    // compute chain consumes them: the first consumer is the stall PC.
+    // Load 0 streams the primary region; the rest read cached secondary
+    // structures. Each static load gets a distinct region (no aliasing).
+    for (unsigned l = 0; l < params.loadsPerIter; ++l) {
+        MemPattern pattern =
+            l == 0 ? params.pattern : params.secondaryPattern;
+        pattern.region += l;
+        builder.load(Opcode::LD_GLOBAL, layout.l(l), layout.p(0), pattern);
+    }
+
+    unsigned scratch_cursor = 0;
+    const unsigned compute_ops =
+        params.computePerLoad * std::max(1u, params.loadsPerIter);
+    for (unsigned c = 0; c < compute_ops; ++c) {
+        const int dst = layout.s(scratch_cursor++);
+        const int src0 = layout.l(c); // consume loaded values round-robin
+        const int src1 = layout.p(c);
+        if (c % 3 == 2)
+            builder.alu(Opcode::FFMA, dst, src0, src1, layout.s(c));
+        else
+            builder.alu(c % 2 ? Opcode::FMUL : Opcode::FADD, dst, src0,
+                        src1);
+    }
+    for (unsigned s = 0; s < params.sfuPerIter; ++s)
+        builder.sfu(layout.s(scratch_cursor++), layout.s(s));
+    // Fold the iteration's result into a persistent accumulator so the
+    // persistent set stays live across the loop.
+    builder.alu(Opcode::FADD, layout.p(1 % layout.persistent),
+                layout.p(1 % layout.persistent), layout.s(0));
+
+    if (diamond) {
+        builder.branch(b_then, layout.s(0), 0.5, params.divergeProb);
+
+        // --- B2: fall-through (else) path -----------------------------------
+        builder.newBlock();
+        builder.alu(Opcode::IADD, layout.s(1), layout.s(1), layout.p(0));
+        builder.jump(b_tail);
+
+        // --- B3: taken (then) path, falls through to the tail ----------------
+        builder.newBlock();
+        builder.alu(Opcode::IMUL, layout.s(1), layout.s(1), layout.p(0));
+
+        // --- B4: reconvergence tail (immediate post-dominator of B1) ---------
+        builder.newBlock();
+        builder.alu(Opcode::FADD, layout.s(2), layout.s(1), layout.p(0));
+    }
+
+    // --- B_latch: shared ops, stores, loop back-edge -------------------------
+    builder.newBlock();
+    for (unsigned s = 0; s < params.sharedOpsPerIter; ++s) {
+        MemPattern shared_pattern;
+        shared_pattern.footprint = std::max(params.shmemPerCta, 256u);
+        if (s % 2 == 0)
+            builder.store(Opcode::ST_SHARED, layout.p(0), layout.s(s),
+                          shared_pattern);
+        else
+            builder.load(Opcode::LD_SHARED, layout.s(scratch_cursor++),
+                         layout.p(0), shared_pattern);
+    }
+    for (unsigned s = 0; s < params.storesPerIter; ++s) {
+        MemPattern pattern = params.pattern;
+        pattern.region += 16 + s;
+        builder.store(Opcode::ST_GLOBAL, layout.p(0), layout.s(s), pattern);
+    }
+    if (params.barrierPerIter)
+        builder.barrier();
+    // Advance the streaming pointer.
+    builder.alu(Opcode::IADD, layout.p(0), layout.p(0),
+                layout.p(layout.persistent - 1));
+    builder.loopBranch(b_body, layout.p(0), params.loopTrips);
+
+    // --- B_epi: consume persistents, store results, exit ---------------------
+    builder.newBlock();
+    for (unsigned i = 0; i < layout.persistent; ++i) {
+        MemPattern pattern = params.pattern;
+        pattern.region += 24;
+        builder.store(Opcode::ST_GLOBAL, layout.p(0), layout.p(i), pattern);
+    }
+    builder.exit();
+
+    (void)b_epi;
+    return builder.finalize();
+}
+
+} // namespace finereg

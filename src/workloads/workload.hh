@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Synthetic workload generator. Each of the paper's 18 applications
+ * (Table II) is represented by a parameterized kernel whose knobs control
+ * exactly the observables FineReg's behaviour depends on:
+ *
+ *  - static resource footprint (registers/thread, threads/CTA, shared
+ *    memory/CTA, grid size) -> which limit binds (Type-S vs Type-R,
+ *    Figs. 2/3),
+ *  - memory intensity, footprint, coalescing, reuse -> stall frequency and
+ *    duration (Table III) and cache/DRAM behaviour (Fig. 15),
+ *  - register lifetime structure (persistent / loaded / scratch / cold
+ *    registers) -> live-register fraction at stall PCs (Fig. 5),
+ *  - divergence and loop shape -> compiler traversal paths (Fig. 9).
+ *
+ * The generated CFG is: prologue -> loop { loads, compute, optional
+ * divergent diamond, optional shared ops } -> epilogue stores -> EXIT.
+ */
+
+#ifndef FINEREG_WORKLOADS_WORKLOAD_HH
+#define FINEREG_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+
+#include "isa/kernel.hh"
+
+namespace finereg
+{
+
+struct WorkloadParams
+{
+    std::string name;
+
+    /** Type-R = bounded by register file / shared memory (Table II). */
+    bool typeR = false;
+
+    // Static resources --------------------------------------------------------
+
+    unsigned regsPerThread = 16;
+    unsigned threadsPerCta = 64;
+    unsigned shmemPerCta = 0;
+    unsigned gridCtas = 512;
+
+    // Register lifetime structure ---------------------------------------------
+
+    /** Registers live across the whole loop (defined in the prologue,
+     * consumed in the epilogue, updated in the loop). */
+    unsigned persistentRegs = 4;
+
+    /** Registers written in the prologue and never read again (allocated
+     * but dead — the inefficiency Fig. 5 measures). */
+    unsigned coldRegs = 2;
+
+    // Loop shape --------------------------------------------------------------
+
+    unsigned loopTrips = 10;
+    unsigned loadsPerIter = 2;
+    unsigned computePerLoad = 4;
+    unsigned sfuPerIter = 0;
+    unsigned sharedOpsPerIter = 0;
+    unsigned storesPerIter = 0;
+    bool barrierPerIter = false;
+
+    /** Probability a per-iteration branch diverges (0 disables the
+     * diamond entirely). */
+    double divergeProb = 0.0;
+
+    // Memory behaviour ---------------------------------------------------------
+
+    /** Primary (streaming) pattern: used by the first load and by global
+     * stores. Sub-line strides (e.g. 64 B) make consecutive iterations
+     * share a 128 B line, halving DRAM transactions per iteration. */
+    MemPattern pattern{};
+
+    /** Secondary pattern for the remaining loads: small footprint that
+     * settles into the L2 (or L1 with reuse), modelling the cached data
+     * structures real kernels read besides their streaming input. */
+    MemPattern secondaryPattern{8, 384 * 1024, 1, 128, 0.3, true};
+};
+
+/** Build the kernel for @p params. */
+std::unique_ptr<Kernel> buildWorkloadKernel(const WorkloadParams &params);
+
+} // namespace finereg
+
+#endif // FINEREG_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit and property tests for RegBitVec (the 64-bit live-register vector)
+ * and DynBitSet (the PCRF free-space monitor).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitvec.hh"
+#include "common/rng.hh"
+
+namespace finereg
+{
+namespace
+{
+
+TEST(RegBitVec, StartsEmpty)
+{
+    RegBitVec v;
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(v.count(), 0u);
+    for (unsigned r = 0; r < kMaxRegsPerThread; ++r)
+        EXPECT_FALSE(v.test(RegIndex(r)));
+}
+
+TEST(RegBitVec, SetTestReset)
+{
+    RegBitVec v;
+    v.set(0);
+    v.set(63);
+    v.set(17);
+    EXPECT_TRUE(v.test(0));
+    EXPECT_TRUE(v.test(63));
+    EXPECT_TRUE(v.test(17));
+    EXPECT_FALSE(v.test(18));
+    EXPECT_EQ(v.count(), 3u);
+    v.reset(17);
+    EXPECT_FALSE(v.test(17));
+    EXPECT_EQ(v.count(), 2u);
+}
+
+TEST(RegBitVec, OutOfRangeIndicesAreIgnored)
+{
+    RegBitVec v;
+    v.set(RegIndex(200));
+    EXPECT_TRUE(v.empty());
+    EXPECT_FALSE(v.test(RegIndex(200)));
+}
+
+TEST(RegBitVec, UnionIntersectionMinus)
+{
+    RegBitVec a;
+    a.set(1);
+    a.set(2);
+    RegBitVec b;
+    b.set(2);
+    b.set(3);
+
+    const RegBitVec u = a | b;
+    EXPECT_EQ(u.count(), 3u);
+    EXPECT_TRUE(u.test(1) && u.test(2) && u.test(3));
+
+    const RegBitVec i = a & b;
+    EXPECT_EQ(i.count(), 1u);
+    EXPECT_TRUE(i.test(2));
+
+    const RegBitVec d = a.minus(b);
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_TRUE(d.test(1));
+}
+
+TEST(RegBitVec, ForEachVisitsAscending)
+{
+    RegBitVec v;
+    v.set(5);
+    v.set(0);
+    v.set(42);
+    std::vector<unsigned> seen;
+    v.forEach([&](RegIndex r) { seen.push_back(r); });
+    EXPECT_EQ(seen, (std::vector<unsigned>{0, 5, 42}));
+}
+
+TEST(RegBitVec, EqualityAndRaw)
+{
+    RegBitVec a(0x5ull);
+    RegBitVec b;
+    b.set(0);
+    b.set(2);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.raw(), 0x5ull);
+}
+
+/** Property: count() matches a reference set over random operations. */
+class RegBitVecProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RegBitVecProperty, MatchesReferenceSet)
+{
+    Rng rng(GetParam());
+    RegBitVec v;
+    std::set<unsigned> ref;
+    for (int step = 0; step < 500; ++step) {
+        const auto r = static_cast<RegIndex>(rng.below(kMaxRegsPerThread));
+        if (rng.chance(0.5)) {
+            v.set(r);
+            ref.insert(r);
+        } else {
+            v.reset(r);
+            ref.erase(r);
+        }
+        ASSERT_EQ(v.count(), ref.size());
+        ASSERT_EQ(v.test(r), ref.count(r) > 0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegBitVecProperty,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+TEST(DynBitSet, StartsClear)
+{
+    DynBitSet bits(100);
+    EXPECT_EQ(bits.size(), 100u);
+    EXPECT_EQ(bits.count(), 0u);
+    EXPECT_EQ(bits.countClear(), 100u);
+    EXPECT_EQ(bits.firstClear(), 0u);
+}
+
+TEST(DynBitSet, SetResetCount)
+{
+    DynBitSet bits(70);
+    bits.set(0);
+    bits.set(64); // crosses the word boundary
+    bits.set(69);
+    EXPECT_EQ(bits.count(), 3u);
+    EXPECT_TRUE(bits.test(64));
+    bits.reset(64);
+    EXPECT_EQ(bits.count(), 2u);
+    EXPECT_FALSE(bits.test(64));
+}
+
+TEST(DynBitSet, FirstClearSkipsOccupied)
+{
+    DynBitSet bits(8);
+    for (unsigned i = 0; i < 5; ++i)
+        bits.set(i);
+    EXPECT_EQ(bits.firstClear(), 5u);
+    bits.set(5);
+    bits.set(6);
+    bits.set(7);
+    EXPECT_EQ(bits.firstClear(), 8u); // full: returns size()
+}
+
+TEST(DynBitSet, FirstClearHandlesFullWords)
+{
+    DynBitSet bits(130);
+    for (unsigned i = 0; i < 128; ++i)
+        bits.set(i);
+    EXPECT_EQ(bits.firstClear(), 128u);
+}
+
+TEST(DynBitSet, ClearAllResets)
+{
+    DynBitSet bits(64);
+    for (unsigned i = 0; i < 64; ++i)
+        bits.set(i);
+    bits.clearAll();
+    EXPECT_EQ(bits.count(), 0u);
+    EXPECT_EQ(bits.firstClear(), 0u);
+}
+
+TEST(DynBitSetDeath, OutOfRangePanics)
+{
+    DynBitSet bits(10);
+    EXPECT_DEATH(bits.set(10), "out of range");
+    EXPECT_DEATH(bits.test(11), "out of range");
+}
+
+/** Property: firstClear always returns the minimal clear index. */
+class DynBitSetProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(DynBitSetProperty, FirstClearIsMinimal)
+{
+    Rng rng(GetParam());
+    DynBitSet bits(200);
+    std::set<std::size_t> occupied;
+    for (int step = 0; step < 400; ++step) {
+        const std::size_t i = rng.below(200);
+        if (rng.chance(0.7)) {
+            bits.set(i);
+            occupied.insert(i);
+        } else {
+            bits.reset(i);
+            occupied.erase(i);
+        }
+        std::size_t expected = 200;
+        for (std::size_t j = 0; j < 200; ++j) {
+            if (!occupied.count(j)) {
+                expected = j;
+                break;
+            }
+        }
+        ASSERT_EQ(bits.firstClear(), expected);
+        ASSERT_EQ(bits.countClear(), 200 - occupied.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynBitSetProperty,
+                         ::testing::Values(4, 8, 15, 16, 23));
+
+} // namespace
+} // namespace finereg

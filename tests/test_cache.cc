@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Set-associative cache tests: hit/miss behaviour, LRU eviction, MSHR
+ * merging, write-no-allocate stores, and resizing (UM mode).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "mem/cache.hh"
+
+namespace finereg
+{
+namespace
+{
+
+CacheConfig
+smallCache()
+{
+    // 4 sets x 2 ways x 128 B lines = 1 KiB.
+    return CacheConfig{1024, 2, 128, 10, 4};
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    StatGroup stats("t");
+    Cache cache("c", smallCache(), stats);
+    EXPECT_FALSE(cache.access(0x1000, false));
+    EXPECT_TRUE(cache.access(0x1000, false));
+    EXPECT_TRUE(cache.access(0x1040, false)); // same 128B line
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, ProbeDoesNotAllocate)
+{
+    StatGroup stats("t");
+    Cache cache("c", smallCache(), stats);
+    EXPECT_FALSE(cache.probe(0x2000));
+    EXPECT_FALSE(cache.access(0x2000, false));
+    EXPECT_TRUE(cache.probe(0x2000));
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    StatGroup stats("t");
+    Cache cache("c", smallCache(), stats);
+    // Three lines mapping to the same set (4 sets, line 128B: set =
+    // lineAddr % 4; addresses 0, 4*128, 8*128 all hit set 0).
+    const Addr a = 0, b = 4 * 128, c = 8 * 128;
+    cache.access(a, false);
+    cache.access(b, false);
+    cache.access(a, false);    // a is now MRU
+    cache.access(c, false);    // evicts b (LRU)
+    EXPECT_TRUE(cache.probe(a));
+    EXPECT_FALSE(cache.probe(b));
+    EXPECT_TRUE(cache.probe(c));
+}
+
+TEST(Cache, StoreMissDoesNotAllocate)
+{
+    StatGroup stats("t");
+    Cache cache("c", smallCache(), stats);
+    EXPECT_FALSE(cache.access(0x3000, true)); // write miss
+    EXPECT_FALSE(cache.probe(0x3000));        // no allocation
+    EXPECT_FALSE(cache.access(0x3000, false)); // still a read miss
+    EXPECT_TRUE(cache.probe(0x3000));
+}
+
+TEST(Cache, MshrMergesOutstandingFill)
+{
+    StatGroup stats("t");
+    Cache cache("c", smallCache(), stats);
+    cache.registerFill(0x4000, 100);
+    auto fill = cache.outstandingFill(0x4000, 50);
+    ASSERT_TRUE(fill.has_value());
+    EXPECT_EQ(*fill, 100u);
+    // Same line, different byte.
+    EXPECT_TRUE(cache.outstandingFill(0x4040, 50).has_value());
+    // Different line: no merge.
+    EXPECT_FALSE(cache.outstandingFill(0x5000, 50).has_value());
+}
+
+TEST(Cache, MshrExpiresAfterFill)
+{
+    StatGroup stats("t");
+    Cache cache("c", smallCache(), stats);
+    cache.registerFill(0x4000, 100);
+    EXPECT_FALSE(cache.outstandingFill(0x4000, 100).has_value());
+    EXPECT_FALSE(cache.outstandingFill(0x4000, 101).has_value());
+}
+
+TEST(Cache, MshrCapacityBounded)
+{
+    StatGroup stats("t");
+    Cache cache("c", smallCache(), stats); // 4 MSHRs
+    for (Addr a = 0; a < 6; ++a)
+        cache.registerFill(a * 0x1000, 1000 + a);
+    // Still functional; at most 4 entries retained.
+    unsigned live = 0;
+    for (Addr a = 0; a < 6; ++a)
+        live += cache.outstandingFill(a * 0x1000, 0).has_value() ? 1 : 0;
+    EXPECT_LE(live, 4u);
+}
+
+TEST(Cache, InvalidateAllClears)
+{
+    StatGroup stats("t");
+    Cache cache("c", smallCache(), stats);
+    cache.access(0x1000, false);
+    cache.invalidateAll();
+    EXPECT_FALSE(cache.probe(0x1000));
+}
+
+TEST(Cache, ResizeChangesGeometry)
+{
+    StatGroup stats("t");
+    Cache cache("c", smallCache(), stats);
+    cache.access(0x1000, false);
+    cache.resize(4096);
+    EXPECT_EQ(cache.sizeBytes(), 4096u);
+    EXPECT_FALSE(cache.probe(0x1000)); // resize drops contents
+}
+
+TEST(Cache, Table1Geometries)
+{
+    StatGroup stats("t");
+    // 48 KB 8-way L1 and 2 MB 8-way L2 from Table I must construct.
+    Cache l1("l1", CacheConfig{48 * 1024, 8, 128, 28, 64}, stats);
+    Cache l2("l2", CacheConfig{2048 * 1024, 8, 128, 120, 256}, stats);
+    EXPECT_FALSE(l1.access(0, false));
+    EXPECT_FALSE(l2.access(0, false));
+    EXPECT_TRUE(l1.access(0, false));
+}
+
+/** Property: cache never reports more hits than accesses, and contents
+ * respect capacity. */
+class CacheProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CacheProperty, HitsBoundedAndDeterministic)
+{
+    StatGroup stats("t");
+    Cache cache("c", smallCache(), stats);
+    Rng rng(GetParam());
+    std::uint64_t accesses = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const Addr addr = rng.below(64) * 128;
+        cache.access(addr, rng.chance(0.2));
+        ++accesses;
+    }
+    EXPECT_EQ(cache.hits() + cache.misses(), accesses);
+    EXPECT_GT(cache.hits(), 0u);
+    EXPECT_GT(cache.misses(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheProperty,
+                         ::testing::Values(21, 22, 23));
+
+} // namespace
+} // namespace finereg

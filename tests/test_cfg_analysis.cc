@@ -1,0 +1,151 @@
+/**
+ * @file
+ * CFG analysis tests: post-dominators and reconvergence points on the
+ * shapes the paper's compiler must handle (Fig. 9: diverging branch and
+ * loop), plus nesting and multi-exit cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/cfg_analysis.hh"
+#include "isa/kernel_builder.hh"
+
+namespace finereg
+{
+namespace
+{
+
+/** Fig. 9(a): B1 branches to B2/B3, reconverging at B4. */
+std::unique_ptr<Kernel>
+makeDiamond()
+{
+    KernelBuilder b("diamond");
+    b.regsPerThread(8);
+    b.newBlock(); // B0: entry
+    b.alu(Opcode::IADD, 0, 1);
+    b.newBlock(); // B1: the diverging branch
+    b.branch(3, 0, 0.5, 0.5);
+    b.newBlock(); // B2: else path
+    b.alu(Opcode::IADD, 1, 0);
+    b.jump(4);
+    b.newBlock(); // B3: then path
+    b.alu(Opcode::IMUL, 1, 0);
+    b.newBlock(); // B4: re-convergence point
+    b.exit();
+    return b.finalize();
+}
+
+TEST(CfgAnalysis, DiamondIpdom)
+{
+    const auto k = makeDiamond();
+    CfgAnalysis cfg(*k);
+    EXPECT_EQ(cfg.ipdom(0), 1);
+    EXPECT_EQ(cfg.ipdom(1), 4); // the branch reconverges at B4
+    EXPECT_EQ(cfg.ipdom(2), 4);
+    EXPECT_EQ(cfg.ipdom(3), 4);
+    EXPECT_EQ(cfg.ipdom(4), -1); // exit block
+}
+
+TEST(CfgAnalysis, DiamondReconvergencePc)
+{
+    const auto k = makeDiamond();
+    CfgAnalysis cfg(*k);
+    EXPECT_EQ(cfg.reconvergencePc(1), k->blockStartPc(4));
+}
+
+TEST(CfgAnalysis, PostDominatesIsReflexiveAndTransitive)
+{
+    const auto k = makeDiamond();
+    CfgAnalysis cfg(*k);
+    EXPECT_TRUE(cfg.postDominates(1, 1));
+    EXPECT_TRUE(cfg.postDominates(4, 0));
+    EXPECT_TRUE(cfg.postDominates(4, 2));
+    EXPECT_FALSE(cfg.postDominates(2, 1)); // else path does not pdom branch
+    EXPECT_FALSE(cfg.postDominates(3, 2));
+}
+
+/** Fig. 9(b): loop with body visited once by the analysis. */
+std::unique_ptr<Kernel>
+makeLoop()
+{
+    KernelBuilder b("loop");
+    b.regsPerThread(8);
+    b.newBlock(); // B0
+    b.alu(Opcode::IADD, 0, 1);
+    b.newBlock(); // B1: loop body
+    b.alu(Opcode::IADD, 0, 0);
+    b.loopBranch(1, 0, 4);
+    b.newBlock(); // B2: after loop
+    b.exit();
+    return b.finalize();
+}
+
+TEST(CfgAnalysis, LoopIpdom)
+{
+    const auto k = makeLoop();
+    CfgAnalysis cfg(*k);
+    EXPECT_EQ(cfg.ipdom(0), 1);
+    EXPECT_EQ(cfg.ipdom(1), 2);
+    EXPECT_EQ(cfg.ipdom(2), -1);
+}
+
+TEST(CfgAnalysis, LoopBackEdgeDetected)
+{
+    const auto k = makeLoop();
+    CfgAnalysis cfg(*k);
+    EXPECT_TRUE(cfg.isBackEdge(1, 1));
+    EXPECT_FALSE(cfg.isBackEdge(0, 1));
+}
+
+TEST(CfgAnalysis, RpoStartsAtEntryAndCoversAll)
+{
+    const auto k = makeDiamond();
+    CfgAnalysis cfg(*k);
+    ASSERT_EQ(cfg.rpo().size(), 5u);
+    EXPECT_EQ(cfg.rpo().front(), 0);
+}
+
+/** Nested diamond: outer branch contains an inner diamond on one path. */
+TEST(CfgAnalysis, NestedDiamonds)
+{
+    KernelBuilder b("nested");
+    b.regsPerThread(8);
+    b.newBlock();                 // B0: outer branch
+    b.branch(5, 0, 0.5, 0.2);     // taken -> B5
+    b.newBlock();                 // B1: outer else, inner branch
+    b.branch(3, 1, 0.5, 0.2);     // taken -> B3
+    b.newBlock();                 // B2: inner else
+    b.alu(Opcode::IADD, 0, 1);
+    b.newBlock();                 // B3: inner then (fall from B2 too)
+    b.alu(Opcode::IMUL, 0, 1);
+    b.newBlock();                 // B4: inner reconvergence
+    b.alu(Opcode::FADD, 0, 1);
+    b.newBlock();                 // B5: outer reconvergence
+    b.exit();
+    const auto k = b.finalize();
+    CfgAnalysis cfg(*k);
+    EXPECT_EQ(cfg.ipdom(1), 3); // inner branch reconverges at B3 here
+    EXPECT_EQ(cfg.ipdom(0), 5);
+    EXPECT_TRUE(cfg.postDominates(5, 2));
+}
+
+/** A branch whose both paths exit: reconvergence is the kernel end. */
+TEST(CfgAnalysis, BranchWithExitingPaths)
+{
+    KernelBuilder b("exiting");
+    b.regsPerThread(8);
+    b.newBlock();             // B0
+    b.branch(2, 0, 0.5, 0.1);
+    b.newBlock();             // B1
+    b.exit();
+    b.newBlock();             // B2
+    b.exit();
+    const auto k = b.finalize();
+    CfgAnalysis cfg(*k);
+    EXPECT_EQ(cfg.ipdom(0), -1);
+    EXPECT_EQ(cfg.reconvergencePc(0),
+              static_cast<Pc>(k->staticInstrs() * kInstrBytes));
+}
+
+} // namespace
+} // namespace finereg

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Energy model tests: component attribution from synthetic stat groups and
+ * sanity on real simulation output.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "energy/energy_model.hh"
+
+namespace finereg
+{
+namespace
+{
+
+TEST(EnergyModel, ZeroStatsZeroDynamicEnergy)
+{
+    StatGroup stats("t");
+    EnergyModel model;
+    const EnergyBreakdown e = model.compute(stats, 0, 16);
+    EXPECT_DOUBLE_EQ(e.dramDyn, 0.0);
+    EXPECT_DOUBLE_EQ(e.rfDyn, 0.0);
+    EXPECT_DOUBLE_EQ(e.othersDyn, 0.0);
+    EXPECT_DOUBLE_EQ(e.leakage, 0.0);
+    EXPECT_DOUBLE_EQ(e.total(), 0.0);
+}
+
+TEST(EnergyModel, LeakageScalesWithCyclesAndSms)
+{
+    StatGroup stats("t");
+    EnergyModel model;
+    const double one_sm = model.compute(stats, 1000, 1).leakage;
+    const double four_sm = model.compute(stats, 1000, 4).leakage;
+    const double longer = model.compute(stats, 2000, 1).leakage;
+    EXPECT_DOUBLE_EQ(four_sm, 4 * one_sm);
+    EXPECT_DOUBLE_EQ(longer, 2 * one_sm);
+}
+
+TEST(EnergyModel, ComponentAttribution)
+{
+    StatGroup stats("t");
+    stats.counter("dram.bytes_data").inc(1000);
+    stats.counter("dram.bytes_cta_context").inc(500);
+    stats.counter("sm.rf_reads").inc(10);
+    stats.counter("sm.rf_writes").inc(5);
+    stats.counter("sm.issued").inc(100);
+    stats.counter("pcrf.reads").inc(7);
+    stats.counter("pcrf.writes").inc(3);
+    stats.counter("pcrf.stored_ctas").inc(1);
+    stats.counter("pcrf.restored_ctas").inc(1);
+    stats.counter("bitvec_cache.hits").inc(20);
+    stats.counter("rmu.gathers").inc(2);
+
+    EnergyCoefficients coeffs;
+    EnergyModel model(coeffs);
+    const EnergyBreakdown e = model.compute(stats, 0, 16);
+
+    EXPECT_DOUBLE_EQ(e.dramDyn, 1500 * coeffs.dramByteEnergy);
+    EXPECT_DOUBLE_EQ(e.rfDyn, 15 * coeffs.rfAccessEnergy);
+    EXPECT_DOUBLE_EQ(e.othersDyn, 100 * coeffs.issueEnergy);
+    EXPECT_DOUBLE_EQ(e.ctaSwitching,
+                     10 * coeffs.pcrfAccessEnergy +
+                         2 * coeffs.switchEnergy);
+    EXPECT_DOUBLE_EQ(e.fineregOverhead,
+                     20 * coeffs.bitvecAccessEnergy +
+                         2 * coeffs.rmuGatherEnergy);
+    EXPECT_DOUBLE_EQ(e.total(), e.dramDyn + e.rfDyn + e.othersDyn +
+                                    e.fineregOverhead + e.ctaSwitching);
+}
+
+TEST(EnergyModel, CacheAccessesCountedInOthers)
+{
+    StatGroup stats("t");
+    stats.counter("l1_0.hits").inc(10);
+    stats.counter("l1_0.misses").inc(5);
+    stats.counter("l2.hits").inc(3);
+    EnergyCoefficients coeffs;
+    EnergyModel model(coeffs);
+    const EnergyBreakdown e = model.compute(stats, 0, 1);
+    EXPECT_DOUBLE_EQ(e.othersDyn, 15 * coeffs.l1AccessEnergy +
+                                      3 * coeffs.l2AccessEnergy);
+}
+
+TEST(EnergyModel, RealRunProducesPlausibleBreakdown)
+{
+    GpuConfig config = Experiment::configFor(PolicyKind::Baseline);
+    const SimResult result = Experiment::runApp("MC", config, 0.05);
+    EXPECT_GT(result.energy.total(), 0.0);
+    EXPECT_GT(result.energy.leakage, 0.0);
+    EXPECT_GT(result.energy.dramDyn, 0.0);
+    EXPECT_GT(result.energy.othersDyn, 0.0);
+    // Baseline has no PCRF machinery.
+    EXPECT_DOUBLE_EQ(result.energy.ctaSwitching, 0.0);
+}
+
+TEST(EnergyModel, FineRegRunChargesSwitching)
+{
+    GpuConfig config = Experiment::configFor(PolicyKind::FineReg);
+    const SimResult result = Experiment::runApp("MC", config, 0.6);
+    EXPECT_GE(result.energy.ctaSwitching, 0.0);
+    EXPECT_GT(result.energy.fineregOverhead, 0.0);
+}
+
+} // namespace
+} // namespace finereg

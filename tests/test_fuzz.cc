@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Structured random-kernel fuzzing. A seeded generator emits random but
+ * well-formed kernels (straight runs, diamonds, loops, barriers, loads and
+ * stores over random patterns) and the properties below must hold for
+ * every one of them:
+ *
+ *  - the compiler's liveness solution satisfies the dataflow equations
+ *    (checked independently of the solver's iteration order),
+ *  - immediate post-dominators actually post-dominate, and reconvergence
+ *    PCs lie at block starts,
+ *  - every policy runs the kernel to completion deterministically,
+ *  - FineReg leaves no residue in the PCRF / ACRF / status monitor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "compiler/cfg_analysis.hh"
+#include "compiler/liveness.hh"
+#include "core/experiment.hh"
+#include "isa/kernel_builder.hh"
+#include "policies/finereg_policy.hh"
+#include "sm/gpu.hh"
+
+namespace finereg
+{
+namespace
+{
+
+/** Generate a random well-formed kernel from a seed. */
+std::unique_ptr<Kernel>
+randomKernel(std::uint64_t seed)
+{
+    Rng rng(seed);
+    const unsigned regs = 6 + rng.below(40);          // 6..45
+    const unsigned warps = 1 + rng.below(4);          // 1..4 warps
+    const unsigned grid = 8 + rng.below(48);          // 8..55 CTAs
+
+    KernelBuilder b("fuzz_" + std::to_string(seed));
+    b.regsPerThread(regs)
+        .threadsPerCta(warps * kWarpSize)
+        .shmemPerCta(rng.chance(0.3) ? 1024 * (1 + rng.below(8)) : 0)
+        .gridCtas(grid);
+
+    auto rand_reg = [&] { return static_cast<int>(rng.below(regs)); };
+    auto rand_pattern = [&] {
+        MemPattern p;
+        p.region = static_cast<unsigned>(rng.below(8));
+        p.footprint = (64ull + rng.below(4096)) * 1024;
+        p.transactions = 1 + static_cast<unsigned>(rng.below(4));
+        p.stride = 32u << rng.below(4);
+        p.reuse = rng.chance(0.3) ? rng.uniform() * 0.5 : 0.0;
+        p.shared = rng.chance(0.3);
+        return p;
+    };
+    auto emit_body = [&](unsigned ops) {
+        for (unsigned i = 0; i < ops; ++i) {
+            switch (rng.below(6)) {
+              case 0:
+                b.load(Opcode::LD_GLOBAL, rand_reg(), rand_reg(),
+                       rand_pattern());
+                break;
+              case 1:
+                b.store(Opcode::ST_GLOBAL, rand_reg(), rand_reg(),
+                        rand_pattern());
+                break;
+              case 2:
+                b.sfu(rand_reg(), rand_reg());
+                break;
+              case 3:
+                b.load(Opcode::LD_SHARED, rand_reg(), rand_reg(),
+                       rand_pattern());
+                break;
+              default:
+                b.alu(rng.chance(0.5) ? Opcode::FFMA : Opcode::IADD,
+                      rand_reg(), rand_reg(), rand_reg(),
+                      rng.chance(0.5) ? rand_reg() : -1);
+            }
+        }
+    };
+
+    // A random sequence of structured segments. Block indices are known
+    // in advance because each segment has a fixed block arity.
+    b.newBlock();
+    emit_body(2 + rng.below(4));
+    int next_block = 1;
+
+    const unsigned segments = 1 + rng.below(3);
+    for (unsigned s = 0; s < segments; ++s) {
+        switch (rng.below(3)) {
+          case 0: { // loop: body block with back edge
+            const int body = next_block;
+            b.newBlock();
+            emit_body(1 + rng.below(4));
+            if (rng.chance(0.3))
+                b.barrier();
+            b.loopBranch(body, rand_reg(),
+                         1 + static_cast<unsigned>(rng.below(6)),
+                         rng.chance(0.3) ? 0.2 : 0.0);
+            next_block += 1;
+            break;
+          }
+          case 1: { // diamond: branch, else, then, join
+            const int branch_block = next_block;
+            (void)branch_block;
+            b.newBlock();
+            emit_body(1 + rng.below(3));
+            b.branch(next_block + 2, rand_reg(), rng.uniform(),
+                     rng.chance(0.5) ? rng.uniform() * 0.6 : 0.0);
+            b.newBlock(); // else
+            emit_body(1 + rng.below(3));
+            b.jump(next_block + 3);
+            b.newBlock(); // then
+            emit_body(1 + rng.below(3));
+            b.newBlock(); // join
+            emit_body(1);
+            next_block += 4;
+            break;
+          }
+          default: { // straight run
+            b.newBlock();
+            emit_body(2 + rng.below(5));
+            next_block += 1;
+            break;
+          }
+        }
+    }
+
+    b.newBlock();
+    emit_body(1);
+    b.exit();
+    return b.finalize();
+}
+
+RegBitVec
+useSetOf(const Instruction &instr)
+{
+    RegBitVec use;
+    for (int src : instr.srcs) {
+        if (src >= 0)
+            use.set(static_cast<RegIndex>(src));
+    }
+    return use;
+}
+
+class FuzzKernel : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FuzzKernel, LivenessSatisfiesDataflowEquations)
+{
+    const auto kernel = randomKernel(GetParam());
+    LivenessAnalysis live(*kernel);
+
+    for (const auto &blk : kernel->blocks()) {
+        for (unsigned i = blk.firstInstr;
+             i < blk.firstInstr + blk.numInstrs; ++i) {
+            const Instruction &instr = kernel->instrs()[i];
+
+            // live-in = use U (live-out \ def)
+            RegBitVec def;
+            if (instr.dst >= 0)
+                def.set(static_cast<RegIndex>(instr.dst));
+            const RegBitVec expected_in =
+                useSetOf(instr) | live.liveOut(i).minus(def);
+            ASSERT_EQ(live.liveIn(i), expected_in)
+                << "instr " << i << " of " << kernel->name();
+
+            // live-out = union of successors' live-in.
+            RegBitVec expected_out;
+            if (i + 1 < blk.firstInstr + blk.numInstrs) {
+                expected_out = live.liveIn(i + 1);
+            } else {
+                for (int succ : blk.succs) {
+                    expected_out |= live.liveIn(
+                        kernel->blocks()[succ].firstInstr);
+                }
+            }
+            ASSERT_EQ(live.liveOut(i), expected_out)
+                << "instr " << i << " of " << kernel->name();
+        }
+    }
+}
+
+TEST_P(FuzzKernel, PostDominatorLawsHold)
+{
+    const auto kernel = randomKernel(GetParam());
+    CfgAnalysis cfg(*kernel);
+    const int n = static_cast<int>(kernel->blocks().size());
+    for (int b = 0; b < n; ++b) {
+        const int pd = cfg.ipdom(b);
+        if (pd >= 0) {
+            ASSERT_NE(pd, b);
+            ASSERT_TRUE(cfg.postDominates(pd, b));
+        }
+        // Reconvergence PCs are block starts or the kernel end.
+        const Pc reconv = cfg.reconvergencePc(b);
+        if (reconv < kernel->staticInstrs() * kInstrBytes) {
+            const int block =
+                kernel->blockOfInstr(kernel->instrIndexOf(reconv));
+            ASSERT_GE(block, 0);
+            ASSERT_EQ(kernel->blockStartPc(block), reconv);
+        }
+    }
+}
+
+TEST_P(FuzzKernel, EveryPolicyCompletesDeterministically)
+{
+    const auto kernel = randomKernel(GetParam());
+    GpuConfig config = GpuConfig::gtx980();
+    config.numSms = 2;
+    config.maxCycles = 5'000'000;
+
+    for (const PolicyKind kind :
+         {PolicyKind::Baseline, PolicyKind::VirtualThread,
+          PolicyKind::RegDram, PolicyKind::RegMutex, PolicyKind::FineReg}) {
+        config.policy.kind = kind;
+        Gpu first(config, *kernel);
+        const auto a = first.run();
+        ASSERT_FALSE(a.hitCycleLimit)
+            << kernel->name() << " under " << policyKindName(kind);
+        ASSERT_EQ(a.completedCtas, kernel->gridCtas());
+
+        const auto kernel2 = randomKernel(GetParam());
+        Gpu second(config, *kernel2);
+        const auto b = second.run();
+        ASSERT_EQ(a.cycles, b.cycles) << policyKindName(kind);
+        ASSERT_EQ(a.instructions, b.instructions) << policyKindName(kind);
+    }
+}
+
+TEST_P(FuzzKernel, FineRegLeavesNoResidue)
+{
+    const auto kernel = randomKernel(GetParam());
+    GpuConfig config = GpuConfig::gtx980();
+    config.numSms = 2;
+    config.policy.kind = PolicyKind::FineReg;
+    config.maxCycles = 5'000'000;
+    Gpu gpu(config, *kernel);
+    const auto result = gpu.run();
+    ASSERT_FALSE(result.hitCycleLimit);
+
+    auto &policy = static_cast<FineRegPolicy &>(gpu.policy());
+    for (auto &sm : gpu.sms()) {
+        EXPECT_EQ(policy.pcrfOf(*sm).numPendingCtas(), 0u);
+        EXPECT_EQ(policy.pcrfOf(*sm).freeEntries(),
+                  policy.pcrfOf(*sm).numEntries());
+        EXPECT_EQ(policy.acrfOf(*sm).usedWarpRegs(), 0u);
+        EXPECT_EQ(policy.monitorOf(*sm).numTracked(), 0u);
+    }
+    EXPECT_EQ(gpu.stats().counterValue("pcrf.stored_ctas"),
+              gpu.stats().counterValue("pcrf.restored_ctas"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzKernel,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+} // namespace
+} // namespace finereg

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Whole-device tests: end-to-end kernel completion, determinism, cycle
+ * skipping correctness, occupancy statistics, and the cycle cap.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/kernel_builder.hh"
+#include "sm/gpu.hh"
+
+namespace finereg
+{
+namespace
+{
+
+std::unique_ptr<Kernel>
+mixedKernel(unsigned grid = 64)
+{
+    KernelBuilder b("mixed");
+    b.regsPerThread(16).threadsPerCta(64).gridCtas(grid);
+    MemPattern stream;
+    stream.footprint = 8ull << 20;
+    b.newBlock();
+    b.alu(Opcode::IADD, 0, 0);
+    b.alu(Opcode::IADD, 1, 0);
+    b.newBlock();
+    b.load(Opcode::LD_GLOBAL, 2, 0, stream);
+    b.alu(Opcode::FADD, 3, 2, 1);
+    b.alu(Opcode::FMUL, 1, 3, 1);
+    b.alu(Opcode::IADD, 0, 0, 1);
+    b.loopBranch(1, 0, 4);
+    b.newBlock();
+    b.store(Opcode::ST_GLOBAL, 0, 1, stream);
+    b.exit();
+    return b.finalize();
+}
+
+GpuConfig
+smallConfig()
+{
+    GpuConfig config = GpuConfig::gtx980();
+    config.numSms = 2;
+    return config;
+}
+
+TEST(Gpu, CompletesAllCtas)
+{
+    const auto kernel = mixedKernel();
+    Gpu gpu(smallConfig(), *kernel);
+    const GpuRunResult result = gpu.run();
+    EXPECT_FALSE(result.hitCycleLimit);
+    EXPECT_EQ(result.completedCtas, 64u);
+    EXPECT_GT(result.instructions, 0u);
+    EXPECT_GT(result.ipc(), 0.0);
+}
+
+TEST(Gpu, InstructionCountMatchesExpectation)
+{
+    const auto kernel = mixedKernel(8);
+    Gpu gpu(smallConfig(), *kernel);
+    const GpuRunResult result = gpu.run();
+    // Per warp: 2 prologue + 4 iterations x 5 body + 2 epilogue = 24.
+    // 8 CTAs x 2 warps = 16 warps.
+    EXPECT_EQ(result.instructions, 16u * 24);
+}
+
+TEST(Gpu, DeterministicAcrossRuns)
+{
+    const auto k1 = mixedKernel();
+    const auto k2 = mixedKernel();
+    Gpu a(smallConfig(), *k1);
+    Gpu b(smallConfig(), *k2);
+    const auto ra = a.run();
+    const auto rb = b.run();
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.instructions, rb.instructions);
+}
+
+TEST(Gpu, SeedChangesScheduleNotWork)
+{
+    const auto k1 = mixedKernel();
+    GpuConfig config = smallConfig();
+    config.seed = 999;
+    Gpu a(smallConfig(), *k1);
+    const auto k2 = mixedKernel();
+    Gpu b(config, *k2);
+    const auto ra = a.run();
+    const auto rb = b.run();
+    EXPECT_EQ(ra.instructions, rb.instructions);
+}
+
+TEST(Gpu, CycleCapStopsRunaway)
+{
+    const auto kernel = mixedKernel(256);
+    GpuConfig config = smallConfig();
+    config.maxCycles = 100;
+    Gpu gpu(config, *kernel);
+    const auto result = gpu.run();
+    EXPECT_TRUE(result.hitCycleLimit);
+    EXPECT_LT(result.completedCtas, 256u);
+}
+
+TEST(Gpu, StatsPopulated)
+{
+    const auto kernel = mixedKernel();
+    Gpu gpu(smallConfig(), *kernel);
+    gpu.run();
+    EXPECT_GT(gpu.stats().counterValue("gpu.cycles"), 0u);
+    EXPECT_GT(gpu.stats().counterValue("sm.issued"), 0u);
+    EXPECT_GT(gpu.stats().counterValue("dram.accesses"), 0u);
+    EXPECT_GT(gpu.stats().counterValue("sm.resident_cta_cycles"), 0u);
+}
+
+TEST(Gpu, OccupancyNeverExceedsLimits)
+{
+    const auto kernel = mixedKernel();
+    GpuConfig config = smallConfig();
+    Gpu gpu(config, *kernel);
+    gpu.run();
+    const double cycles =
+        static_cast<double>(gpu.stats().counterValue("gpu.cycles"));
+    const double avg_active =
+        gpu.stats().counterValue("sm.active_cta_cycles") /
+        (cycles * config.numSms);
+    EXPECT_LE(avg_active, config.sm.maxCtas);
+    const double avg_threads =
+        gpu.stats().counterValue("sm.active_thread_cycles") /
+        (cycles * config.numSms);
+    EXPECT_LE(avg_threads, config.sm.maxThreads);
+}
+
+TEST(Gpu, LrrSchedulerAlsoCompletes)
+{
+    const auto kernel = mixedKernel();
+    GpuConfig config = smallConfig();
+    config.sm.sched = SchedKind::LRR;
+    Gpu gpu(config, *kernel);
+    const auto result = gpu.run();
+    EXPECT_FALSE(result.hitCycleLimit);
+    EXPECT_EQ(result.completedCtas, 64u);
+}
+
+TEST(Gpu, DivergentKernelCompletes)
+{
+    KernelBuilder b("divergent");
+    b.regsPerThread(8).threadsPerCta(64).gridCtas(32);
+    b.newBlock();                 // B0
+    b.alu(Opcode::IADD, 0, 0);
+    b.newBlock();                 // B1: diverging branch
+    b.branch(3, 0, 0.5, 0.8);
+    b.newBlock();                 // B2: else
+    b.alu(Opcode::IADD, 1, 0);
+    b.jump(4);
+    b.newBlock();                 // B3: then
+    b.alu(Opcode::IMUL, 1, 0);
+    b.newBlock();                 // B4: join
+    b.alu(Opcode::IADD, 2, 1);
+    b.exit();
+    const auto kernel = b.finalize();
+    Gpu gpu(smallConfig(), *kernel);
+    const auto result = gpu.run();
+    EXPECT_FALSE(result.hitCycleLimit);
+    EXPECT_EQ(result.completedCtas, 32u);
+    EXPECT_GT(gpu.stats().counterValue("sm.divergences"), 0u);
+}
+
+} // namespace
+} // namespace finereg

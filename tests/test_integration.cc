@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Cross-module integration and invariant tests: conservation of executed
+ * work across policies, determinism of full runs, PCRF/status-monitor
+ * consistency at completion, dispatcher behaviour, and the Gpu's
+ * cycle-skipping fast path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "policies/finereg_policy.hh"
+#include "sm/cta_dispatcher.hh"
+#include "sm/gpu.hh"
+#include "workloads/suite.hh"
+
+namespace finereg
+{
+namespace
+{
+
+TEST(CtaDispatcher, HandsOutSequentialIds)
+{
+    CtaDispatcher dispatcher(3);
+    EXPECT_TRUE(dispatcher.hasWork());
+    EXPECT_EQ(dispatcher.pop(), 0u);
+    EXPECT_EQ(dispatcher.pop(), 1u);
+    EXPECT_EQ(dispatcher.remaining(), 1u);
+    EXPECT_EQ(dispatcher.pop(), 2u);
+    EXPECT_FALSE(dispatcher.hasWork());
+}
+
+TEST(CtaDispatcher, CompletionTracking)
+{
+    CtaDispatcher dispatcher(2);
+    EXPECT_FALSE(dispatcher.allComplete());
+    dispatcher.noteCompleted();
+    dispatcher.noteCompleted();
+    EXPECT_TRUE(dispatcher.allComplete());
+    EXPECT_EQ(dispatcher.completed(), 2u);
+}
+
+TEST(CtaDispatcherDeath, PopOnEmptyPanics)
+{
+    CtaDispatcher dispatcher(1);
+    dispatcher.pop();
+    EXPECT_DEATH(dispatcher.pop(), "empty grid");
+}
+
+class PolicyInvariants : public ::testing::TestWithParam<PolicyKind>
+{
+};
+
+TEST_P(PolicyInvariants, RunIsDeterministic)
+{
+    GpuConfig config = Experiment::configFor(GetParam());
+    const SimResult a = Experiment::runApp("NW", config, 0.1);
+    const SimResult b = Experiment::runApp("NW", config, 0.1);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.dramBytesTotal(), b.dramBytesTotal());
+}
+
+TEST_P(PolicyInvariants, CompletesEveryCtaOfTheGrid)
+{
+    GpuConfig config = Experiment::configFor(GetParam());
+    const auto kernel = Suite::makeKernel(Suite::byName("SY2"), 0.1);
+    Gpu gpu(config, *kernel);
+    const auto result = gpu.run();
+    EXPECT_EQ(result.completedCtas, kernel->gridCtas());
+    // No resident CTAs may remain anywhere.
+    for (auto &sm : gpu.sms())
+        EXPECT_TRUE(sm->residentCtas().empty());
+}
+
+TEST_P(PolicyInvariants, OccupancyWithinResidencyCaps)
+{
+    GpuConfig config = Experiment::configFor(GetParam());
+    const SimResult r = Experiment::runApp("MC", config, 0.2);
+    EXPECT_LE(r.avgResidentCtas, config.sm.maxResidentCtas + 0.01);
+    EXPECT_LE(r.avgActiveCtas, config.sm.maxCtas + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyInvariants,
+    ::testing::Values(PolicyKind::Baseline, PolicyKind::VirtualThread,
+                      PolicyKind::RegDram, PolicyKind::RegMutex,
+                      PolicyKind::FineReg));
+
+TEST(FineRegInvariants, PcrfEmptyAfterCompletion)
+{
+    GpuConfig config = Experiment::configFor(PolicyKind::FineReg);
+    const auto kernel = Suite::makeKernel(Suite::byName("MC"), 0.15);
+    Gpu gpu(config, *kernel);
+    gpu.run();
+    auto &policy = static_cast<FineRegPolicy &>(gpu.policy());
+    for (auto &sm : gpu.sms()) {
+        const Pcrf &pcrf = policy.pcrfOf(*sm);
+        EXPECT_EQ(pcrf.numPendingCtas(), 0u);
+        EXPECT_EQ(pcrf.freeEntries(), pcrf.numEntries());
+        EXPECT_EQ(policy.acrfOf(*sm).usedWarpRegs(), 0u);
+        EXPECT_EQ(policy.monitorOf(*sm).numTracked(), 0u);
+    }
+}
+
+TEST(FineRegInvariants, StoredEqualsRestored)
+{
+    GpuConfig config = Experiment::configFor(PolicyKind::FineReg);
+    const auto kernel = Suite::makeKernel(Suite::byName("SR2"), 0.2);
+    Gpu gpu(config, *kernel);
+    gpu.run();
+    EXPECT_EQ(gpu.stats().counterValue("pcrf.stored_ctas"),
+              gpu.stats().counterValue("pcrf.restored_ctas"));
+    EXPECT_EQ(gpu.stats().counterValue("pcrf.writes"),
+              gpu.stats().counterValue("pcrf.reads"));
+}
+
+TEST(FineRegInvariants, UsesLessPcrfSpaceThanFullContextWould)
+{
+    GpuConfig config = Experiment::configFor(PolicyKind::FineReg);
+    const auto kernel = Suite::makeKernel(Suite::byName("LI"), 0.2);
+    Gpu gpu(config, *kernel);
+    gpu.run();
+    const double stores = static_cast<double>(
+        gpu.stats().counterValue("pcrf.stored_ctas"));
+    if (stores > 0) {
+        const double live_per_cta =
+            gpu.stats().counterValue("pcrf.writes") / stores;
+        // LI is a Fig. 5 low-liveness app: far below full context.
+        EXPECT_LT(live_per_cta, 0.5 * kernel->warpRegsPerCta());
+    }
+}
+
+TEST(UnifiedMemoryRuns, AllThreeVariantsComplete)
+{
+    for (const PolicyKind kind :
+         {PolicyKind::Baseline, PolicyKind::VirtualThread,
+          PolicyKind::FineReg}) {
+        GpuConfig config = Experiment::configFor(kind);
+        config.policy.unifiedMemory = true;
+        const SimResult r = Experiment::runApp("AT", config, 0.1);
+        EXPECT_FALSE(r.hitCycleLimit) << policyKindName(kind);
+        EXPECT_GT(r.ipc, 0.0);
+    }
+}
+
+TEST(GrowthDamper, HigherFactorNeverReducesResidency)
+{
+    GpuConfig low = Experiment::configFor(PolicyKind::FineReg);
+    low.policy.pendingGrowthFactor = 0.5;
+    GpuConfig high = Experiment::configFor(PolicyKind::FineReg);
+    high.policy.pendingGrowthFactor = 3.0;
+    const SimResult a = Experiment::runApp("MC", low, 0.25);
+    const SimResult b = Experiment::runApp("MC", high, 0.25);
+    EXPECT_GE(b.avgResidentCtas + 0.5, a.avgResidentCtas);
+}
+
+TEST(Fig4Configs, IdealBeatsEverything)
+{
+    GpuConfig ideal = Experiment::configFor(PolicyKind::Baseline);
+    ideal.sm.maxCtas = 4096;
+    ideal.sm.maxWarps = 8192;
+    ideal.sm.maxThreads = 1u << 20;
+    ideal.sm.regFileBytes = 1ull << 30;
+    ideal.sm.shmemBytes = 1ull << 30;
+    ideal.sm.maxResidentCtas = 4096;
+    ideal.sm.maxResidentWarps = 8192;
+    const SimResult unlimited = Experiment::runApp("CS", ideal, 0.2);
+    const SimResult base = Experiment::runApp(
+        "CS", Experiment::configFor(PolicyKind::Baseline), 0.2);
+    EXPECT_GE(unlimited.ipc, base.ipc);
+    EXPECT_GT(unlimited.avgResidentCtas, base.avgResidentCtas);
+}
+
+} // namespace
+} // namespace finereg

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * KernelBuilder validation: PC assignment, CFG edge construction, resource
+ * declaration, and rejection of malformed kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/kernel_builder.hh"
+
+namespace finereg
+{
+namespace
+{
+
+std::unique_ptr<Kernel>
+makeStraightLine()
+{
+    KernelBuilder b("straight");
+    b.regsPerThread(8).threadsPerCta(64).gridCtas(4);
+    b.newBlock();
+    b.alu(Opcode::IADD, 0, 1, 2);
+    b.alu(Opcode::FMUL, 3, 0, 1);
+    b.exit();
+    return b.finalize();
+}
+
+TEST(KernelBuilder, AssignsSequentialPcs)
+{
+    const auto k = makeStraightLine();
+    ASSERT_EQ(k->staticInstrs(), 3u);
+    EXPECT_EQ(k->instrs()[0].pc, 0u);
+    EXPECT_EQ(k->instrs()[1].pc, kInstrBytes);
+    EXPECT_EQ(k->instrs()[2].pc, 2 * kInstrBytes);
+    EXPECT_EQ(k->instrs()[1].index, 1u);
+}
+
+TEST(KernelBuilder, InstrAtRoundTrips)
+{
+    const auto k = makeStraightLine();
+    EXPECT_EQ(k->instrAt(kInstrBytes).op, Opcode::FMUL);
+    EXPECT_EQ(k->instrIndexOf(2 * kInstrBytes), 2u);
+}
+
+TEST(KernelBuilder, ResourceDeclarationsStick)
+{
+    KernelBuilder b("resources");
+    b.regsPerThread(32).threadsPerCta(128).shmemPerCta(4096).gridCtas(77);
+    b.newBlock();
+    b.exit();
+    const auto k = b.finalize();
+    EXPECT_EQ(k->regsPerThread(), 32u);
+    EXPECT_EQ(k->threadsPerCta(), 128u);
+    EXPECT_EQ(k->warpsPerCta(), 4u);
+    EXPECT_EQ(k->shmemPerCta(), 4096u);
+    EXPECT_EQ(k->gridCtas(), 77u);
+    EXPECT_EQ(k->regBytesPerCta(), 32u * 128 * 4);
+    EXPECT_EQ(k->warpRegsPerCta(), 32u * 4);
+}
+
+TEST(KernelBuilder, FallThroughEdge)
+{
+    KernelBuilder b("fallthrough");
+    b.regsPerThread(8);
+    b.newBlock();
+    b.alu(Opcode::IADD, 0, 1);
+    b.newBlock();
+    b.exit();
+    const auto k = b.finalize();
+    ASSERT_EQ(k->blocks().size(), 2u);
+    EXPECT_EQ(k->blocks()[0].succs, (std::vector<int>{1}));
+    EXPECT_EQ(k->blocks()[1].preds, (std::vector<int>{0}));
+}
+
+TEST(KernelBuilder, BranchEdges)
+{
+    KernelBuilder b("branchy");
+    b.regsPerThread(8);
+    b.newBlock();                     // B0
+    b.branch(2, 0, 0.5, 0.0);         // taken -> B2, fall -> B1
+    b.newBlock();                     // B1
+    b.alu(Opcode::IADD, 0, 1);
+    b.newBlock();                     // B2
+    b.exit();
+    const auto k = b.finalize();
+    EXPECT_EQ(k->blocks()[0].succs, (std::vector<int>{2, 1}));
+    EXPECT_EQ(k->blocks()[2].preds, (std::vector<int>{0, 1}));
+}
+
+TEST(KernelBuilder, LoopEdge)
+{
+    KernelBuilder b("loopy");
+    b.regsPerThread(8);
+    b.newBlock();                     // B0
+    b.alu(Opcode::IADD, 0, 1);
+    b.newBlock();                     // B1: body
+    b.alu(Opcode::IADD, 0, 0);
+    b.loopBranch(1, 0, 5);
+    b.newBlock();                     // B2
+    b.exit();
+    const auto k = b.finalize();
+    EXPECT_EQ(k->blocks()[1].succs, (std::vector<int>{1, 2}));
+    EXPECT_TRUE(k->instrs()[k->blocks()[1].firstInstr + 1].isLoopBranch());
+    EXPECT_EQ(k->blockStartPc(1), kInstrBytes);
+}
+
+TEST(KernelBuilder, BlockOfInstr)
+{
+    const auto k = makeStraightLine();
+    EXPECT_EQ(k->blockOfInstr(0), 0);
+    EXPECT_EQ(k->blockOfInstr(2), 0);
+}
+
+TEST(KernelBuilder, ToStringContainsDisassembly)
+{
+    const auto k = makeStraightLine();
+    const std::string text = k->toString();
+    EXPECT_NE(text.find("IADD"), std::string::npos);
+    EXPECT_NE(text.find("EXIT"), std::string::npos);
+    EXPECT_NE(text.find("B0"), std::string::npos);
+}
+
+// ---- Rejection paths ------------------------------------------------------
+
+TEST(KernelBuilderDeath, RegisterBeyondDeclaration)
+{
+    KernelBuilder b("bad_regs");
+    b.regsPerThread(4);
+    b.newBlock();
+    b.alu(Opcode::IADD, 7, 0); // R7 >= 4
+    b.exit();
+    EXPECT_DEATH((void)b.finalize(), "beyond declared");
+}
+
+TEST(KernelBuilderDeath, MissingExit)
+{
+    KernelBuilder b("no_exit");
+    b.regsPerThread(4);
+    b.newBlock();
+    b.jump(0);
+    EXPECT_DEATH((void)b.finalize(), "EXIT");
+}
+
+TEST(KernelBuilderDeath, MidBlockTerminator)
+{
+    KernelBuilder b("mid_term");
+    b.regsPerThread(4);
+    b.newBlock();
+    b.exit();
+    b.alu(Opcode::IADD, 0, 1);
+    EXPECT_DEATH((void)b.finalize(), "mid-block");
+}
+
+TEST(KernelBuilderDeath, BranchToNonexistentBlock)
+{
+    KernelBuilder b("bad_target");
+    b.regsPerThread(4);
+    b.newBlock();
+    b.branch(9, 0, 0.5, 0.0);
+    b.newBlock();
+    b.exit();
+    EXPECT_DEATH((void)b.finalize(), "nonexistent");
+}
+
+TEST(KernelBuilderDeath, FinalBlockFallsOffEnd)
+{
+    KernelBuilder b("fall_off");
+    b.regsPerThread(4);
+    b.newBlock();
+    b.alu(Opcode::IADD, 0, 1);
+    EXPECT_DEATH((void)b.finalize(), "does not end");
+}
+
+TEST(KernelBuilderDeath, InvalidThreadCount)
+{
+    KernelBuilder b("bad_threads");
+    EXPECT_DEATH(b.threadsPerCta(50), "multiple");
+}
+
+TEST(KernelBuilderDeath, ZeroTripLoop)
+{
+    KernelBuilder b("zero_trip");
+    b.regsPerThread(4);
+    b.newBlock();
+    EXPECT_DEATH(b.loopBranch(0, 0, 0), "positive");
+}
+
+} // namespace
+} // namespace finereg

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Liveness analysis tests, including a reconstruction of the paper's
+ * Fig. 7 example (a warp stalled at PC 0x0000 must keep only R0 alive)
+ * and the Fig. 9 branch/loop traversal cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/live_info.hh"
+#include "compiler/liveness.hh"
+#include "isa/kernel_builder.hh"
+
+namespace finereg
+{
+namespace
+{
+
+/**
+ * Fig. 7 shape: the instruction at the stall PC reads R0; R1-R3 are
+ * written (as destinations) before any of them is read.
+ */
+std::unique_ptr<Kernel>
+makeFig7Kernel()
+{
+    KernelBuilder b("fig7");
+    b.regsPerThread(8);
+    b.newBlock();
+    b.alu(Opcode::IADD, 1, 0, 0);  // 0x00: R1 <- R0 + R0 (R0 is a source)
+    b.alu(Opcode::IMUL, 2, 1, 1);  // 0x08: R2 <- R1 * R1
+    b.alu(Opcode::FADD, 3, 2, 2);  // 0x10: R3 <- R2 + R2
+    b.alu(Opcode::FMUL, 0, 3, 3);  // 0x18: R0 <- R3 * R3 (kills R0)
+    b.exit();
+    return b.finalize();
+}
+
+TEST(Liveness, Fig7OnlyR0LiveAtStallPc)
+{
+    const auto k = makeFig7Kernel();
+    LivenessAnalysis live(*k);
+    const RegBitVec at_entry = live.liveIn(0);
+    EXPECT_TRUE(at_entry.test(0));   // R0: source of the first instruction
+    EXPECT_FALSE(at_entry.test(1));  // R1-R3: destinations before any use
+    EXPECT_FALSE(at_entry.test(2));
+    EXPECT_FALSE(at_entry.test(3));
+    EXPECT_EQ(at_entry.count(), 1u);
+}
+
+TEST(Liveness, LivenessShrinksAfterLastUse)
+{
+    const auto k = makeFig7Kernel();
+    LivenessAnalysis live(*k);
+    // After 0x00 executes, R0 is dead (redefined at 0x18 before any use)
+    // and R1 is live.
+    EXPECT_FALSE(live.liveOut(0).test(0));
+    EXPECT_TRUE(live.liveOut(0).test(1));
+    // At the last ALU instruction only R3 is live-in.
+    EXPECT_TRUE(live.liveIn(3).test(3));
+    EXPECT_EQ(live.liveIn(3).count(), 1u);
+}
+
+TEST(Liveness, DefThenUseKeepsRegisterLiveBetween)
+{
+    KernelBuilder b("gap");
+    b.regsPerThread(8);
+    b.newBlock();
+    b.alu(Opcode::IADD, 5, 0, 0); // define R5
+    b.alu(Opcode::IADD, 1, 0, 0); // unrelated
+    b.alu(Opcode::IADD, 2, 0, 0); // unrelated
+    b.alu(Opcode::IADD, 3, 5, 0); // use R5
+    b.exit();
+    const auto k = b.finalize();
+    LivenessAnalysis live(*k);
+    EXPECT_FALSE(live.liveIn(0).test(5)); // dead before the def
+    EXPECT_TRUE(live.liveIn(1).test(5));  // live across the gap
+    EXPECT_TRUE(live.liveIn(3).test(5));
+    EXPECT_FALSE(live.liveOut(3).test(5)); // dead after the last use
+}
+
+/**
+ * Fig. 9(a): a register used only on one side of a diamond is live at the
+ * branch (the warp might take that side).
+ */
+TEST(Liveness, DivergingBranchUnionsPaths)
+{
+    KernelBuilder b("diamond");
+    b.regsPerThread(8);
+    b.newBlock();                 // B0
+    b.branch(2, 0, 0.5, 0.5);     // reads R0; taken -> B2
+    b.newBlock();                 // B1: else, uses R4
+    b.alu(Opcode::IADD, 5, 4, 0);
+    b.jump(3);
+    b.newBlock();                 // B2: then, uses R6
+    b.alu(Opcode::IADD, 5, 6, 0);
+    b.newBlock();                 // B3: join, uses R5
+    b.alu(Opcode::IADD, 7, 5, 0);
+    b.exit();
+    const auto k = b.finalize();
+    LivenessAnalysis live(*k);
+    const RegBitVec at_branch = live.liveIn(0);
+    EXPECT_TRUE(at_branch.test(0)); // branch condition
+    EXPECT_TRUE(at_branch.test(4)); // else-path use
+    EXPECT_TRUE(at_branch.test(6)); // then-path use
+    EXPECT_FALSE(at_branch.test(5)); // defined on both paths before join use
+}
+
+/**
+ * Fig. 9(b): a value read at the loop top and written later in the body is
+ * live around the back edge.
+ */
+TEST(Liveness, LoopCarriedValueLiveAroundBackEdge)
+{
+    KernelBuilder b("loop");
+    b.regsPerThread(8);
+    b.newBlock();                 // B0
+    b.alu(Opcode::IADD, 1, 0, 0);
+    b.newBlock();                 // B1: body reads R1 then rewrites it
+    b.alu(Opcode::IADD, 2, 1, 0); // use R1
+    b.alu(Opcode::IADD, 1, 2, 0); // redefine R1
+    b.loopBranch(1, 2, 4);
+    b.newBlock();                 // B2
+    b.alu(Opcode::IADD, 3, 1, 0); // use after loop
+    b.exit();
+    const auto k = b.finalize();
+    LivenessAnalysis live(*k);
+    const unsigned body_first = k->blocks()[1].firstInstr;
+    EXPECT_TRUE(live.liveIn(body_first).test(1));
+    // The loop branch's live-out must include R1 (used after the loop and
+    // at the loop top).
+    EXPECT_TRUE(live.liveOut(body_first + 2).test(1));
+    EXPECT_GE(live.iterations(), 2u); // the back edge forces a second pass
+}
+
+TEST(Liveness, ScratchDeadAcrossIterations)
+{
+    KernelBuilder b("scratch");
+    b.regsPerThread(8);
+    b.newBlock();
+    b.alu(Opcode::IADD, 1, 0, 0);
+    b.newBlock();                 // body: R4 written then read, only inside
+    b.alu(Opcode::IADD, 4, 1, 0);
+    b.alu(Opcode::IADD, 5, 4, 0);
+    b.loopBranch(1, 5, 3);
+    b.newBlock();
+    b.exit();
+    const auto k = b.finalize();
+    LivenessAnalysis live(*k);
+    const unsigned body_first = k->blocks()[1].firstInstr;
+    // At the top of the body, the scratch R4 is dead (written first).
+    EXPECT_FALSE(live.liveIn(body_first).test(4));
+}
+
+TEST(LiveRegisterTable, LookupMatchesAnalysis)
+{
+    const auto k = makeFig7Kernel();
+    LivenessAnalysis live(*k);
+    LiveRegisterTable table(*k);
+    for (unsigned i = 0; i < k->staticInstrs(); ++i) {
+        EXPECT_EQ(table.lookup(i * kInstrBytes), live.liveIn(i))
+            << "instr " << i;
+        EXPECT_EQ(table.liveCount(i * kInstrBytes), live.liveIn(i).count());
+    }
+}
+
+TEST(LiveRegisterTable, PastEndIsEmpty)
+{
+    const auto k = makeFig7Kernel();
+    LiveRegisterTable table(*k);
+    EXPECT_TRUE(table.lookup(k->staticInstrs() * kInstrBytes).empty());
+}
+
+TEST(LiveRegisterTable, StorageIs12BytesPerInstr)
+{
+    const auto k = makeFig7Kernel();
+    LiveRegisterTable table(*k);
+    EXPECT_EQ(table.storageBytes(), k->staticInstrs() * 12u);
+}
+
+TEST(Liveness, MeanAndMaxCounts)
+{
+    const auto k = makeFig7Kernel();
+    LivenessAnalysis live(*k);
+    EXPECT_GE(live.maxLiveCount(), 1u);
+    EXPECT_GT(live.meanLiveCount(), 0.0);
+    EXPECT_LE(live.meanLiveCount(), 8.0);
+}
+
+} // namespace
+} // namespace finereg

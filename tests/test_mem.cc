@@ -1,0 +1,164 @@
+/**
+ * @file
+ * DRAM channel and memory-hierarchy tests: latency, bandwidth
+ * serialization, traffic classes (Fig. 15 accounting), and the
+ * L1 -> L2 -> DRAM walk with MSHR merging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "mem/dram.hh"
+#include "mem/mem_hierarchy.hh"
+
+namespace finereg
+{
+namespace
+{
+
+TEST(Dram, SingleAccessLatency)
+{
+    StatGroup stats("t");
+    Dram dram(DramConfig{128.0, 200}, stats);
+    // 128 bytes at 128 B/cycle: 1 transfer cycle + 200 latency.
+    EXPECT_EQ(dram.serve(0, 128, TrafficClass::Data), 201u);
+}
+
+TEST(Dram, BandwidthSerializesBackToBack)
+{
+    StatGroup stats("t");
+    Dram dram(DramConfig{128.0, 200}, stats);
+    const Cycle first = dram.serve(0, 1280, TrafficClass::Data); // 10 cyc
+    EXPECT_EQ(first, 210u);
+    // Channel is busy until cycle 10; the next transfer starts there.
+    const Cycle second = dram.serve(0, 128, TrafficClass::Data);
+    EXPECT_EQ(second, 10 + 200 + 1u);
+}
+
+TEST(Dram, IdleChannelStartsImmediately)
+{
+    StatGroup stats("t");
+    Dram dram(DramConfig{128.0, 200}, stats);
+    dram.serve(0, 128, TrafficClass::Data);
+    // Long after the channel drained, latency is just access + transfer.
+    EXPECT_EQ(dram.serve(10000, 128, TrafficClass::Data), 10201u);
+}
+
+TEST(Dram, TrafficClassesTrackedSeparately)
+{
+    StatGroup stats("t");
+    Dram dram(DramConfig{128.0, 200}, stats);
+    dram.serve(0, 100, TrafficClass::Data);
+    dram.serve(0, 200, TrafficClass::CtaContext);
+    dram.serve(0, 12, TrafficClass::BitVector);
+    EXPECT_EQ(dram.bytesMoved(TrafficClass::Data), 100u);
+    EXPECT_EQ(dram.bytesMoved(TrafficClass::CtaContext), 200u);
+    EXPECT_EQ(dram.bytesMoved(TrafficClass::BitVector), 12u);
+    EXPECT_EQ(dram.totalBytes(), 312u);
+    EXPECT_EQ(dram.accesses(), 3u);
+}
+
+MemHierarchyConfig
+tinyHierarchy()
+{
+    MemHierarchyConfig config;
+    config.l1 = CacheConfig{4 * 1024, 2, 128, 10, 8};
+    config.l2 = CacheConfig{64 * 1024, 4, 128, 50, 32};
+    config.dram = DramConfig{128.0, 200};
+    config.l2TransactionsPerCycle = 4.0;
+    return config;
+}
+
+TEST(MemHierarchy, L1HitIsFast)
+{
+    StatGroup stats("t");
+    MemHierarchy mem(tinyHierarchy(), 2, stats);
+    const auto miss = mem.warpAccess(0, 0x1000, 1, false, 0);
+    EXPECT_EQ(miss.l1Misses, 1u);
+    EXPECT_GT(miss.completeCycle, 200u); // went to DRAM
+
+    const auto hit = mem.warpAccess(0, 0x1000, 1, false, 1000);
+    EXPECT_EQ(hit.l1Hits, 1u);
+    EXPECT_EQ(hit.completeCycle, 1000u + 10);
+}
+
+TEST(MemHierarchy, L2HitAvoidsDram)
+{
+    StatGroup stats("t");
+    MemHierarchy mem(tinyHierarchy(), 2, stats);
+    mem.warpAccess(0, 0x2000, 1, false, 0); // fills L2 (and SM0's L1)
+    // SM1 misses its own L1 but hits the shared L2.
+    const auto result = mem.warpAccess(1, 0x2000, 1, false, 1000);
+    EXPECT_EQ(result.l1Misses, 1u);
+    EXPECT_EQ(result.l2Hits, 1u);
+    EXPECT_LT(result.completeCycle, 1000u + 200);
+    EXPECT_GE(result.completeCycle, 1000u + 50);
+}
+
+TEST(MemHierarchy, PerSmL1sArePrivate)
+{
+    StatGroup stats("t");
+    MemHierarchy mem(tinyHierarchy(), 2, stats);
+    mem.warpAccess(0, 0x3000, 1, false, 0);
+    EXPECT_TRUE(mem.l1(0).probe(0x3000));
+    EXPECT_FALSE(mem.l1(1).probe(0x3000));
+}
+
+TEST(MemHierarchy, MultipleTransactionsCountEach)
+{
+    StatGroup stats("t");
+    MemHierarchy mem(tinyHierarchy(), 1, stats);
+    const auto result = mem.warpAccess(0, 0, 4, false, 0);
+    EXPECT_EQ(result.l1Hits + result.l1Misses, 4u);
+    EXPECT_EQ(result.l1Misses, 4u);
+}
+
+TEST(MemHierarchy, MshrMergeAvoidsDuplicateDramFetch)
+{
+    StatGroup stats("t");
+    MemHierarchy mem(tinyHierarchy(), 1, stats);
+    mem.warpAccess(0, 0x8000, 1, false, 0);
+    const auto dram_before = stats.counterValue("dram.accesses");
+    // Second access to the same line while the fill is in flight: merged.
+    mem.warpAccess(0, 0x8000, 1, false, 1);
+    EXPECT_EQ(stats.counterValue("dram.accesses"), dram_before);
+}
+
+TEST(MemHierarchy, StoresRetireAtL1Latency)
+{
+    StatGroup stats("t");
+    MemHierarchy mem(tinyHierarchy(), 1, stats);
+    const auto result = mem.warpAccess(0, 0x9000, 2, true, 5);
+    EXPECT_EQ(result.completeCycle, 5u + 10);
+}
+
+TEST(MemHierarchy, OffchipTransferUsesChannel)
+{
+    StatGroup stats("t");
+    MemHierarchy mem(tinyHierarchy(), 1, stats);
+    const Cycle done = mem.offchipTransfer(0, 1024, TrafficClass::CtaContext);
+    EXPECT_GT(done, 200u);
+    EXPECT_EQ(mem.dram().bytesMoved(TrafficClass::CtaContext), 1024u);
+}
+
+TEST(MemHierarchy, ResetClearsCaches)
+{
+    StatGroup stats("t");
+    MemHierarchy mem(tinyHierarchy(), 1, stats);
+    mem.warpAccess(0, 0x1000, 1, false, 0);
+    mem.reset();
+    EXPECT_FALSE(mem.l1(0).probe(0x1000));
+    EXPECT_FALSE(mem.l2().probe(0x1000));
+}
+
+TEST(MemHierarchy, ResizeL1AppliesToAllSms)
+{
+    StatGroup stats("t");
+    MemHierarchy mem(tinyHierarchy(), 2, stats);
+    mem.resizeL1(16 * 1024);
+    EXPECT_EQ(mem.l1(0).sizeBytes(), 16u * 1024);
+    EXPECT_EQ(mem.l1(1).sizeBytes(), 16u * 1024);
+}
+
+} // namespace
+} // namespace finereg

@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Register-file component tests: the counting allocator, the PCRF's tagged
+ * chains + free-space monitor + pointer table (Fig. 11 semantics), the
+ * direct-mapped bit-vector cache, and the CTA status monitor (Table IV).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "regfile/bitvec_cache.hh"
+#include "regfile/cta_status_monitor.hh"
+#include "regfile/pcrf.hh"
+#include "regfile/register_file.hh"
+
+namespace finereg
+{
+namespace
+{
+
+// ---- RegFileAllocator ------------------------------------------------------
+
+TEST(RegFileAllocator, CapacityFromBytes)
+{
+    RegFileAllocator rf("rf", 256 * 1024);
+    EXPECT_EQ(rf.capacityWarpRegs(), 2048u); // 256 KB / 128 B
+    EXPECT_EQ(rf.freeWarpRegs(), 2048u);
+}
+
+TEST(RegFileAllocator, AllocateFreeRoundTrip)
+{
+    RegFileAllocator rf("rf", 1024);
+    const unsigned h1 = rf.allocate(3);
+    const unsigned h2 = rf.allocate(5);
+    EXPECT_EQ(rf.usedWarpRegs(), 8u);
+    EXPECT_EQ(rf.allocationSize(h1), 3u);
+    rf.free(h1);
+    EXPECT_EQ(rf.usedWarpRegs(), 5u);
+    rf.free(h2);
+    EXPECT_EQ(rf.usedWarpRegs(), 0u);
+    EXPECT_EQ(rf.numAllocations(), 0u);
+}
+
+TEST(RegFileAllocator, CanAllocateBoundary)
+{
+    RegFileAllocator rf("rf", 1024); // 8 warp-regs
+    EXPECT_TRUE(rf.canAllocate(8));
+    EXPECT_FALSE(rf.canAllocate(9));
+    rf.allocate(8);
+    EXPECT_FALSE(rf.canAllocate(1));
+    EXPECT_TRUE(rf.canAllocate(0));
+}
+
+TEST(RegFileAllocatorDeath, OverAllocatePanics)
+{
+    RegFileAllocator rf("rf", 1024);
+    EXPECT_DEATH(rf.allocate(9), "exceeds");
+}
+
+TEST(RegFileAllocatorDeath, DoubleFreePanics)
+{
+    RegFileAllocator rf("rf", 1024);
+    const unsigned h = rf.allocate(2);
+    rf.free(h);
+    EXPECT_DEATH(rf.free(h), "unknown handle");
+}
+
+TEST(RegFileAllocator, ResizeKeepsAllocations)
+{
+    RegFileAllocator rf("rf", 1024);
+    rf.allocate(4);
+    rf.resize(2048);
+    EXPECT_EQ(rf.capacityWarpRegs(), 16u);
+    EXPECT_EQ(rf.usedWarpRegs(), 4u);
+}
+
+TEST(RegFileAllocatorDeath, ResizeBelowUsagePanics)
+{
+    RegFileAllocator rf("rf", 1024);
+    rf.allocate(6);
+    EXPECT_DEATH(rf.resize(256), "below current usage");
+}
+
+// ---- Pcrf -------------------------------------------------------------------
+
+TEST(Pcrf, EntryCountFromBytes)
+{
+    StatGroup stats("t");
+    Pcrf pcrf(128 * 1024, stats);
+    EXPECT_EQ(pcrf.numEntries(), 1024u); // Sec. V-F: 1,024 registers
+    EXPECT_EQ(pcrf.freeEntries(), 1024u);
+    EXPECT_EQ(pcrf.tagOverheadBits(), 21u * 1024);
+}
+
+TEST(Pcrf, StoreRestoreRoundTrip)
+{
+    StatGroup stats("t");
+    Pcrf pcrf(4 * 1024, stats); // 32 entries
+    const std::vector<LiveReg> regs{{0, 1}, {0, 5}, {2, 9}};
+    pcrf.storeCta(7, regs);
+    EXPECT_TRUE(pcrf.holds(7));
+    EXPECT_EQ(pcrf.liveCountOf(7), 3u);
+    EXPECT_EQ(pcrf.freeEntries(), 29u);
+    EXPECT_EQ(pcrf.numPendingCtas(), 1u);
+
+    const auto restored = pcrf.restoreCta(7);
+    ASSERT_EQ(restored.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(restored[i].warp, regs[i].warp);
+        EXPECT_EQ(restored[i].reg, regs[i].reg);
+    }
+    EXPECT_FALSE(pcrf.holds(7));
+    EXPECT_EQ(pcrf.freeEntries(), 32u);
+}
+
+TEST(Pcrf, ChainsInterleaveAcrossCtas)
+{
+    StatGroup stats("t");
+    Pcrf pcrf(4 * 1024, stats);
+    pcrf.storeCta(1, {{0, 0}, {0, 1}});
+    pcrf.storeCta(2, {{1, 0}, {1, 1}, {1, 2}});
+    pcrf.restoreCta(1); // frees slots 0,1
+    pcrf.storeCta(3, {{2, 0}, {2, 1}, {2, 2}});
+    // CTA 3's chain reuses the freed low slots then continues after CTA 2.
+    const auto chain = pcrf.chainOf(3);
+    ASSERT_EQ(chain.size(), 3u);
+    EXPECT_EQ(chain[0], 0u);
+    EXPECT_EQ(chain[1], 1u);
+    EXPECT_EQ(chain[2], 5u);
+    // Restores still walk the chain correctly.
+    const auto restored = pcrf.restoreCta(3);
+    EXPECT_EQ(restored.size(), 3u);
+    EXPECT_EQ(pcrf.liveCountOf(2), 3u);
+}
+
+TEST(Pcrf, CanStoreBoundary)
+{
+    StatGroup stats("t");
+    Pcrf pcrf(512, stats); // 4 entries
+    EXPECT_TRUE(pcrf.canStore(4));
+    EXPECT_FALSE(pcrf.canStore(5));
+    pcrf.storeCta(1, {{0, 0}, {0, 1}, {0, 2}});
+    EXPECT_TRUE(pcrf.canStore(1));
+    EXPECT_FALSE(pcrf.canStore(2));
+}
+
+TEST(Pcrf, EmptyLiveSetIsValid)
+{
+    StatGroup stats("t");
+    Pcrf pcrf(512, stats);
+    pcrf.storeCta(9, {});
+    EXPECT_TRUE(pcrf.holds(9));
+    EXPECT_EQ(pcrf.liveCountOf(9), 0u);
+    EXPECT_EQ(pcrf.restoreCta(9).size(), 0u);
+}
+
+TEST(PcrfDeath, OverflowPanics)
+{
+    StatGroup stats("t");
+    Pcrf pcrf(256, stats); // 2 entries
+    EXPECT_DEATH(pcrf.storeCta(1, {{0, 0}, {0, 1}, {0, 2}}), "overflow");
+}
+
+TEST(PcrfDeath, DoubleStorePanics)
+{
+    StatGroup stats("t");
+    Pcrf pcrf(512, stats);
+    pcrf.storeCta(1, {{0, 0}});
+    EXPECT_DEATH(pcrf.storeCta(1, {{0, 1}}), "already holds");
+}
+
+TEST(PcrfDeath, RestoreAbsentPanics)
+{
+    StatGroup stats("t");
+    Pcrf pcrf(512, stats);
+    EXPECT_DEATH(pcrf.restoreCta(42), "absent");
+}
+
+TEST(Pcrf, StatsCountAccesses)
+{
+    StatGroup stats("t");
+    Pcrf pcrf(512, stats);
+    pcrf.storeCta(1, {{0, 0}, {0, 1}});
+    pcrf.restoreCta(1);
+    EXPECT_EQ(stats.counterValue("pcrf.writes"), 2u);
+    EXPECT_EQ(stats.counterValue("pcrf.reads"), 2u);
+    EXPECT_EQ(stats.counterValue("pcrf.stored_ctas"), 1u);
+    EXPECT_EQ(stats.counterValue("pcrf.restored_ctas"), 1u);
+}
+
+/** Property: random store/restore sequences preserve every CTA's register
+ * list exactly and never leak entries. */
+class PcrfProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PcrfProperty, RandomTrafficPreservesContents)
+{
+    StatGroup stats("t");
+    Pcrf pcrf(16 * 1024, stats); // 128 entries
+    Rng rng(GetParam());
+    std::map<GridCtaId, std::vector<LiveReg>> expected;
+    GridCtaId next_id = 0;
+
+    for (int step = 0; step < 300; ++step) {
+        if (rng.chance(0.6)) {
+            const unsigned n = rng.below(12);
+            if (!pcrf.canStore(n))
+                continue;
+            std::vector<LiveReg> regs;
+            for (unsigned i = 0; i < n; ++i) {
+                regs.push_back({WarpId(rng.below(32)),
+                                RegIndex(rng.below(64))});
+            }
+            pcrf.storeCta(next_id, regs);
+            expected[next_id] = regs;
+            ++next_id;
+        } else if (!expected.empty()) {
+            auto it = expected.begin();
+            std::advance(it, rng.below(expected.size()));
+            const auto restored = pcrf.restoreCta(it->first);
+            ASSERT_EQ(restored.size(), it->second.size());
+            for (std::size_t i = 0; i < restored.size(); ++i) {
+                ASSERT_EQ(restored[i].warp, it->second[i].warp);
+                ASSERT_EQ(restored[i].reg, it->second[i].reg);
+            }
+            expected.erase(it);
+        }
+        // Free-space monitor is consistent with the pointer table.
+        std::size_t held = 0;
+        for (const auto &[cta, regs] : expected)
+            held += regs.size();
+        ASSERT_EQ(pcrf.freeEntries(), pcrf.numEntries() - held);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PcrfProperty,
+                         ::testing::Values(31, 32, 33, 34));
+
+// ---- BitvecCache ------------------------------------------------------------
+
+TEST(BitvecCache, MissThenHit)
+{
+    StatGroup stats("t");
+    BitvecCache cache(32, stats);
+    EXPECT_FALSE(cache.access(0x100));
+    EXPECT_TRUE(cache.access(0x100));
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(BitvecCache, DirectMappedConflicts)
+{
+    StatGroup stats("t");
+    BitvecCache cache(1, stats); // degenerate: every PC conflicts
+    EXPECT_FALSE(cache.access(0x0));
+    EXPECT_FALSE(cache.access(0x8));
+    EXPECT_FALSE(cache.access(0x0)); // evicted by 0x8
+}
+
+TEST(BitvecCache, ProbeDoesNotFill)
+{
+    StatGroup stats("t");
+    BitvecCache cache(32, stats);
+    EXPECT_FALSE(cache.probe(0x40));
+    cache.access(0x40);
+    EXPECT_TRUE(cache.probe(0x40));
+}
+
+TEST(BitvecCache, StorageMatchesSecVF)
+{
+    StatGroup stats("t");
+    BitvecCache cache(32, stats);
+    // Sec. V-F: 32 entries x 12 bytes = 384 bytes.
+    EXPECT_EQ(cache.storageBits(), 384u * 8);
+}
+
+TEST(BitvecCache, ClearInvalidates)
+{
+    StatGroup stats("t");
+    BitvecCache cache(8, stats);
+    cache.access(0x10);
+    cache.clear();
+    EXPECT_FALSE(cache.probe(0x10));
+}
+
+TEST(BitvecCache, DistinctPcsMostlyCoexist)
+{
+    StatGroup stats("t");
+    BitvecCache cache(32, stats);
+    // 16 consecutive instruction PCs: with 32 sets and the folding hash,
+    // they should not all collide.
+    for (Pc pc = 0; pc < 16 * kInstrBytes; pc += kInstrBytes)
+        cache.access(pc);
+    unsigned resident = 0;
+    for (Pc pc = 0; pc < 16 * kInstrBytes; pc += kInstrBytes)
+        resident += cache.probe(pc) ? 1 : 0;
+    EXPECT_GE(resident, 12u);
+}
+
+// ---- CtaStatusMonitor --------------------------------------------------------
+
+TEST(CtaStatusMonitor, LaunchIsActive)
+{
+    CtaStatusMonitor monitor;
+    monitor.onLaunch(5);
+    EXPECT_EQ(monitor.contextOf(5), ContextLocation::Pipeline);
+    EXPECT_EQ(monitor.registersOf(5), RegisterLocation::Acrf);
+    EXPECT_TRUE(monitor.isActive(5));
+}
+
+TEST(CtaStatusMonitor, TableIvEncodings)
+{
+    // Table IV: value 0 = not launched, 1 = shared memory / PCRF,
+    // 2 = pipeline / ACRF.
+    EXPECT_EQ(static_cast<int>(ContextLocation::NotLaunched), 0);
+    EXPECT_EQ(static_cast<int>(ContextLocation::SharedMemory), 1);
+    EXPECT_EQ(static_cast<int>(ContextLocation::Pipeline), 2);
+    EXPECT_EQ(static_cast<int>(RegisterLocation::NotLaunched), 0);
+    EXPECT_EQ(static_cast<int>(RegisterLocation::Pcrf), 1);
+    EXPECT_EQ(static_cast<int>(RegisterLocation::Acrf), 2);
+}
+
+TEST(CtaStatusMonitor, PendingIsNotActive)
+{
+    CtaStatusMonitor monitor;
+    monitor.onLaunch(1);
+    monitor.setContext(1, ContextLocation::SharedMemory);
+    EXPECT_FALSE(monitor.isActive(1));
+    monitor.setContext(1, ContextLocation::Pipeline);
+    monitor.setRegisters(1, RegisterLocation::Pcrf);
+    EXPECT_FALSE(monitor.isActive(1));
+}
+
+TEST(CtaStatusMonitor, UnknownCtaReadsNotLaunched)
+{
+    CtaStatusMonitor monitor;
+    EXPECT_EQ(monitor.contextOf(99), ContextLocation::NotLaunched);
+    EXPECT_EQ(monitor.registersOf(99), RegisterLocation::NotLaunched);
+    EXPECT_FALSE(monitor.isActive(99));
+}
+
+TEST(CtaStatusMonitor, ResumePriorityPrefersRegsInAcrf)
+{
+    CtaStatusMonitor monitor;
+    // CTA 1: context parked, registers still in ACRF (priority 1).
+    monitor.onLaunch(1);
+    monitor.setContext(1, ContextLocation::SharedMemory);
+    // CTA 2: fully backed up (priority 2).
+    monitor.onLaunch(2);
+    monitor.setContext(2, ContextLocation::SharedMemory);
+    monitor.setRegisters(2, RegisterLocation::Pcrf);
+
+    const auto pick = monitor.pickResumeCandidate({2, 1});
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, 1u);
+
+    monitor.onRetire(1);
+    const auto pick2 = monitor.pickResumeCandidate({2});
+    ASSERT_TRUE(pick2.has_value());
+    EXPECT_EQ(*pick2, 2u);
+}
+
+TEST(CtaStatusMonitor, ActiveCtasAreNotResumeCandidates)
+{
+    CtaStatusMonitor monitor;
+    monitor.onLaunch(3);
+    EXPECT_FALSE(monitor.pickResumeCandidate({3}).has_value());
+}
+
+TEST(CtaStatusMonitor, StorageBitsMatchSecVF)
+{
+    CtaStatusMonitor monitor(128);
+    // 2 fields x 2 bits x 128 CTAs = 512 bits (Sec. V-F: 256 bits per
+    // field).
+    EXPECT_EQ(monitor.storageBits(), 512u);
+}
+
+TEST(CtaStatusMonitorDeath, DoubleLaunchPanics)
+{
+    CtaStatusMonitor monitor;
+    monitor.onLaunch(1);
+    EXPECT_DEATH(monitor.onLaunch(1), "twice");
+}
+
+TEST(CtaStatusMonitorDeath, UpdateUnknownPanics)
+{
+    CtaStatusMonitor monitor;
+    EXPECT_DEATH(monitor.setContext(9, ContextLocation::Pipeline),
+                 "unknown");
+}
+
+} // namespace
+} // namespace finereg

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the statistics registry and table formatting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace finereg
+{
+namespace
+{
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Distribution, TracksMoments)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    d.sample(2.0);
+    d.sample(4.0);
+    d.sample(9.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+}
+
+TEST(Distribution, SingleSampleIsMinAndMax)
+{
+    Distribution d;
+    d.sample(-3.5);
+    EXPECT_DOUBLE_EQ(d.min(), -3.5);
+    EXPECT_DOUBLE_EQ(d.max(), -3.5);
+    EXPECT_DOUBLE_EQ(d.mean(), -3.5);
+}
+
+TEST(StatGroup, CounterLookupByName)
+{
+    StatGroup group("test");
+    group.counter("a").inc(5);
+    group.counter("b").inc(7);
+    EXPECT_EQ(group.counterValue("a"), 5u);
+    EXPECT_EQ(group.counterValue("b"), 7u);
+    EXPECT_EQ(group.counterValue("missing"), 0u);
+    EXPECT_TRUE(group.hasCounter("a"));
+    EXPECT_FALSE(group.hasCounter("missing"));
+}
+
+TEST(StatGroup, SameNameReturnsSameCounter)
+{
+    StatGroup group("test");
+    Counter &a = group.counter("x");
+    a.inc(3);
+    EXPECT_EQ(group.counter("x").value(), 3u);
+}
+
+TEST(StatGroup, ResetAllClearsEverything)
+{
+    StatGroup group("test");
+    group.counter("a").inc(5);
+    group.distribution("d").sample(1.0);
+    group.resetAll();
+    EXPECT_EQ(group.counterValue("a"), 0u);
+    EXPECT_EQ(group.distribution("d").count(), 0u);
+}
+
+TEST(StatGroup, CounterNamesSorted)
+{
+    StatGroup group("test");
+    group.counter("zebra");
+    group.counter("alpha");
+    const auto names = group.counterNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "alpha");
+    EXPECT_EQ(names[1], "zebra");
+}
+
+TEST(StatGroup, DumpContainsValues)
+{
+    StatGroup group("grp");
+    group.counter("hits").inc(12);
+    const std::string dump = group.dump();
+    EXPECT_NE(dump.find("grp.hits 12"), std::string::npos);
+}
+
+TEST(TableFormatter, AlignsColumns)
+{
+    TableFormatter table({"app", "value"});
+    table.addRow({"BF", "1.00"});
+    table.addRow({"LONGNAME", "2"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("app"), std::string::npos);
+    EXPECT_NE(out.find("LONGNAME"), std::string::npos);
+    // Header line, separator, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TableFormatterDeath, WrongArityPanics)
+{
+    TableFormatter table({"a", "b"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "cells");
+}
+
+TEST(TableFormatter, NumberFormatting)
+{
+    EXPECT_EQ(TableFormatter::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TableFormatter::num(2.0, 0), "2");
+    EXPECT_EQ(TableFormatter::pct(0.328, 1), "32.8%");
+}
+
+TEST(Aggregates, GeomeanAndMean)
+{
+    EXPECT_DOUBLE_EQ(geomean({2.0, 8.0}), 4.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(AggregatesDeath, GeomeanRejectsNonPositive)
+{
+    EXPECT_DEATH(geomean({1.0, 0.0}), "non-positive");
+}
+
+} // namespace
+} // namespace finereg

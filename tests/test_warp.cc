@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Warp and CTA tests: SIMT-stack divergence/reconvergence, exit handling,
+ * barriers, stall detection, and the warp scheduler policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/kernel_builder.hh"
+#include "sm/cta.hh"
+#include "sm/kernel_context.hh"
+#include "sm/warp.hh"
+#include "sm/warp_scheduler.hh"
+
+namespace finereg
+{
+namespace
+{
+
+std::unique_ptr<Kernel>
+makeSimpleKernel()
+{
+    KernelBuilder b("warp_test");
+    b.regsPerThread(8).threadsPerCta(64);
+    b.newBlock();
+    b.alu(Opcode::IADD, 0, 1);
+    b.alu(Opcode::IADD, 1, 0);
+    b.exit();
+    return b.finalize();
+}
+
+TEST(Warp, StartsAtPcZeroFullMask)
+{
+    const auto k = makeSimpleKernel();
+    KernelContext ctx(*k);
+    Cta cta(0, 0, ctx);
+    Warp &warp = *cta.warps()[0];
+    EXPECT_EQ(warp.pc(), 0u);
+    EXPECT_EQ(warp.activeMask(), 0xffffffffu);
+    EXPECT_EQ(warp.activeLanes(), 32u);
+    EXPECT_FALSE(warp.finished());
+}
+
+TEST(Warp, DivergePushesTakenPathFirst)
+{
+    const auto k = makeSimpleKernel();
+    KernelContext ctx(*k);
+    Cta cta(0, 0, ctx);
+    Warp &warp = *cta.warps()[0];
+
+    warp.diverge(/*taken_pc=*/16, /*taken_mask=*/0x0000ffff,
+                 /*fall_pc=*/8, /*reconv_pc=*/24);
+    EXPECT_EQ(warp.simtStack().size(), 3u);
+    EXPECT_EQ(warp.pc(), 16u); // taken path executes first
+    EXPECT_EQ(warp.activeLanes(), 16u);
+}
+
+TEST(Warp, ReconvergeMergesPaths)
+{
+    const auto k = makeSimpleKernel();
+    KernelContext ctx(*k);
+    Cta cta(0, 0, ctx);
+    Warp &warp = *cta.warps()[0];
+    warp.diverge(16, 0x0000ffff, 8, 24);
+
+    // Taken path reaches the reconvergence PC: pop to the fall path.
+    warp.setPc(24);
+    warp.reconvergeIfNeeded();
+    EXPECT_EQ(warp.simtStack().size(), 2u);
+    EXPECT_EQ(warp.pc(), 8u);
+    EXPECT_EQ(warp.activeLanes(), 16u);
+
+    // Fall path reaches it too: pop to the merged base entry.
+    warp.setPc(24);
+    warp.reconvergeIfNeeded();
+    EXPECT_EQ(warp.simtStack().size(), 1u);
+    EXPECT_EQ(warp.pc(), 24u);
+    EXPECT_EQ(warp.activeLanes(), 32u);
+}
+
+TEST(Warp, ExitOnDivergedPathPopsOnly)
+{
+    const auto k = makeSimpleKernel();
+    KernelContext ctx(*k);
+    Cta cta(0, 0, ctx);
+    Warp &warp = *cta.warps()[0];
+    warp.diverge(16, 0x1, 8, 24);
+    // Stack: [base(reconv), fall, taken]. Exits pop one level at a time;
+    // only exiting the base entry finishes the warp.
+    warp.exitCurrentPath(); // taken path exits
+    EXPECT_FALSE(warp.finished());
+    warp.exitCurrentPath(); // fall path exits
+    EXPECT_FALSE(warp.finished());
+    EXPECT_EQ(warp.simtStack().size(), 1u);
+    warp.exitCurrentPath(); // base entry exits
+    EXPECT_TRUE(warp.finished());
+}
+
+TEST(WarpDeath, DivergeNeedsRealSplit)
+{
+    const auto k = makeSimpleKernel();
+    KernelContext ctx(*k);
+    Cta cta(0, 0, ctx);
+    EXPECT_DEATH(cta.warps()[0]->diverge(16, 0, 8, 24), "lane split");
+}
+
+TEST(Cta, CreatesWarpsPerKernelShape)
+{
+    const auto k = makeSimpleKernel(); // 64 threads = 2 warps
+    KernelContext ctx(*k);
+    Cta cta(3, 1, ctx);
+    EXPECT_EQ(cta.numWarps(), 2u);
+    EXPECT_EQ(cta.gridId(), 3u);
+    EXPECT_EQ(cta.launchSeq(), 1u);
+    EXPECT_EQ(cta.state(), CtaState::Active);
+}
+
+TEST(Cta, BarrierReleasesWhenAllArrive)
+{
+    const auto k = makeSimpleKernel();
+    KernelContext ctx(*k);
+    Cta cta(0, 0, ctx);
+    EXPECT_FALSE(cta.arriveAtBarrier());
+    EXPECT_TRUE(cta.arriveAtBarrier()); // both warps arrived
+}
+
+TEST(Cta, BarrierIgnoresFinishedWarps)
+{
+    const auto k = makeSimpleKernel();
+    KernelContext ctx(*k);
+    Cta cta(0, 0, ctx);
+    cta.noteWarpFinished();
+    EXPECT_TRUE(cta.arriveAtBarrier()); // only one live warp
+}
+
+TEST(Cta, FullyStalledOnlyWhenAllWarpsMemBlocked)
+{
+    const auto k = makeSimpleKernel();
+    KernelContext ctx(*k);
+    Cta cta(0, 0, ctx);
+    EXPECT_FALSE(cta.fullyStalledOnMemory(10));
+
+    // Warp 0 blocked on a global load feeding its current instruction
+    // (instr 0 reads R1).
+    cta.warps()[0]->scoreboard().recordWrite(1, 1000, true);
+    EXPECT_FALSE(cta.fullyStalledOnMemory(10)); // warp 1 still runnable
+
+    cta.warps()[1]->scoreboard().recordWrite(1, 800, true);
+    EXPECT_TRUE(cta.fullyStalledOnMemory(10));
+
+    // After one load returns the CTA is no longer fully stalled.
+    EXPECT_FALSE(cta.fullyStalledOnMemory(900));
+}
+
+TEST(Cta, EstimateReadyCycleIsMedianWake)
+{
+    const auto k = makeSimpleKernel();
+    KernelContext ctx(*k);
+    Cta cta(0, 0, ctx);
+    cta.warps()[0]->scoreboard().recordWrite(1, 400, true);
+    cta.warps()[1]->scoreboard().recordWrite(1, 1000, true);
+    // With two warps, ready at the first (index (2-1)/2 = 0) wake.
+    EXPECT_EQ(cta.estimateReadyCycle(10), 400u);
+}
+
+TEST(Cta, ExecutionEpisodeLifecycle)
+{
+    const auto k = makeSimpleKernel();
+    KernelContext ctx(*k);
+    Cta cta(0, 0, ctx);
+    EXPECT_EQ(cta.closeExecutionEpisode(100), 0u); // none open
+    cta.startExecutionEpisode(100);
+    EXPECT_EQ(cta.closeExecutionEpisode(350), 250u);
+    EXPECT_EQ(cta.closeExecutionEpisode(400), 0u); // already closed
+    cta.startExecutionEpisodeIfClosed(500);
+    EXPECT_EQ(cta.closeExecutionEpisode(600), 100u);
+}
+
+// ---- WarpScheduler ----------------------------------------------------------
+
+struct SchedulerFixture : public ::testing::Test
+{
+    SchedulerFixture()
+        : kernel(makeSimpleKernel()), ctx(*kernel), old_cta(0, 0, ctx),
+          new_cta(1, 1, ctx)
+    {
+    }
+
+    std::unique_ptr<Kernel> kernel;
+    KernelContext ctx;
+    Cta old_cta;
+    Cta new_cta;
+};
+
+TEST_F(SchedulerFixture, GtoSticksWithGreedyWarp)
+{
+    WarpScheduler sched(SchedKind::GTO, 0);
+    Warp *a = old_cta.warps()[0].get();
+    Warp *b = old_cta.warps()[1].get();
+    sched.addWarp(a);
+    sched.addWarp(b);
+
+    Warp *first = sched.pick([](Warp *) { return true; });
+    ASSERT_NE(first, nullptr);
+    // Greedy: the same warp is picked while it remains issuable.
+    EXPECT_EQ(sched.pick([](Warp *) { return true; }), first);
+    // When the greedy warp stalls, the scheduler moves on.
+    Warp *other = sched.pick([&](Warp *w) { return w != first; });
+    EXPECT_NE(other, first);
+}
+
+TEST_F(SchedulerFixture, GtoPrefersOldestCta)
+{
+    WarpScheduler sched(SchedKind::GTO, 0);
+    sched.addWarp(new_cta.warps()[0].get());
+    sched.addWarp(old_cta.warps()[0].get());
+    Warp *pick = sched.pick([](Warp *) { return true; });
+    ASSERT_NE(pick, nullptr);
+    EXPECT_EQ(pick->cta(), &old_cta); // launchSeq 0 beats 1
+}
+
+TEST_F(SchedulerFixture, LrrRotates)
+{
+    WarpScheduler sched(SchedKind::LRR, 0);
+    Warp *a = old_cta.warps()[0].get();
+    Warp *b = old_cta.warps()[1].get();
+    sched.addWarp(a);
+    sched.addWarp(b);
+    Warp *first = sched.pick([](Warp *) { return true; });
+    Warp *second = sched.pick([](Warp *) { return true; });
+    EXPECT_NE(first, second);
+    EXPECT_EQ(sched.pick([](Warp *) { return true; }), first);
+}
+
+TEST_F(SchedulerFixture, RemoveWarpForgetsGreedy)
+{
+    WarpScheduler sched(SchedKind::GTO, 0);
+    Warp *a = old_cta.warps()[0].get();
+    sched.addWarp(a);
+    EXPECT_EQ(sched.pick([](Warp *) { return true; }), a);
+    sched.removeWarp(a);
+    EXPECT_EQ(sched.pick([](Warp *) { return true; }), nullptr);
+}
+
+TEST_F(SchedulerFixture, EmptySchedulerReturnsNull)
+{
+    WarpScheduler sched(SchedKind::GTO, 0);
+    EXPECT_EQ(sched.pick([](Warp *) { return true; }), nullptr);
+}
+
+TEST_F(SchedulerFixture, NoIssuableWarpReturnsNull)
+{
+    WarpScheduler sched(SchedKind::LRR, 0);
+    sched.addWarp(old_cta.warps()[0].get());
+    EXPECT_EQ(sched.pick([](Warp *) { return false; }), nullptr);
+}
+
+} // namespace
+} // namespace finereg

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * finereg_sim — the command-line driver. Runs any subset of the benchmark
+ * suite under any subset of the register-management policies with config
+ * overrides, printing a comparison table or CSV.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "core/cli_options.hh"
+#include "core/experiment.hh"
+#include "workloads/suite.hh"
+
+using namespace finereg;
+
+namespace
+{
+
+void
+printSuite()
+{
+    TableFormatter table({"app", "full name", "suite", "type",
+                          "regs/thr", "thr/CTA", "shmem/CTA", "grid"});
+    for (const auto &app : Suite::all()) {
+        table.addRow({app.abbrev, app.fullName, app.origin,
+                      app.typeR() ? "Type-R" : "Type-S",
+                      std::to_string(app.params.regsPerThread),
+                      std::to_string(app.params.threadsPerCta),
+                      std::to_string(app.params.shmemPerCta),
+                      std::to_string(app.params.gridCtas)});
+    }
+    std::printf("%s", table.render().c_str());
+}
+
+int
+run(const CliOptions &options)
+{
+    std::vector<std::string> apps = options.apps;
+    if (apps.empty()) {
+        for (const auto &app : Suite::all())
+            apps.push_back(app.abbrev);
+    }
+
+    if (options.csv) {
+        std::printf("app,policy,cycles,instructions,ipc,resident_ctas,"
+                    "active_ctas,dram_bytes,stall_fraction,energy\n");
+    }
+
+    TableFormatter table({"app", "policy", "cycles", "IPC", "res.CTAs",
+                          "act.CTAs", "DRAM MB", "energy"});
+
+    for (const std::string &app : apps) {
+        for (const PolicyKind kind : options.policies) {
+            GpuConfig config = options.config;
+            config.policy.kind = kind;
+            const SimResult r =
+                Experiment::runApp(app, config, options.gridScale);
+            if (r.hitCycleLimit) {
+                FINEREG_WARN(app, "/", policyKindName(kind),
+                             " hit the cycle cap; results are partial");
+            }
+            if (options.csv) {
+                std::printf("%s,%s,%llu,%llu,%.4f,%.2f,%.2f,%llu,%.4f,"
+                            "%.1f\n",
+                            app.c_str(), r.policyName.c_str(),
+                            static_cast<unsigned long long>(r.cycles),
+                            static_cast<unsigned long long>(
+                                r.instructions),
+                            r.ipc, r.avgResidentCtas, r.avgActiveCtas,
+                            static_cast<unsigned long long>(
+                                r.dramBytesTotal()),
+                            r.depletionStallFraction, r.energy.total());
+            } else {
+                table.addRow(
+                    {app, r.policyName, std::to_string(r.cycles),
+                     TableFormatter::num(r.ipc),
+                     TableFormatter::num(r.avgResidentCtas, 1),
+                     TableFormatter::num(r.avgActiveCtas, 1),
+                     TableFormatter::num(r.dramBytesTotal() / 1048576.0,
+                                         1),
+                     TableFormatter::num(r.energy.total() / 1e6, 2)});
+            }
+        }
+    }
+
+    if (!options.csv)
+        std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    const ParseResult parsed = parseCliOptions(args);
+    if (!parsed.ok()) {
+        std::fprintf(stderr, "error: %s\n\n%s", parsed.error.c_str(),
+                     cliUsage().c_str());
+        return 2;
+    }
+    const CliOptions &options = *parsed.options;
+
+    if (options.help) {
+        std::printf("%s", cliUsage().c_str());
+        return 0;
+    }
+    if (options.listApps) {
+        printSuite();
+        return 0;
+    }
+    setVerbose(options.verbose);
+    return run(options);
+}
