@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_liveness.dir/bench_fig05_liveness.cc.o"
+  "CMakeFiles/bench_fig05_liveness.dir/bench_fig05_liveness.cc.o.d"
+  "bench_fig05_liveness"
+  "bench_fig05_liveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_liveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_ctas.dir/bench_fig12_ctas.cc.o"
+  "CMakeFiles/bench_fig12_ctas.dir/bench_fig12_ctas.cc.o.d"
+  "bench_fig12_ctas"
+  "bench_fig12_ctas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_ctas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

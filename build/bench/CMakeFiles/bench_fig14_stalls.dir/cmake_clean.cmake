@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_stalls.dir/bench_fig14_stalls.cc.o"
+  "CMakeFiles/bench_fig14_stalls.dir/bench_fig14_stalls.cc.o.d"
+  "bench_fig14_stalls"
+  "bench_fig14_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_sms.dir/bench_fig18_sms.cc.o"
+  "CMakeFiles/bench_fig18_sms.dir/bench_fig18_sms.cc.o.d"
+  "bench_fig18_sms"
+  "bench_fig18_sms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_sms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_um.dir/bench_fig19_um.cc.o"
+  "CMakeFiles/bench_fig19_um.dir/bench_fig19_um.cc.o.d"
+  "bench_fig19_um"
+  "bench_fig19_um.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_um.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_stall.dir/bench_table3_stall.cc.o"
+  "CMakeFiles/bench_table3_stall.dir/bench_table3_stall.cc.o.d"
+  "bench_table3_stall"
+  "bench_table3_stall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_stall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/finereg.dir/common/log.cc.o" "gcc" "src/CMakeFiles/finereg.dir/common/log.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/finereg.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/finereg.dir/common/stats.cc.o.d"
+  "/root/repo/src/compiler/cfg_analysis.cc" "src/CMakeFiles/finereg.dir/compiler/cfg_analysis.cc.o" "gcc" "src/CMakeFiles/finereg.dir/compiler/cfg_analysis.cc.o.d"
+  "/root/repo/src/compiler/live_info.cc" "src/CMakeFiles/finereg.dir/compiler/live_info.cc.o" "gcc" "src/CMakeFiles/finereg.dir/compiler/live_info.cc.o.d"
+  "/root/repo/src/compiler/liveness.cc" "src/CMakeFiles/finereg.dir/compiler/liveness.cc.o" "gcc" "src/CMakeFiles/finereg.dir/compiler/liveness.cc.o.d"
+  "/root/repo/src/core/cli_options.cc" "src/CMakeFiles/finereg.dir/core/cli_options.cc.o" "gcc" "src/CMakeFiles/finereg.dir/core/cli_options.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/finereg.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/finereg.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/gpu_config.cc" "src/CMakeFiles/finereg.dir/core/gpu_config.cc.o" "gcc" "src/CMakeFiles/finereg.dir/core/gpu_config.cc.o.d"
+  "/root/repo/src/core/simulator.cc" "src/CMakeFiles/finereg.dir/core/simulator.cc.o" "gcc" "src/CMakeFiles/finereg.dir/core/simulator.cc.o.d"
+  "/root/repo/src/energy/energy_model.cc" "src/CMakeFiles/finereg.dir/energy/energy_model.cc.o" "gcc" "src/CMakeFiles/finereg.dir/energy/energy_model.cc.o.d"
+  "/root/repo/src/isa/instruction.cc" "src/CMakeFiles/finereg.dir/isa/instruction.cc.o" "gcc" "src/CMakeFiles/finereg.dir/isa/instruction.cc.o.d"
+  "/root/repo/src/isa/kernel.cc" "src/CMakeFiles/finereg.dir/isa/kernel.cc.o" "gcc" "src/CMakeFiles/finereg.dir/isa/kernel.cc.o.d"
+  "/root/repo/src/isa/kernel_builder.cc" "src/CMakeFiles/finereg.dir/isa/kernel_builder.cc.o" "gcc" "src/CMakeFiles/finereg.dir/isa/kernel_builder.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/finereg.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/finereg.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/finereg.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/finereg.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/mem_hierarchy.cc" "src/CMakeFiles/finereg.dir/mem/mem_hierarchy.cc.o" "gcc" "src/CMakeFiles/finereg.dir/mem/mem_hierarchy.cc.o.d"
+  "/root/repo/src/policies/baseline_policy.cc" "src/CMakeFiles/finereg.dir/policies/baseline_policy.cc.o" "gcc" "src/CMakeFiles/finereg.dir/policies/baseline_policy.cc.o.d"
+  "/root/repo/src/policies/finereg_policy.cc" "src/CMakeFiles/finereg.dir/policies/finereg_policy.cc.o" "gcc" "src/CMakeFiles/finereg.dir/policies/finereg_policy.cc.o.d"
+  "/root/repo/src/policies/policy.cc" "src/CMakeFiles/finereg.dir/policies/policy.cc.o" "gcc" "src/CMakeFiles/finereg.dir/policies/policy.cc.o.d"
+  "/root/repo/src/policies/reg_dram_policy.cc" "src/CMakeFiles/finereg.dir/policies/reg_dram_policy.cc.o" "gcc" "src/CMakeFiles/finereg.dir/policies/reg_dram_policy.cc.o.d"
+  "/root/repo/src/policies/regmutex_policy.cc" "src/CMakeFiles/finereg.dir/policies/regmutex_policy.cc.o" "gcc" "src/CMakeFiles/finereg.dir/policies/regmutex_policy.cc.o.d"
+  "/root/repo/src/policies/virtual_thread_policy.cc" "src/CMakeFiles/finereg.dir/policies/virtual_thread_policy.cc.o" "gcc" "src/CMakeFiles/finereg.dir/policies/virtual_thread_policy.cc.o.d"
+  "/root/repo/src/regfile/bitvec_cache.cc" "src/CMakeFiles/finereg.dir/regfile/bitvec_cache.cc.o" "gcc" "src/CMakeFiles/finereg.dir/regfile/bitvec_cache.cc.o.d"
+  "/root/repo/src/regfile/cta_status_monitor.cc" "src/CMakeFiles/finereg.dir/regfile/cta_status_monitor.cc.o" "gcc" "src/CMakeFiles/finereg.dir/regfile/cta_status_monitor.cc.o.d"
+  "/root/repo/src/regfile/pcrf.cc" "src/CMakeFiles/finereg.dir/regfile/pcrf.cc.o" "gcc" "src/CMakeFiles/finereg.dir/regfile/pcrf.cc.o.d"
+  "/root/repo/src/regfile/register_file.cc" "src/CMakeFiles/finereg.dir/regfile/register_file.cc.o" "gcc" "src/CMakeFiles/finereg.dir/regfile/register_file.cc.o.d"
+  "/root/repo/src/regfile/rmu.cc" "src/CMakeFiles/finereg.dir/regfile/rmu.cc.o" "gcc" "src/CMakeFiles/finereg.dir/regfile/rmu.cc.o.d"
+  "/root/repo/src/sm/cta.cc" "src/CMakeFiles/finereg.dir/sm/cta.cc.o" "gcc" "src/CMakeFiles/finereg.dir/sm/cta.cc.o.d"
+  "/root/repo/src/sm/cta_dispatcher.cc" "src/CMakeFiles/finereg.dir/sm/cta_dispatcher.cc.o" "gcc" "src/CMakeFiles/finereg.dir/sm/cta_dispatcher.cc.o.d"
+  "/root/repo/src/sm/gpu.cc" "src/CMakeFiles/finereg.dir/sm/gpu.cc.o" "gcc" "src/CMakeFiles/finereg.dir/sm/gpu.cc.o.d"
+  "/root/repo/src/sm/kernel_context.cc" "src/CMakeFiles/finereg.dir/sm/kernel_context.cc.o" "gcc" "src/CMakeFiles/finereg.dir/sm/kernel_context.cc.o.d"
+  "/root/repo/src/sm/sm.cc" "src/CMakeFiles/finereg.dir/sm/sm.cc.o" "gcc" "src/CMakeFiles/finereg.dir/sm/sm.cc.o.d"
+  "/root/repo/src/sm/warp.cc" "src/CMakeFiles/finereg.dir/sm/warp.cc.o" "gcc" "src/CMakeFiles/finereg.dir/sm/warp.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/CMakeFiles/finereg.dir/workloads/suite.cc.o" "gcc" "src/CMakeFiles/finereg.dir/workloads/suite.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/finereg.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/finereg.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

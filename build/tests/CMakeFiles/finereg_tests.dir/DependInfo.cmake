@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bitvec.cc" "tests/CMakeFiles/finereg_tests.dir/test_bitvec.cc.o" "gcc" "tests/CMakeFiles/finereg_tests.dir/test_bitvec.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/finereg_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/finereg_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_cfg_analysis.cc" "tests/CMakeFiles/finereg_tests.dir/test_cfg_analysis.cc.o" "gcc" "tests/CMakeFiles/finereg_tests.dir/test_cfg_analysis.cc.o.d"
+  "/root/repo/tests/test_cli.cc" "tests/CMakeFiles/finereg_tests.dir/test_cli.cc.o" "gcc" "tests/CMakeFiles/finereg_tests.dir/test_cli.cc.o.d"
+  "/root/repo/tests/test_energy.cc" "tests/CMakeFiles/finereg_tests.dir/test_energy.cc.o" "gcc" "tests/CMakeFiles/finereg_tests.dir/test_energy.cc.o.d"
+  "/root/repo/tests/test_fuzz.cc" "tests/CMakeFiles/finereg_tests.dir/test_fuzz.cc.o" "gcc" "tests/CMakeFiles/finereg_tests.dir/test_fuzz.cc.o.d"
+  "/root/repo/tests/test_gpu.cc" "tests/CMakeFiles/finereg_tests.dir/test_gpu.cc.o" "gcc" "tests/CMakeFiles/finereg_tests.dir/test_gpu.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/finereg_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/finereg_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_kernel_builder.cc" "tests/CMakeFiles/finereg_tests.dir/test_kernel_builder.cc.o" "gcc" "tests/CMakeFiles/finereg_tests.dir/test_kernel_builder.cc.o.d"
+  "/root/repo/tests/test_liveness.cc" "tests/CMakeFiles/finereg_tests.dir/test_liveness.cc.o" "gcc" "tests/CMakeFiles/finereg_tests.dir/test_liveness.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/finereg_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/finereg_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_policies.cc" "tests/CMakeFiles/finereg_tests.dir/test_policies.cc.o" "gcc" "tests/CMakeFiles/finereg_tests.dir/test_policies.cc.o.d"
+  "/root/repo/tests/test_regfile.cc" "tests/CMakeFiles/finereg_tests.dir/test_regfile.cc.o" "gcc" "tests/CMakeFiles/finereg_tests.dir/test_regfile.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/finereg_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/finereg_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_scoreboard.cc" "tests/CMakeFiles/finereg_tests.dir/test_scoreboard.cc.o" "gcc" "tests/CMakeFiles/finereg_tests.dir/test_scoreboard.cc.o.d"
+  "/root/repo/tests/test_simulator.cc" "tests/CMakeFiles/finereg_tests.dir/test_simulator.cc.o" "gcc" "tests/CMakeFiles/finereg_tests.dir/test_simulator.cc.o.d"
+  "/root/repo/tests/test_sm.cc" "tests/CMakeFiles/finereg_tests.dir/test_sm.cc.o" "gcc" "tests/CMakeFiles/finereg_tests.dir/test_sm.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/finereg_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/finereg_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/finereg_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/finereg_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_warp.cc" "tests/CMakeFiles/finereg_tests.dir/test_warp.cc.o" "gcc" "tests/CMakeFiles/finereg_tests.dir/test_warp.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/finereg_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/finereg_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/finereg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finereg_sim.dir/finereg_sim.cc.o"
+  "CMakeFiles/finereg_sim.dir/finereg_sim.cc.o.d"
+  "finereg_sim"
+  "finereg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finereg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
