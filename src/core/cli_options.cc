@@ -183,6 +183,48 @@ parseCliOptions(const std::vector<std::string> &args)
             if (cap <= 0)
                 return fail("--max-cycles must be positive");
             options.config.maxCycles = static_cast<Cycle>(cap);
+        } else if (arg == "--audit-interval") {
+            const auto value = need_value(i, arg);
+            if (!value)
+                return fail("--audit-interval needs a value");
+            ++i;
+            const long long interval = std::atoll(value->c_str());
+            if (interval < 0)
+                return fail("--audit-interval must be >= 0");
+            options.config.verify.auditInterval =
+                static_cast<Cycle>(interval);
+        } else if (arg == "--watchdog-cycles") {
+            const auto value = need_value(i, arg);
+            if (!value)
+                return fail("--watchdog-cycles needs a value");
+            ++i;
+            const long long cycles = std::atoll(value->c_str());
+            if (cycles < 0)
+                return fail("--watchdog-cycles must be >= 0");
+            options.config.verify.watchdogCycles =
+                static_cast<Cycle>(cycles);
+        } else if (arg == "--fault-seed") {
+            const auto value = need_value(i, arg);
+            if (!value)
+                return fail("--fault-seed needs a value");
+            ++i;
+            options.config.verify.fault.seed =
+                static_cast<std::uint64_t>(std::atoll(value->c_str()));
+        } else if (arg == "--fault-dram" || arg == "--fault-pcrf" ||
+                   arg == "--fault-bitvec") {
+            const auto value = need_value(i, arg);
+            if (!value)
+                return fail(arg + " needs a probability");
+            ++i;
+            const double prob = std::atof(value->c_str());
+            if (prob < 0.0 || prob > 1.0)
+                return fail(arg + " must be in [0, 1]");
+            if (arg == "--fault-dram")
+                options.config.verify.fault.dramDelayProb = prob;
+            else if (arg == "--fault-pcrf")
+                options.config.verify.fault.pcrfFullProb = prob;
+            else
+                options.config.verify.fault.bitvecMissProb = prob;
         } else {
             return fail("unknown flag '" + arg + "' (see --help)");
         }
@@ -223,6 +265,15 @@ cliUsage()
            "  --unified-memory    pool PCRF/shmem/L1 (Sec. VI-G3)\n"
            "  --seed N            simulation seed\n"
            "  --max-cycles N      safety cap\n"
+           "  --audit-interval N  run the invariant auditor every N cycles\n"
+           "                      (0 = off, default)\n"
+           "  --watchdog-cycles N deadlock watchdog threshold (0 = off,\n"
+           "                      default 2000000)\n"
+           "  --fault-seed N      enable deterministic fault injection\n"
+           "                      (0 = off, default)\n"
+           "  --fault-dram P      injected DRAM-delay probability\n"
+           "  --fault-pcrf P      injected PCRF-full probability\n"
+           "  --fault-bitvec P    injected bit-vector-cache-miss probability\n"
            "  --csv               CSV output (one row per run)\n"
            "  --list-apps         print the benchmark suite and exit\n"
            "  --verbose           enable status logging\n"

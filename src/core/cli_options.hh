@@ -62,6 +62,12 @@ struct ParseResult
  *   --unified-memory          enable the UM configuration (Sec. VI-G3)
  *   --seed N                  simulation seed
  *   --max-cycles N            simulation cycle cap
+ *   --audit-interval N        invariant auditor period (0 = off)
+ *   --watchdog-cycles N       deadlock watchdog threshold (0 = off)
+ *   --fault-seed N            deterministic fault injection (0 = off)
+ *   --fault-dram P            injected DRAM-delay probability
+ *   --fault-pcrf P            injected PCRF-full probability
+ *   --fault-bitvec P          injected bit-vector-cache-miss probability
  *   --csv                     machine-readable output
  *   --verbose                 enable inform() logging
  *   --list-apps               print the suite and exit

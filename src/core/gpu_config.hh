@@ -12,6 +12,7 @@
 #include "common/types.hh"
 #include "mem/mem_hierarchy.hh"
 #include "sm/sm.hh"
+#include "verify/verify_config.hh"
 
 namespace finereg
 {
@@ -106,6 +107,9 @@ struct GpuConfig
 
     /** Enable the Table III stall-episode probe. */
     bool stallProbe = false;
+
+    /** Hardening knobs: invariant auditor, watchdog, fault injection. */
+    VerifyConfig verify{};
 
     /** The paper's Table I setup. */
     static GpuConfig gtx980();

@@ -59,17 +59,31 @@ Simulator::run(const GpuConfig &config_in, const Kernel &kernel,
     if (config.policy.unifiedMemory)
         config = applyUnifiedMemory(config, kernel);
 
-    Gpu gpu(config, kernel, std::move(policy));
-    const GpuRunResult run = gpu.run();
-
     SimResult out;
     out.kernelName = kernel.name();
+    out.policyName = policyKindName(config.policy.kind);
+
+    std::unique_ptr<Gpu> gpu_holder;
+    GpuRunResult run;
+    try {
+        gpu_holder = std::make_unique<Gpu>(config, kernel,
+                                           std::move(policy));
+        run = gpu_holder->run();
+    } catch (const SimException &e) {
+        out.failed = true;
+        out.error = e.error();
+        out.failureReason = e.error().toString();
+        return out;
+    }
+    Gpu &gpu = *gpu_holder;
+
     out.policyName = gpu.policy().name();
     out.cycles = run.cycles;
     out.instructions = run.instructions;
     out.ipc = run.ipc();
     out.hitCycleLimit = run.hitCycleLimit;
     out.completedCtas = run.completedCtas;
+    out.stallDiagnostic = run.stallDiagnostic;
 
     const StatGroup &stats = gpu.stats();
     const double cycles = std::max<double>(1.0, static_cast<double>(

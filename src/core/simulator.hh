@@ -16,6 +16,7 @@
 #include "energy/energy_model.hh"
 #include "isa/kernel.hh"
 #include "policies/policy.hh"
+#include "verify/sim_error.hh"
 
 namespace finereg
 {
@@ -67,6 +68,18 @@ struct SimResult
 
     /** Scheme storage overhead (Sec. V-F), bits. */
     std::uint64_t policyStorageBits = 0;
+
+    /** True when the run aborted with a typed SimError (see error). */
+    bool failed = false;
+
+    /** The error that aborted the run; kind is None on success. */
+    SimError error;
+
+    /** Human-readable failure summary, empty on success. */
+    std::string failureReason;
+
+    /** Watchdog-style stall dump when the cycle cap was hit. */
+    std::string stallDiagnostic;
 };
 
 class Simulator

@@ -1,6 +1,6 @@
 #include "mem/cache.hh"
 
-#include "common/log.hh"
+#include "verify/sim_error.hh"
 
 namespace finereg
 {
@@ -19,7 +19,7 @@ Cache::rebuild()
 {
     if (config_.sizeBytes == 0 || config_.assoc == 0 ||
         config_.lineBytes == 0) {
-        FINEREG_FATAL("cache ", name_, ": zero-sized geometry");
+        raiseConfigError("cache " + name_ + ": zero-sized geometry");
     }
     numSets_ = config_.sizeBytes / (config_.assoc * config_.lineBytes);
     if (numSets_ == 0)

@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/log.hh"
+#include "verify/fault_injection.hh"
+#include "verify/sim_error.hh"
 
 namespace finereg
 {
@@ -16,7 +17,7 @@ Dram::Dram(const DramConfig &config, StatGroup &stats)
       accesses_(&stats.counter("dram.accesses"))
 {
     if (config_.bytesPerCycle <= 0.0)
-        FINEREG_FATAL("DRAM bandwidth must be positive");
+        raiseConfigError("DRAM bandwidth must be positive");
 }
 
 Cycle
@@ -29,8 +30,11 @@ Dram::serve(Cycle now, std::uint64_t bytes, TrafficClass cls)
     const double transfer =
         static_cast<double>(bytes) / config_.bytesPerCycle;
     nextFree_ = start + transfer;
-    return static_cast<Cycle>(
+    Cycle done = static_cast<Cycle>(
         std::ceil(start + config_.accessLatency + transfer));
+    if (fault_)
+        done += fault_->dramDelay();
+    return done;
 }
 
 std::uint64_t

@@ -1,7 +1,10 @@
 #include "policies/baseline_policy.hh"
 
+#include <sstream>
+
 #include "core/gpu_config.hh"
 #include "sm/gpu.hh"
+#include "verify/sim_error.hh"
 
 namespace finereg
 {
@@ -45,6 +48,35 @@ void
 BaselinePolicy::onCtaFinished(Sm &sm, Cta &cta, Cycle)
 {
     rf(sm).free(cta.regAllocHandle);
+}
+
+void
+BaselinePolicy::audit(const Sm &sm, Cycle now) const
+{
+    const RegFileAllocator &pool = rf(sm);
+    unsigned expected_used = 0;
+    for (const auto &cta : sm.residentCtas()) {
+        if (cta->state() != CtaState::Active) {
+            raiseInvariant("cta-state",
+                           "baseline never suspends, yet a resident CTA is "
+                           "not Active",
+                           cta->gridId(), sm.id(), now);
+        }
+        if (cta->regAllocHandle == kInvalidId) {
+            raiseInvariant("rf-accounting", "resident CTA has no allocation",
+                           cta->gridId(), sm.id(), now);
+        }
+        expected_used += pool.allocationSize(cta->regAllocHandle);
+    }
+    if (pool.numAllocations() != sm.residentCtas().size() ||
+        pool.usedWarpRegs() != expected_used) {
+        std::ostringstream oss;
+        oss << pool.numAllocations() << " allocations / "
+            << pool.usedWarpRegs() << " used warp-regs vs. "
+            << sm.residentCtas().size() << " resident CTAs holding "
+            << expected_used;
+        raiseInvariant("rf-accounting", oss.str(), kInvalidId, sm.id(), now);
+    }
 }
 
 } // namespace finereg

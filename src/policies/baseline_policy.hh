@@ -27,6 +27,9 @@ class BaselinePolicy : public Policy
     void tick(Sm &sm, Cycle now) override;
     void onCtaFinished(Sm &sm, Cta &cta, Cycle now) override;
 
+    /** Auditor: RF accounting (every CTA active, one full allocation). */
+    void audit(const Sm &sm, Cycle now) const override;
+
   protected:
     void onBind() override;
 

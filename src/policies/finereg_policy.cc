@@ -1,10 +1,12 @@
 #include "policies/finereg_policy.hh"
 
 #include <algorithm>
+#include <sstream>
 
-#include "common/log.hh"
 #include "core/gpu_config.hh"
 #include "sm/gpu.hh"
+#include "verify/fault_injection.hh"
+#include "verify/sim_error.hh"
 
 namespace finereg
 {
@@ -17,9 +19,11 @@ FineRegPolicy::onBind()
     // the split-equals-RF invariant only applies to the plain design.
     if (!pc.unifiedMemory &&
         pc.acrfBytes + pc.pcrfBytes != gpu().config().sm.regFileBytes) {
-        FINEREG_FATAL("ACRF (", pc.acrfBytes, ") + PCRF (", pc.pcrfBytes,
-                      ") must equal the baseline register file (",
-                      gpu().config().sm.regFileBytes, ")");
+        std::ostringstream oss;
+        oss << "ACRF (" << pc.acrfBytes << ") + PCRF (" << pc.pcrfBytes
+            << ") must equal the baseline register file ("
+            << gpu().config().sm.regFileBytes << ")";
+        raiseConfigError(oss.str());
     }
 
     RmuConfig rmu_config;
@@ -34,7 +38,8 @@ FineRegPolicy::onBind()
             "acrf_sm" + std::to_string(s), pc.acrfBytes);
         st->pcrf = std::make_unique<Pcrf>(pc.pcrfBytes, gpu().stats());
         st->rmu = std::make_unique<Rmu>(rmu_config, gpu().context(),
-                                        gpu().mem(), gpu().stats());
+                                        gpu().mem(), gpu().stats(),
+                                        gpu().faultInjector());
         states_.push_back(std::move(st));
     }
 }
@@ -198,7 +203,13 @@ FineRegPolicy::switchStalledCtas(Sm &sm, Cycle now)
                 ? 0
                 : config().policy.switchBaseLatency;
 
-        if (st.pcrf->canStore(n_live)) {
+        // Injected fault: a canStore query may be forced to report the
+        // PCRF full, pushing the switch onto the Fig. 6(b) swap path.
+        FaultInjector *fault = gpu().faultInjector();
+        const bool pcrf_has_room =
+            st.pcrf->canStore(n_live) && !(fault && fault->forcePcrfFull());
+
+        if (pcrf_has_room) {
             // Fig. 6(a): free PCRF slots — evict and introduce a CTA.
             evictCta(sm, *cta, gather, now);
             if (ready_pending) {
@@ -284,8 +295,10 @@ void
 FineRegPolicy::onCtaFinished(Sm &sm, Cta &cta, Cycle)
 {
     SmState &st = state(sm);
-    if (cta.regAllocHandle == kInvalidId)
-        FINEREG_PANIC("finished CTA ", cta.gridId(), " has no ACRF handle");
+    if (cta.regAllocHandle == kInvalidId) {
+        raiseInvariant("acrf-accounting", "finished CTA has no ACRF handle",
+                       cta.gridId(), sm.id());
+    }
     st.acrf->free(cta.regAllocHandle);
     st.monitor.onRetire(cta.gridId());
     st.pendingReady.erase(cta.gridId());
@@ -305,6 +318,112 @@ FineRegPolicy::nextEventCycle(const Sm &sm, Cycle now) const
     for (const auto &[cta, ready] : st.pendingReady)
         next = std::min(next, std::max(ready, now + 1));
     return next;
+}
+
+void
+FineRegPolicy::audit(const Sm &sm, Cycle now) const
+{
+    const SmState &st = state(sm);
+    const std::uint32_t sm_id = sm.id();
+    const Kernel &kernel = sm.context().kernel();
+
+    // PCRF chain integrity: walk every chain, cross-check the occupancy
+    // monitor (Sec. V-C free-space flags vs. Sec. V-D pointer table).
+    const PcrfIntegrityError chain = st.pcrf->auditIntegrity();
+    if (!chain.intact())
+        raiseInvariant(chain.invariant, chain.message, chain.cta, sm_id, now);
+
+    unsigned active = 0;
+    unsigned pending = 0;
+    unsigned expected_used = 0;
+    for (const auto &cta : sm.residentCtas()) {
+        const GridCtaId id = cta->gridId();
+        const ContextLocation ctx = st.monitor.contextOf(id);
+        const RegisterLocation regs = st.monitor.registersOf(id);
+
+        if (cta->state() == CtaState::Active) {
+            ++active;
+            if (cta->regAllocHandle == kInvalidId) {
+                raiseInvariant("acrf-accounting",
+                               "active CTA has no ACRF allocation", id,
+                               sm_id, now);
+            }
+            expected_used += st.acrf->allocationSize(cta->regAllocHandle);
+            if (ctx != ContextLocation::Pipeline ||
+                regs != RegisterLocation::Acrf) {
+                raiseInvariant("monitor-state",
+                               "active CTA not encoded context=Pipeline, "
+                               "regs=ACRF (Table IV)",
+                               id, sm_id, now);
+            }
+            if (st.pcrf->holds(id)) {
+                raiseInvariant("pcrf-chain",
+                               "active CTA still has a PCRF chain", id,
+                               sm_id, now);
+            }
+        } else if (cta->state() == CtaState::Pending) {
+            ++pending;
+            if (cta->regAllocHandle != kInvalidId) {
+                raiseInvariant("acrf-accounting",
+                               "pending CTA still holds an ACRF allocation",
+                               id, sm_id, now);
+            }
+            if (ctx != ContextLocation::SharedMemory ||
+                regs != RegisterLocation::Pcrf) {
+                raiseInvariant("monitor-state",
+                               "pending CTA not encoded context=SharedMemory, "
+                               "regs=PCRF (Table IV)",
+                               id, sm_id, now);
+            }
+            if (!st.pcrf->holds(id)) {
+                raiseInvariant("pcrf-chain",
+                               "pending CTA has no PCRF chain", id, sm_id,
+                               now);
+            }
+            if (st.pcrf->liveCountOf(id) > kernel.warpRegsPerCta()) {
+                raiseInvariant("pcrf-chain",
+                               "PCRF chain longer than the CTA's static "
+                               "register allocation",
+                               id, sm_id, now);
+            }
+            if (!st.pendingReady.count(id)) {
+                raiseInvariant("monitor-state",
+                               "pending CTA has no operand-ready estimate",
+                               id, sm_id, now);
+            }
+        }
+    }
+
+    if (st.acrf->numAllocations() != active) {
+        std::ostringstream oss;
+        oss << st.acrf->numAllocations()
+            << " outstanding ACRF allocations for " << active
+            << " active CTAs (allocation leaked after CTA completion)";
+        raiseInvariant("acrf-accounting", oss.str(), kInvalidId, sm_id, now);
+    }
+    if (st.acrf->usedWarpRegs() != expected_used) {
+        std::ostringstream oss;
+        oss << "ACRF usage counter reads " << st.acrf->usedWarpRegs()
+            << " warp-regs but active CTAs account for " << expected_used;
+        raiseInvariant("acrf-accounting", oss.str(), kInvalidId, sm_id, now);
+    }
+    if (st.acrf->usedWarpRegs() > st.acrf->capacityWarpRegs()) {
+        raiseInvariant("acrf-capacity",
+                       "sum of active-CTA allocations exceeds ACRF capacity",
+                       kInvalidId, sm_id, now);
+    }
+    if (st.pcrf->numPendingCtas() != pending) {
+        std::ostringstream oss;
+        oss << st.pcrf->numPendingCtas() << " PCRF chains for " << pending
+            << " pending CTAs";
+        raiseInvariant("pcrf-chain", oss.str(), kInvalidId, sm_id, now);
+    }
+    if (st.monitor.numTracked() != active + pending) {
+        std::ostringstream oss;
+        oss << "status monitor tracks " << st.monitor.numTracked()
+            << " CTAs but " << active + pending << " are resident";
+        raiseInvariant("monitor-state", oss.str(), kInvalidId, sm_id, now);
+    }
 }
 
 std::uint64_t

@@ -39,6 +39,9 @@ class FineRegPolicy : public Policy
     bool rfDepletionBlocked(const Sm &sm, Cycle now) const override;
     Cycle nextEventCycle(const Sm &sm, Cycle now) const override;
 
+    /** Invariant auditor: PCRF chains, ACRF accounting, Table IV states. */
+    void audit(const Sm &sm, Cycle now) const override;
+
     /** Sec. V-F storage accounting: status monitor + bit-vector cache +
      * PCRF pointer table + PCRF tags + CTA switching logic (2.4 KB). */
     std::uint64_t storageOverheadBits() const override;
@@ -53,6 +56,18 @@ class FineRegPolicy : public Policy
     {
         return *state(sm).acrf;
     }
+
+    /** Operand-ready estimate of pending CTA @p cta (0 if untracked). */
+    Cycle pendingReadyOf(const Sm &sm, GridCtaId cta) const
+    {
+        const auto &ready = state(sm).pendingReady;
+        const auto it = ready.find(cta);
+        return it == ready.end() ? 0 : it->second;
+    }
+
+    /** Mutable introspection for corruption/fault-injection tests. */
+    Pcrf &mutablePcrfOf(const Sm &sm) { return *state(sm).pcrf; }
+    RegFileAllocator &mutableAcrfOf(const Sm &sm) { return *state(sm).acrf; }
 
   protected:
     void onBind() override;

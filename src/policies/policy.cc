@@ -88,6 +88,11 @@ Policy::rfDepletionBlocked(const Sm &, Cycle) const
     return false;
 }
 
+void
+Policy::audit(const Sm &, Cycle) const
+{
+}
+
 Cycle
 Policy::nextEventCycle(const Sm &, Cycle) const
 {

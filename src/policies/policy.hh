@@ -59,6 +59,14 @@ class Policy
     /** Extra SRAM the scheme needs, in bits (Sec. V-F accounting). */
     virtual std::uint64_t storageOverheadBits() const { return 0; }
 
+    /**
+     * Invariant-auditor hook: verify the policy's own bookkeeping for
+     * @p sm (allocator accounting, PCRF chain integrity, status-monitor
+     * legality, ...). Throws an InvariantViolation SimException on the
+     * first broken invariant; the default policy has nothing to check.
+     */
+    virtual void audit(const Sm &sm, Cycle now) const;
+
   protected:
     /** Policy-specific initialization once the Gpu is known. */
     virtual void onBind() {}

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
-#include "common/log.hh"
 #include "core/gpu_config.hh"
 #include "sm/gpu.hh"
+#include "verify/sim_error.hh"
 
 namespace finereg
 {
@@ -14,8 +15,11 @@ void
 RegMutexPolicy::onBind()
 {
     const double srp_ratio = config().policy.srpRatio;
-    if (srp_ratio < 0.0 || srp_ratio >= 1.0)
-        FINEREG_FATAL("SRP ratio ", srp_ratio, " outside [0, 1)");
+    if (srp_ratio < 0.0 || srp_ratio >= 1.0) {
+        std::ostringstream oss;
+        oss << "SRP ratio " << srp_ratio << " outside [0, 1)";
+        raiseConfigError(oss.str());
+    }
 
     const std::uint64_t rf_bytes = gpu().config().sm.regFileBytes;
     const auto srp_bytes = static_cast<std::uint64_t>(rf_bytes * srp_ratio);
@@ -265,6 +269,55 @@ RegMutexPolicy::nextEventCycle(const Sm &sm, Cycle now) const
     for (const auto &[cta, ready] : st.pendingReady)
         next = std::min(next, std::max(ready, now + 1));
     return next;
+}
+
+void
+RegMutexPolicy::audit(const Sm &sm, Cycle now) const
+{
+    const SmState &st = state(sm);
+    unsigned expected_brs = 0;
+    for (const auto &cta : sm.residentCtas()) {
+        if (cta->regAllocHandle == kInvalidId) {
+            raiseInvariant("rf-accounting",
+                           "resident CTA has no BRS allocation",
+                           cta->gridId(), sm.id(), now);
+        }
+        expected_brs += st.brsPool->allocationSize(cta->regAllocHandle);
+    }
+    if (st.brsPool->numAllocations() != sm.residentCtas().size() ||
+        st.brsPool->usedWarpRegs() != expected_brs) {
+        std::ostringstream oss;
+        oss << "BRS pool holds " << st.brsPool->numAllocations()
+            << " allocations / " << st.brsPool->usedWarpRegs()
+            << " warp-regs vs. " << sm.residentCtas().size()
+            << " resident CTAs holding " << expected_brs;
+        raiseInvariant("rf-accounting", oss.str(), kInvalidId, sm.id(), now);
+    }
+
+    // SRP conservation: the pool's usage must equal the sum of per-CTA
+    // holdings, and every non-zero holding must have a matching grant.
+    unsigned expected_srp = 0;
+    for (const auto &[cta, held] : st.srpHeld) {
+        expected_srp += held;
+        const auto grant = st.srpHandle.find(cta);
+        const unsigned granted =
+            grant == st.srpHandle.end() || grant->second == 0
+                ? 0
+                : st.srpPool->allocationSize(grant->second);
+        if (granted != held) {
+            std::ostringstream oss;
+            oss << "SRP holding of " << held
+                << " warp-regs backed by a grant of " << granted;
+            raiseInvariant("srp-accounting", oss.str(), cta, sm.id(), now);
+        }
+    }
+    if (st.srpPool->usedWarpRegs() != expected_srp) {
+        std::ostringstream oss;
+        oss << "SRP pool usage " << st.srpPool->usedWarpRegs()
+            << " warp-regs vs. " << expected_srp << " held by CTAs";
+        raiseInvariant("srp-accounting", oss.str(), kInvalidId, sm.id(),
+                       now);
+    }
 }
 
 } // namespace finereg

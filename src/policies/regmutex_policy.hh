@@ -34,6 +34,9 @@ class RegMutexPolicy : public Policy
     bool rfDepletionBlocked(const Sm &sm, Cycle now) const override;
     Cycle nextEventCycle(const Sm &sm, Cycle now) const override;
 
+    /** Auditor: BRS allocation accounting and SRP holding conservation. */
+    void audit(const Sm &sm, Cycle now) const override;
+
     /** Per-thread BRS register count for the bound kernel. */
     unsigned brsRegsPerThread(const Sm &sm) const;
 

@@ -1,10 +1,11 @@
 #include "policies/virtual_thread_policy.hh"
 
 #include <algorithm>
+#include <sstream>
 
-#include "common/log.hh"
 #include "core/gpu_config.hh"
 #include "sm/gpu.hh"
+#include "verify/sim_error.hh"
 
 namespace finereg
 {
@@ -155,6 +156,34 @@ VirtualThreadPolicy::nextEventCycle(const Sm &sm, Cycle now) const
     for (const auto &[cta, ready] : st.pendingReady)
         next = std::min(next, std::max(ready, now + 1));
     return next;
+}
+
+void
+VirtualThreadPolicy::audit(const Sm &sm, Cycle now) const
+{
+    const SmState &st = state(sm);
+    unsigned holders = 0;
+    unsigned expected_used = 0;
+    for (const auto &cta : sm.residentCtas()) {
+        if (cta->state() == CtaState::Active &&
+            cta->regAllocHandle == kInvalidId) {
+            raiseInvariant("rf-accounting",
+                           "active CTA has no register allocation",
+                           cta->gridId(), sm.id(), now);
+        }
+        if (cta->regAllocHandle != kInvalidId) {
+            ++holders;
+            expected_used += st.rf->allocationSize(cta->regAllocHandle);
+        }
+    }
+    if (st.rf->numAllocations() != holders ||
+        st.rf->usedWarpRegs() != expected_used) {
+        std::ostringstream oss;
+        oss << st.rf->numAllocations() << " allocations / "
+            << st.rf->usedWarpRegs() << " used warp-regs vs. " << holders
+            << " handle-holding CTAs accounting for " << expected_used;
+        raiseInvariant("rf-accounting", oss.str(), kInvalidId, sm.id(), now);
+    }
 }
 
 } // namespace finereg

@@ -32,6 +32,10 @@ class VirtualThreadPolicy : public Policy
     void onCtaFinished(Sm &sm, Cta &cta, Cycle now) override;
     Cycle nextEventCycle(const Sm &sm, Cycle now) const override;
 
+    /** Auditor: RF accounting over handle-holding resident CTAs (also
+     * covers Reg+DRAM, whose demoted CTAs hold no handle). */
+    void audit(const Sm &sm, Cycle now) const override;
+
     /** VT CTA-switching logic storage (Sec. V-F cites 2.4 KB). */
     std::uint64_t storageOverheadBits() const override
     {

@@ -1,6 +1,6 @@
 #include "regfile/bitvec_cache.hh"
 
-#include "common/log.hh"
+#include "verify/sim_error.hh"
 
 namespace finereg
 {
@@ -11,7 +11,7 @@ BitvecCache::BitvecCache(unsigned entries, StatGroup &stats)
       misses_(&stats.counter("bitvec_cache.misses"))
 {
     if (entries == 0)
-        FINEREG_FATAL("bit-vector cache needs at least one entry");
+        raiseConfigError("bit-vector cache needs at least one entry");
 }
 
 std::size_t

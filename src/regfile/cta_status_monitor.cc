@@ -1,6 +1,8 @@
 #include "regfile/cta_status_monitor.hh"
 
-#include "common/log.hh"
+#include <sstream>
+
+#include "verify/sim_error.hh"
 
 namespace finereg
 {
@@ -13,10 +15,13 @@ void
 CtaStatusMonitor::onLaunch(GridCtaId cta)
 {
     if (status_.count(cta))
-        FINEREG_PANIC("status monitor: CTA ", cta, " launched twice");
-    if (status_.size() >= maxCtas_)
-        FINEREG_PANIC("status monitor: exceeding ", maxCtas_,
-                      " tracked CTAs");
+        raiseInvariant("monitor-state", "status monitor: CTA launched twice",
+                       cta);
+    if (status_.size() >= maxCtas_) {
+        std::ostringstream oss;
+        oss << "status monitor: exceeding " << maxCtas_ << " tracked CTAs";
+        raiseInvariant("monitor-capacity", oss.str(), cta);
+    }
     status_[cta] = {ContextLocation::Pipeline, RegisterLocation::Acrf};
 }
 
@@ -25,7 +30,8 @@ CtaStatusMonitor::setContext(GridCtaId cta, ContextLocation loc)
 {
     const auto it = status_.find(cta);
     if (it == status_.end())
-        FINEREG_PANIC("status monitor: unknown CTA ", cta);
+        raiseInvariant("monitor-state",
+                       "status monitor: context update for unknown CTA", cta);
     it->second.context = loc;
 }
 
@@ -34,7 +40,8 @@ CtaStatusMonitor::setRegisters(GridCtaId cta, RegisterLocation loc)
 {
     const auto it = status_.find(cta);
     if (it == status_.end())
-        FINEREG_PANIC("status monitor: unknown CTA ", cta);
+        raiseInvariant("monitor-state",
+                       "status monitor: register update for unknown CTA", cta);
     it->second.regs = loc;
 }
 

@@ -1,6 +1,8 @@
 #include "regfile/pcrf.hh"
 
-#include "common/log.hh"
+#include <sstream>
+
+#include "verify/sim_error.hh"
 
 namespace finereg
 {
@@ -26,10 +28,14 @@ void
 Pcrf::storeCta(GridCtaId cta, const std::vector<LiveReg> &regs)
 {
     if (holds(cta))
-        FINEREG_PANIC("PCRF already holds CTA ", cta);
-    if (!canStore(regs.size()))
-        FINEREG_PANIC("PCRF overflow storing ", regs.size(),
-                      " registers with ", freeEntries(), " free");
+        raiseInvariant("pcrf-chain", "PCRF already holds a chain for this CTA",
+                       cta);
+    if (!canStore(regs.size())) {
+        std::ostringstream oss;
+        oss << "PCRF overflow storing " << regs.size() << " registers with "
+            << freeEntries() << " free";
+        raiseInvariant("pcrf-capacity", oss.str(), cta);
+    }
 
     storedCtas_->inc();
     PointerLine line{0, static_cast<unsigned>(regs.size())};
@@ -61,7 +67,7 @@ Pcrf::restoreCta(GridCtaId cta)
 {
     const auto it = pointerTable_.find(cta);
     if (it == pointerTable_.end())
-        FINEREG_PANIC("PCRF restore of absent CTA ", cta);
+        raiseInvariant("pcrf-chain", "PCRF restore of absent CTA", cta);
 
     restoredCtas_->inc();
     std::vector<LiveReg> regs;
@@ -70,9 +76,11 @@ Pcrf::restoreCta(GridCtaId cta)
     unsigned slot = it->second.head;
     for (unsigned i = 0; i < it->second.count; ++i) {
         Entry &entry = entries_[slot];
-        if (!entry.valid)
-            FINEREG_PANIC("PCRF chain of CTA ", cta,
-                          " walked into invalid entry ", slot);
+        if (!entry.valid) {
+            std::ostringstream oss;
+            oss << "PCRF chain walked into invalid entry " << slot;
+            raiseInvariant("pcrf-chain", oss.str(), cta);
+        }
         reads_->inc();
         regs.push_back({entry.warp, entry.reg});
         entry.valid = false;
@@ -80,7 +88,7 @@ Pcrf::restoreCta(GridCtaId cta)
         const bool at_end = entry.end;
         slot = entry.next;
         if (at_end && i + 1 != it->second.count)
-            FINEREG_PANIC("PCRF chain of CTA ", cta, " ended early");
+            raiseInvariant("pcrf-chain", "PCRF chain ended early", cta);
     }
 
     pointerTable_.erase(it);
@@ -116,6 +124,100 @@ Pcrf::clear()
         entry.valid = false;
     occupied_.clearAll();
     pointerTable_.clear();
+}
+
+PcrfIntegrityError
+Pcrf::auditIntegrity() const
+{
+    DynBitSet visited(entries_.size());
+    std::size_t walked = 0;
+
+    auto broken = [](const char *invariant, GridCtaId cta,
+                     const auto &...parts) {
+        std::ostringstream oss;
+        (oss << ... << parts);
+        return PcrfIntegrityError{invariant, oss.str(), cta};
+    };
+
+    for (const auto &[cta, line] : pointerTable_) {
+        if (line.count > entries_.size()) {
+            return broken("pcrf-chain", cta, "live count ", line.count,
+                          " exceeds the ", entries_.size(), "-entry PCRF");
+        }
+        unsigned slot = line.head;
+        for (unsigned i = 0; i < line.count; ++i) {
+            if (slot >= entries_.size()) {
+                return broken("pcrf-chain", cta, "chain pointer ", slot,
+                              " out of range at hop ", i);
+            }
+            if (visited.test(slot)) {
+                return broken("pcrf-chain", cta, "chain revisits entry ",
+                              slot, " (cycle or cross-chain alias)");
+            }
+            visited.set(slot);
+            ++walked;
+
+            const Entry &entry = entries_[slot];
+            if (!entry.valid) {
+                return broken("pcrf-chain", cta, "chain entry ", slot,
+                              " has the valid bit clear");
+            }
+            if (!occupied_.test(slot)) {
+                return broken("pcrf-occupancy", cta, "chain entry ", slot,
+                              " is not marked occupied");
+            }
+            const bool last = i + 1 == line.count;
+            if (entry.end != last) {
+                return entry.end
+                           ? broken("pcrf-chain", cta, "end bit set at hop ",
+                                    i, " of a ", line.count, "-entry chain")
+                           : broken("pcrf-chain", cta,
+                                    "chain unterminated after ", line.count,
+                                    " entries");
+            }
+            slot = entry.next;
+        }
+    }
+
+    if (walked != occupied_.count()) {
+        return broken("pcrf-occupancy", kInvalidId, occupied_.count(),
+                      " entries marked occupied but ", walked,
+                      " reachable from pointer-table chains");
+    }
+    return {};
+}
+
+void
+Pcrf::testSetEntryNext(unsigned slot, unsigned next)
+{
+    entries_.at(slot).next = next;
+}
+
+void
+Pcrf::testSetEntryEnd(unsigned slot, bool end)
+{
+    entries_.at(slot).end = end;
+}
+
+void
+Pcrf::testSetEntryValid(unsigned slot, bool valid)
+{
+    entries_.at(slot).valid = valid;
+}
+
+void
+Pcrf::testSetOccupied(unsigned slot, bool occupied)
+{
+    if (occupied)
+        occupied_.set(slot);
+    else
+        occupied_.reset(slot);
+}
+
+void
+Pcrf::testSetLiveCount(GridCtaId cta, unsigned count)
+{
+    pointerTable_.at(cta).count = count;
 }
 
 } // namespace finereg

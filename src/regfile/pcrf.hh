@@ -12,6 +12,7 @@
 #ifndef FINEREG_REGFILE_PCRF_HH
 #define FINEREG_REGFILE_PCRF_HH
 
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -27,6 +28,16 @@ struct LiveReg
 {
     WarpId warp = 0;
     RegIndex reg = 0;
+};
+
+/** Result of a PCRF integrity walk; intact() when nothing is broken. */
+struct PcrfIntegrityError
+{
+    std::string invariant; ///< e.g. "pcrf-chain", "pcrf-occupancy".
+    std::string message;
+    GridCtaId cta = kInvalidId;
+
+    bool intact() const { return invariant.empty(); }
 };
 
 class Pcrf
@@ -86,6 +97,23 @@ class Pcrf
 
     /** Drop all chains (between experiments). */
     void clear();
+
+    /**
+     * Integrity walk for the invariant auditor: every pointer-table chain
+     * must traverse exactly its live count of valid, occupied, mutually
+     * disjoint entries with the end bit set on the last entry only, and
+     * the occupancy monitor must mark exactly the union of walked entries.
+     * Costs O(live entries + entries/64).
+     */
+    PcrfIntegrityError auditIntegrity() const;
+
+    // Test hooks: deliberately corrupt state to exercise the auditor. ------
+
+    void testSetEntryNext(unsigned slot, unsigned next);
+    void testSetEntryEnd(unsigned slot, bool end);
+    void testSetEntryValid(unsigned slot, bool valid);
+    void testSetOccupied(unsigned slot, bool occupied);
+    void testSetLiveCount(GridCtaId cta, unsigned count);
 
   private:
     struct Entry

@@ -1,9 +1,25 @@
 #include "regfile/register_file.hh"
 
-#include "common/log.hh"
+#include <sstream>
+
+#include "verify/sim_error.hh"
 
 namespace finereg
 {
+
+namespace
+{
+
+template <typename... Parts>
+[[noreturn]] void
+failAllocator(const char *invariant, const Parts &...parts)
+{
+    std::ostringstream oss;
+    (oss << ... << parts);
+    raiseInvariant(invariant, oss.str());
+}
+
+} // namespace
 
 RegFileAllocator::RegFileAllocator(std::string name, std::uint64_t bytes)
     : name_(std::move(name)),
@@ -14,9 +30,10 @@ RegFileAllocator::RegFileAllocator(std::string name, std::uint64_t bytes)
 unsigned
 RegFileAllocator::allocate(unsigned warp_regs)
 {
-    if (!canAllocate(warp_regs))
-        FINEREG_PANIC(name_, ": allocation of ", warp_regs,
+    if (!canAllocate(warp_regs)) {
+        failAllocator("rf-capacity", name_, ": allocation of ", warp_regs,
                       " warp-regs exceeds free space ", freeWarpRegs());
+    }
     used_ += warp_regs;
     const unsigned handle = nextHandle_++;
     allocations_[handle] = warp_regs;
@@ -28,7 +45,7 @@ RegFileAllocator::free(unsigned handle)
 {
     const auto it = allocations_.find(handle);
     if (it == allocations_.end())
-        FINEREG_PANIC(name_, ": free of unknown handle ", handle);
+        failAllocator("rf-handle", name_, ": free of unknown handle ", handle);
     used_ -= it->second;
     allocations_.erase(it);
 }
@@ -37,8 +54,10 @@ unsigned
 RegFileAllocator::allocationSize(unsigned handle) const
 {
     const auto it = allocations_.find(handle);
-    if (it == allocations_.end())
-        FINEREG_PANIC(name_, ": size query of unknown handle ", handle);
+    if (it == allocations_.end()) {
+        failAllocator("rf-handle", name_, ": size query of unknown handle ",
+                      handle);
+    }
     return it->second;
 }
 
@@ -48,7 +67,7 @@ RegFileAllocator::resize(std::uint64_t bytes)
     const auto new_capacity =
         static_cast<unsigned>(bytes / kBytesPerWarpReg);
     if (new_capacity < used_)
-        FINEREG_PANIC(name_, ": resize below current usage");
+        failAllocator("rf-capacity", name_, ": resize below current usage");
     capacity_ = new_capacity;
 }
 

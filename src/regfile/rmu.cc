@@ -2,13 +2,15 @@
 
 #include <algorithm>
 
+#include "verify/fault_injection.hh"
+
 namespace finereg
 {
 
 Rmu::Rmu(const RmuConfig &config, const KernelContext &context,
-         MemHierarchy &mem, StatGroup &stats)
+         MemHierarchy &mem, StatGroup &stats, FaultInjector *fault)
     : config_(config), context_(&context), mem_(&mem),
-      cache_(config.bitvecCacheEntries, stats),
+      cache_(config.bitvecCacheEntries, stats), fault_(fault),
       gathers_(&stats.counter("rmu.gathers"))
 {
 }
@@ -36,7 +38,10 @@ Rmu::gatherLiveRegs(const Cta &cta, Cycle now)
             // paths each need their registers preserved.
             for (const auto &entry : warp->simtStack()) {
                 live |= context_->liveTable().lookup(entry.pc);
-                if (!cache_.access(entry.pc)) {
+                bool hit = cache_.access(entry.pc);
+                if (hit && fault_ && fault_->forceBitvecMiss())
+                    hit = false; // injected fault: treat the hit as a miss
+                if (!hit) {
                     ++out.cacheMisses;
                     // 12-byte table entry fetched from off-chip memory.
                     const Cycle done = mem_->offchipTransfer(

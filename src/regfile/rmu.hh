@@ -33,11 +33,14 @@ struct RmuConfig
     bool fullContextBackup = false;
 };
 
+class FaultInjector;
+
 class Rmu
 {
   public:
+    /** @p fault (optional) can force bit-vector cache hits to miss. */
     Rmu(const RmuConfig &config, const KernelContext &context,
-        MemHierarchy &mem, StatGroup &stats);
+        MemHierarchy &mem, StatGroup &stats, FaultInjector *fault = nullptr);
 
     struct Gather
     {
@@ -81,6 +84,7 @@ class Rmu
     const KernelContext *context_;
     MemHierarchy *mem_;
     BitvecCache cache_;
+    FaultInjector *fault_;
     Counter *gathers_;
 };
 

@@ -7,13 +7,18 @@
 namespace finereg
 {
 
-Cta::Cta(GridCtaId grid_id, unsigned launch_seq, const KernelContext &context)
+Cta::Cta(GridCtaId grid_id, unsigned launch_seq, const KernelContext &context,
+         std::uint64_t seed_base)
     : gridId_(grid_id), launchSeq_(launch_seq), context_(&context)
 {
     const unsigned n_warps = context.kernel().warpsPerCta();
     warps_.reserve(n_warps);
-    for (unsigned w = 0; w < n_warps; ++w)
-        warps_.push_back(std::make_unique<Warp>(this, WarpId(w), context));
+    for (unsigned w = 0; w < n_warps; ++w) {
+        const std::uint64_t warp_seed =
+            seed_base + 0x9e3779b97f4a7c15ull * (w + 1);
+        warps_.push_back(
+            std::make_unique<Warp>(this, WarpId(w), context, warp_seed));
+    }
 }
 
 bool

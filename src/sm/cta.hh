@@ -29,7 +29,13 @@ enum class CtaState : unsigned char
 class Cta
 {
   public:
-    Cta(GridCtaId grid_id, unsigned launch_seq, const KernelContext &context);
+    /**
+     * @p seed_base seeds the warps' private RNG streams (warp w draws from
+     * seed_base mixed with w). Callers derive it from the grid CTA id so
+     * the execution path is independent of placement and timing.
+     */
+    Cta(GridCtaId grid_id, unsigned launch_seq, const KernelContext &context,
+        std::uint64_t seed_base = 0);
 
     GridCtaId gridId() const { return gridId_; }
 

@@ -1,8 +1,12 @@
 #include "sm/gpu.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "common/log.hh"
+#include "verify/invariant_auditor.hh"
+#include "verify/sim_error.hh"
+#include "verify/watchdog.hh"
 
 namespace finereg
 {
@@ -14,15 +18,23 @@ Gpu::Gpu(const GpuConfig &config, const Kernel &kernel,
       mem_(std::make_unique<MemHierarchy>(config.mem, config.numSms,
                                           stats_)),
       dispatcher_(kernel.gridCtas()),
+      fault_(config.verify.fault.enabled()
+                 ? std::make_unique<FaultInjector>(config.verify.fault,
+                                                   stats_)
+                 : nullptr),
       policy_(policy ? std::move(policy) : makePolicy(config)),
       cyclesCtr_(&stats_.counter("gpu.cycles")),
       depletionStallCycles_(&stats_.counter("gpu.depletion_stall_cycles"))
 {
+    mem_->setFaultInjector(fault_.get());
     sms_.reserve(config_.numSms);
     for (unsigned s = 0; s < config_.numSms; ++s) {
         sms_.push_back(std::make_unique<Sm>(
             SmId(s), config_.sm, *context_, *mem_, stats_,
             config_.seed + 0x1000ull * (s + 1)));
+        // The CTA seed base must not depend on the SM index: a CTA's
+        // execution path stays identical no matter where it lands.
+        sms_.back()->setCtaSeedBase(config_.seed);
         sms_.back()->enableUsageTracking(config_.usageTracking);
         sms_.back()->enableStallProbe(config_.stallProbe);
     }
@@ -38,6 +50,10 @@ Gpu::run()
     now_ = 0;
     Cycle idle_streak = 0;
 
+    DeadlockWatchdog watchdog(config_.verify.watchdogCycles);
+    InvariantAuditor auditor(config_.verify.auditInterval);
+    Cycle next_audit = auditor.enabled() ? auditor.interval() : kNoCycle;
+
     while (!dispatcher_.allComplete()) {
         if (now_ >= config_.maxCycles) {
             FINEREG_WARN("kernel ", context_->kernel().name(),
@@ -45,6 +61,8 @@ Gpu::run()
                          dispatcher_.completed(), "/",
                          dispatcher_.gridCtas(), " CTAs done");
             result.hitCycleLimit = true;
+            result.stallDiagnostic =
+                buildStallDiagnostic(*this, now_, watchdog.lastProgress());
             break;
         }
 
@@ -53,17 +71,30 @@ Gpu::run()
             issued += sm->tick(now_);
 
         // Retire CTAs that finished this cycle.
+        bool retired = false;
         for (auto &sm : sms_) {
             for (Cta *cta : sm->takeFinished()) {
                 policy_->onCtaFinished(*sm, *cta, now_);
                 dispatcher_.noteCompleted();
                 sm->destroyCta(*cta);
+                retired = true;
             }
         }
 
         // Policy decisions: launches, stall detection, switches.
         for (auto &sm : sms_)
             policy_->tick(*sm, now_);
+
+        // Progress = an instruction issued or a CTA retired this tick.
+        if (issued > 0 || retired)
+            watchdog.noteProgress(now_);
+        else
+            watchdog.check(*this, now_);
+
+        if (now_ >= next_audit) {
+            auditor.audit(*this, now_);
+            next_audit = now_ + auditor.interval();
+        }
 
         // Decide how far to advance.
         Cycle next = now_ + 1;
@@ -79,9 +110,13 @@ Gpu::run()
                 next = now_ + 1000;
                 ++idle_streak;
                 if (idle_streak > 10000) {
-                    FINEREG_PANIC("no forward progress on kernel ",
-                                  context_->kernel().name(), " at cycle ",
-                                  now_);
+                    raiseDeadlock(
+                        "no forward progress on kernel " +
+                            context_->kernel().name() + " at cycle " +
+                            std::to_string(now_),
+                        now_,
+                        buildStallDiagnostic(*this, now_,
+                                             watchdog.lastProgress()));
                 }
             } else {
                 next = std::max(now_ + 1, wake);

@@ -11,6 +11,7 @@
 #define FINEREG_SM_GPU_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/stats.hh"
@@ -21,6 +22,7 @@
 #include "sm/cta_dispatcher.hh"
 #include "sm/kernel_context.hh"
 #include "sm/sm.hh"
+#include "verify/fault_injection.hh"
 
 namespace finereg
 {
@@ -31,6 +33,9 @@ struct GpuRunResult
     std::uint64_t instructions = 0;
     unsigned completedCtas = 0;
     bool hitCycleLimit = false;
+
+    /** Watchdog-style stall summary, filled when the cycle cap is hit. */
+    std::string stallDiagnostic;
 
     double
     ipc() const
@@ -64,6 +69,9 @@ class Gpu
 
     Cycle nowCycle() const { return now_; }
 
+    /** Active fault injector, or nullptr when fault injection is off. */
+    FaultInjector *faultInjector() { return fault_.get(); }
+
   private:
     GpuConfig config_;
     StatGroup stats_;
@@ -71,6 +79,7 @@ class Gpu
     std::unique_ptr<MemHierarchy> mem_;
     std::vector<std::unique_ptr<Sm>> sms_;
     CtaDispatcher dispatcher_;
+    std::unique_ptr<FaultInjector> fault_;
     std::unique_ptr<Policy> policy_;
     Cycle now_ = 0;
 

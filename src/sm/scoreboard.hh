@@ -109,6 +109,18 @@ class Scoreboard
         fromMem_.clear();
     }
 
+    // Auditor introspection --------------------------------------------------
+
+    /** Registers with a recorded in-flight write (may include writes that
+     * already settled but were not yet lazily expired). */
+    const RegBitVec &pendingMask() const { return pending_; }
+
+    /** Subset of pendingMask() whose writes come from global memory. */
+    const RegBitVec &memPendingMask() const { return fromMem_; }
+
+    /** Recorded completion cycle of the last write to @p reg. */
+    Cycle readyAtOf(RegIndex reg) const { return readyAt_[reg]; }
+
   private:
     std::array<Cycle, kMaxRegsPerThread> readyAt_{};
     RegBitVec pending_;

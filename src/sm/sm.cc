@@ -76,7 +76,12 @@ Sm::launchCta(GridCtaId grid_id, Cycle now)
     if (shmemFree() < kernel.shmemPerCta())
         FINEREG_PANIC("launchCta without shared memory on SM ", id_);
 
-    auto cta = std::make_unique<Cta>(grid_id, launchSeq_++, *context_);
+    // Seed the CTA's warp RNG streams from the grid CTA id alone so that
+    // the executed path is invariant to placement and launch timing.
+    const std::uint64_t cta_seed =
+        ctaSeedBase_ + 0x9e3779b97f4a7c15ull * (std::uint64_t(grid_id) + 1);
+    auto cta =
+        std::make_unique<Cta>(grid_id, launchSeq_++, *context_, cta_seed);
     Cta *raw = cta.get();
     ctas_.push_back(std::move(cta));
 
@@ -346,10 +351,11 @@ Sm::execBranch(Warp &warp, const Instruction &instr, Cycle now)
     }
 
     const bool can_diverge = warp.activeLanes() > 1;
-    if (can_diverge && rng_.chance(instr.divergeProb)) {
+    if (can_diverge && warp.rng().chance(instr.divergeProb)) {
         // Split the active mask into two non-empty groups.
         const std::uint32_t mask = warp.activeMask();
-        std::uint32_t taken = static_cast<std::uint32_t>(rng_.next()) & mask;
+        std::uint32_t taken =
+            static_cast<std::uint32_t>(warp.rng().next()) & mask;
         if (taken == 0 || taken == mask) {
             // Fallback: lowest active lane takes the branch.
             taken = mask & (~mask + 1);
@@ -360,7 +366,7 @@ Sm::execBranch(Warp &warp, const Instruction &instr, Cycle now)
         return;
     }
 
-    warp.setPc(rng_.chance(instr.takenProb) ? target_pc : fall_pc);
+    warp.setPc(warp.rng().chance(instr.takenProb) ? target_pc : fall_pc);
 }
 
 Addr
@@ -371,7 +377,7 @@ Sm::generateAddress(Warp &warp, const Instruction &instr)
     const int mem_id = context_->memId(instr.index);
     const std::uint32_t k = warp.memExecCount(mem_id);
 
-    if (k > 0 && mp.reuse > 0.0 && rng_.chance(mp.reuse)) {
+    if (k > 0 && mp.reuse > 0.0 && warp.rng().chance(mp.reuse)) {
         warp.bumpMemExecCount(mem_id);
         return warp.lastMemAddr(mem_id);
     }

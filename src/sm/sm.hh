@@ -60,6 +60,13 @@ class Sm
     MemHierarchy &mem() { return *mem_; }
     Rng &rng() { return rng_; }
 
+    /**
+     * Base seed for per-warp RNG streams. Must be identical across SMs
+     * (the Gpu passes its grid-level seed) so a CTA's execution path does
+     * not depend on which SM it lands on.
+     */
+    void setCtaSeedBase(std::uint64_t base) { ctaSeedBase_ = base; }
+
     // Cycle execution ---------------------------------------------------------
 
     /**
@@ -85,6 +92,15 @@ class Sm
 
     /** Free shared-memory bytes. */
     std::uint64_t shmemFree() const { return config_.shmemBytes - shmemUsed_; }
+
+    /** Allocated shared-memory bytes (auditor introspection). */
+    std::uint64_t shmemUsed() const { return shmemUsed_; }
+
+    /** Occupied warp scheduler slots (auditor introspection). */
+    unsigned activeWarpSlotsUsed() const { return activeWarpSlots_; }
+
+    /** Occupied thread slots (auditor introspection). */
+    unsigned activeThreadSlotsUsed() const { return activeThreadSlots_; }
 
     /** Resident CTA/warp headroom (FineReg's 128/512 caps). */
     bool hasResidencyHeadroom() const;
@@ -173,6 +189,7 @@ class Sm
     unsigned memIssuedThisCycle_ = 0;
     unsigned issuedLastTick_ = 0;
     std::uint64_t issuedTotal_ = 0;
+    std::uint64_t ctaSeedBase_ = 0;
 
     // Fig. 5 usage tracking: distinct warp-registers touched per
     // 1000-issued-instruction window vs. statically allocated regs.

@@ -7,11 +7,12 @@
 namespace finereg
 {
 
-Warp::Warp(Cta *cta, WarpId id, const KernelContext &context)
+Warp::Warp(Cta *cta, WarpId id, const KernelContext &context,
+           std::uint64_t seed)
     : cta_(cta), id_(id), context_(&context),
       loopRemaining_(context.numLoops(), 0),
       memExec_(context.numMemInstrs(), 0),
-      lastAddr_(context.numMemInstrs(), 0)
+      lastAddr_(context.numMemInstrs(), 0), rng_(seed)
 {
     stack_.push_back({0, 0xffffffffu, context.endPc()});
 }

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/rng.hh"
 #include "common/types.hh"
 #include "sm/kernel_context.hh"
 #include "sm/scoreboard.hh"
@@ -34,10 +35,21 @@ enum class BlockReason : unsigned char
 class Warp
 {
   public:
-    Warp(Cta *cta, WarpId id, const KernelContext &context);
+    /**
+     * @p seed drives this warp's private stochastic stream (branch
+     * outcomes, divergence masks, address reuse). Seeding per warp from
+     * the grid CTA id makes the executed instruction sequence a pure
+     * function of the kernel and seed — independent of issue timing, CTA
+     * placement, and injected faults.
+     */
+    Warp(Cta *cta, WarpId id, const KernelContext &context,
+         std::uint64_t seed = 0);
 
     Cta *cta() const { return cta_; }
     WarpId id() const { return id_; }
+
+    /** Private deterministic RNG for this warp's execution randomness. */
+    Rng &rng() { return rng_; }
 
     // SIMT stack ------------------------------------------------------------
 
@@ -130,6 +142,7 @@ class Warp
     std::vector<std::uint32_t> memExec_;
     std::vector<Addr> lastAddr_;
     std::uint64_t issuedInstrs_ = 0;
+    Rng rng_;
 };
 
 } // namespace finereg

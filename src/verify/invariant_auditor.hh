@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Invariant auditor: a configurable-period walk over the full simulator
+ * state that cross-checks the bookkeeping the register-management schemes
+ * depend on. Generic checks (CTA/warp/slot accounting, shared-memory sums,
+ * scoreboard sanity, dispatcher conservation) live here; policy-specific
+ * checks (PCRF chain integrity, ACRF accounting, CTA-status-monitor
+ * legality) are delegated to Policy::audit. The first violated invariant
+ * raises a typed InvariantViolation SimError naming the CTA and invariant.
+ */
+
+#ifndef FINEREG_VERIFY_INVARIANT_AUDITOR_HH
+#define FINEREG_VERIFY_INVARIANT_AUDITOR_HH
+
+#include "common/types.hh"
+
+namespace finereg
+{
+
+class Gpu;
+class Sm;
+
+class InvariantAuditor
+{
+  public:
+    /** @p interval_cycles between audits; 0 disables. */
+    explicit InvariantAuditor(Cycle interval_cycles)
+        : interval_(interval_cycles)
+    {
+    }
+
+    bool enabled() const { return interval_ > 0; }
+    Cycle interval() const { return interval_; }
+
+    /**
+     * Walk the whole device and throw an InvariantViolation SimException
+     * on the first broken invariant. Also callable with a disabled
+     * auditor (tests audit final state explicitly).
+     */
+    void audit(Gpu &gpu, Cycle now) const;
+
+  private:
+    void auditSm(Gpu &gpu, Sm &sm, Cycle now) const;
+    void auditDispatcher(Gpu &gpu, Cycle now) const;
+
+    Cycle interval_;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_VERIFY_INVARIANT_AUDITOR_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deadlock/livelock watchdog. Tracks the last cycle at which the device
+ * made forward progress (an instruction issued or a CTA completed); when
+ * the gap exceeds the configured threshold it builds a structured stall
+ * diagnostic (per-SM warp block reasons, register-file occupancy, pending
+ * CTA queues, dispatcher state) and fails the run with a typed Deadlock
+ * SimError instead of silently running to the cycle cap.
+ */
+
+#ifndef FINEREG_VERIFY_WATCHDOG_HH
+#define FINEREG_VERIFY_WATCHDOG_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace finereg
+{
+
+class Gpu;
+
+/**
+ * Render a multi-line stall summary of the whole device: why each SM's
+ * warps cannot issue, where every resident CTA's registers live, and what
+ * the dispatcher still owes. Shared by the watchdog (deadlock reports) and
+ * the cycle-limit path (partial-run reports).
+ */
+std::string buildStallDiagnostic(Gpu &gpu, Cycle now, Cycle last_progress);
+
+class DeadlockWatchdog
+{
+  public:
+    /** @p threshold_cycles of no progress trigger the watchdog; 0 off. */
+    explicit DeadlockWatchdog(Cycle threshold_cycles)
+        : threshold_(threshold_cycles)
+    {
+    }
+
+    bool enabled() const { return threshold_ > 0; }
+
+    /** Record forward progress (instruction issue / CTA completion). */
+    void noteProgress(Cycle now) { lastProgress_ = now; }
+
+    Cycle lastProgress() const { return lastProgress_; }
+
+    /**
+     * Throw a Deadlock SimException (with diagnostic) when @p now is more
+     * than the threshold past the last recorded progress.
+     */
+    void check(Gpu &gpu, Cycle now) const;
+
+  private:
+    Cycle threshold_;
+    Cycle lastProgress_ = 0;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_VERIFY_WATCHDOG_HH

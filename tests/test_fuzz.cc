@@ -211,6 +211,7 @@ TEST_P(FuzzKernel, EveryPolicyCompletesDeterministically)
     GpuConfig config = GpuConfig::gtx980();
     config.numSms = 2;
     config.maxCycles = 5'000'000;
+    config.verify.auditInterval = 1; // every-cycle invariant audit
 
     for (const PolicyKind kind :
          {PolicyKind::Baseline, PolicyKind::VirtualThread,
@@ -237,6 +238,7 @@ TEST_P(FuzzKernel, FineRegLeavesNoResidue)
     config.numSms = 2;
     config.policy.kind = PolicyKind::FineReg;
     config.maxCycles = 5'000'000;
+    config.verify.auditInterval = 1; // every-cycle invariant audit
     Gpu gpu(config, *kernel);
     const auto result = gpu.run();
     ASSERT_FALSE(result.hitCycleLimit);

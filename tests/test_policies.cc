@@ -13,6 +13,7 @@
 #include "policies/finereg_policy.hh"
 #include "policies/regmutex_policy.hh"
 #include "sm/gpu.hh"
+#include "verify/sim_error.hh"
 
 namespace finereg
 {
@@ -223,7 +224,14 @@ TEST(FineRegPolicyTest, AcrfPcrfSplitMustMatchRegisterFile)
     config.policy.acrfBytes = 64 * 1024;
     config.policy.pcrfBytes = 64 * 1024; // 128 KB != 256 KB RF
     const auto kernel = streamingKernel();
-    EXPECT_DEATH({ Gpu gpu(config, *kernel); }, "must equal");
+    try {
+        Gpu gpu(config, *kernel);
+        FAIL() << "expected SimException";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.error().kind, SimErrorKind::Config);
+        EXPECT_NE(std::string(e.what()).find("must equal"),
+                  std::string::npos);
+    }
 }
 
 TEST(FineRegPolicyTest, ZeroSwitchLatencyAblationIsFasterOrEqual)

@@ -15,6 +15,20 @@
 #include "regfile/cta_status_monitor.hh"
 #include "regfile/pcrf.hh"
 #include "regfile/register_file.hh"
+#include "verify/sim_error.hh"
+
+/** Expect @p stmt to throw SimException whose message contains @p substr. */
+#define EXPECT_SIM_ERROR(stmt, substr)                                      \
+    do {                                                                    \
+        try {                                                               \
+            stmt;                                                           \
+            FAIL() << "expected SimException";                              \
+        } catch (const finereg::SimException &e) {                          \
+            EXPECT_NE(std::string(e.what()).find(substr),                   \
+                      std::string::npos)                                    \
+                << e.what();                                                \
+        }                                                                   \
+    } while (0)
 
 namespace finereg
 {
@@ -54,18 +68,18 @@ TEST(RegFileAllocator, CanAllocateBoundary)
     EXPECT_TRUE(rf.canAllocate(0));
 }
 
-TEST(RegFileAllocatorDeath, OverAllocatePanics)
+TEST(RegFileAllocatorError, OverAllocateThrows)
 {
     RegFileAllocator rf("rf", 1024);
-    EXPECT_DEATH(rf.allocate(9), "exceeds");
+    EXPECT_SIM_ERROR(rf.allocate(9), "exceeds");
 }
 
-TEST(RegFileAllocatorDeath, DoubleFreePanics)
+TEST(RegFileAllocatorError, DoubleFreeThrows)
 {
     RegFileAllocator rf("rf", 1024);
     const unsigned h = rf.allocate(2);
     rf.free(h);
-    EXPECT_DEATH(rf.free(h), "unknown handle");
+    EXPECT_SIM_ERROR(rf.free(h), "unknown handle");
 }
 
 TEST(RegFileAllocator, ResizeKeepsAllocations)
@@ -77,11 +91,11 @@ TEST(RegFileAllocator, ResizeKeepsAllocations)
     EXPECT_EQ(rf.usedWarpRegs(), 4u);
 }
 
-TEST(RegFileAllocatorDeath, ResizeBelowUsagePanics)
+TEST(RegFileAllocatorError, ResizeBelowUsageThrows)
 {
     RegFileAllocator rf("rf", 1024);
     rf.allocate(6);
-    EXPECT_DEATH(rf.resize(256), "below current usage");
+    EXPECT_SIM_ERROR(rf.resize(256), "below current usage");
 }
 
 // ---- Pcrf -------------------------------------------------------------------
@@ -157,26 +171,27 @@ TEST(Pcrf, EmptyLiveSetIsValid)
     EXPECT_EQ(pcrf.restoreCta(9).size(), 0u);
 }
 
-TEST(PcrfDeath, OverflowPanics)
+TEST(PcrfError, OverflowThrows)
 {
     StatGroup stats("t");
     Pcrf pcrf(256, stats); // 2 entries
-    EXPECT_DEATH(pcrf.storeCta(1, {{0, 0}, {0, 1}, {0, 2}}), "overflow");
+    EXPECT_SIM_ERROR(pcrf.storeCta(1, {{0, 0}, {0, 1}, {0, 2}}),
+                     "overflow");
 }
 
-TEST(PcrfDeath, DoubleStorePanics)
+TEST(PcrfError, DoubleStoreThrows)
 {
     StatGroup stats("t");
     Pcrf pcrf(512, stats);
     pcrf.storeCta(1, {{0, 0}});
-    EXPECT_DEATH(pcrf.storeCta(1, {{0, 1}}), "already holds");
+    EXPECT_SIM_ERROR(pcrf.storeCta(1, {{0, 1}}), "already holds");
 }
 
-TEST(PcrfDeath, RestoreAbsentPanics)
+TEST(PcrfError, RestoreAbsentThrows)
 {
     StatGroup stats("t");
     Pcrf pcrf(512, stats);
-    EXPECT_DEATH(pcrf.restoreCta(42), "absent");
+    EXPECT_SIM_ERROR(pcrf.restoreCta(42), "absent");
 }
 
 TEST(Pcrf, StatsCountAccesses)
@@ -379,18 +394,18 @@ TEST(CtaStatusMonitor, StorageBitsMatchSecVF)
     EXPECT_EQ(monitor.storageBits(), 512u);
 }
 
-TEST(CtaStatusMonitorDeath, DoubleLaunchPanics)
+TEST(CtaStatusMonitorError, DoubleLaunchThrows)
 {
     CtaStatusMonitor monitor;
     monitor.onLaunch(1);
-    EXPECT_DEATH(monitor.onLaunch(1), "twice");
+    EXPECT_SIM_ERROR(monitor.onLaunch(1), "twice");
 }
 
-TEST(CtaStatusMonitorDeath, UpdateUnknownPanics)
+TEST(CtaStatusMonitorError, UpdateUnknownThrows)
 {
     CtaStatusMonitor monitor;
-    EXPECT_DEATH(monitor.setContext(9, ContextLocation::Pipeline),
-                 "unknown");
+    EXPECT_SIM_ERROR(monitor.setContext(9, ContextLocation::Pipeline),
+                     "unknown");
 }
 
 } // namespace

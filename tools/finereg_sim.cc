@@ -52,15 +52,36 @@ run(const CliOptions &options)
     TableFormatter table({"app", "policy", "cycles", "IPC", "res.CTAs",
                           "act.CTAs", "DRAM MB", "energy"});
 
+    bool any_failed = false;
     for (const std::string &app : apps) {
         for (const PolicyKind kind : options.policies) {
             GpuConfig config = options.config;
             config.policy.kind = kind;
             const SimResult r =
                 Experiment::runApp(app, config, options.gridScale);
+            if (r.failed) {
+                any_failed = true;
+                std::fprintf(stderr, "error: %s/%s failed: %s\n",
+                             app.c_str(), policyKindName(kind),
+                             r.failureReason.c_str());
+                if (!r.error.diagnostic.empty()) {
+                    std::fprintf(stderr, "%s\n",
+                                 r.error.diagnostic.c_str());
+                }
+                continue;
+            }
             if (r.hitCycleLimit) {
-                FINEREG_WARN(app, "/", policyKindName(kind),
-                             " hit the cycle cap; results are partial");
+                any_failed = true;
+                std::fprintf(stderr,
+                             "error: %s/%s hit the cycle cap at %llu "
+                             "with %u CTAs done; results are partial\n",
+                             app.c_str(), policyKindName(kind),
+                             static_cast<unsigned long long>(r.cycles),
+                             r.completedCtas);
+                if (!r.stallDiagnostic.empty()) {
+                    std::fprintf(stderr, "%s\n",
+                                 r.stallDiagnostic.c_str());
+                }
             }
             if (options.csv) {
                 std::printf("%s,%s,%llu,%llu,%.4f,%.2f,%.2f,%llu,%.4f,"
@@ -88,7 +109,7 @@ run(const CliOptions &options)
 
     if (!options.csv)
         std::printf("%s", table.render().c_str());
-    return 0;
+    return any_failed ? 1 : 0;
 }
 
 } // namespace
