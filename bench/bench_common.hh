@@ -2,9 +2,11 @@
  * @file
  * Shared scaffolding for the per-table/figure bench binaries. Each binary
  * registers its simulations as google-benchmark cases (one iteration per
- * case — a "benchmark" here is a full simulator run) and, after the
- * benchmark pass, prints the paper-vs-measured comparison table that the
- * corresponding figure or table in the paper reports.
+ * case — a "benchmark" here is a full simulator run). Before the benchmark
+ * pass, every registered simulation is fanned across a ParallelRunner pool
+ * (FINEREG_JOBS workers by default); the benchmark cases then report the
+ * recorded per-job wall time via manual timing, and the final report prints
+ * the paper-vs-measured comparison table from the stored results.
  */
 
 #ifndef FINEREG_BENCH_BENCH_COMMON_HH
@@ -16,11 +18,14 @@
 #include <cstdlib>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hh"
 #include "core/experiment.hh"
+#include "core/parallel_runner.hh"
 
 namespace finereg::bench
 {
@@ -46,43 +51,102 @@ class ResultStore
     }
 
     void
-    put(const std::string &key, SimResult result)
+    put(const std::string &key, SimResult result, double wall_ms = 0.0)
     {
-        results_[key] = std::move(result);
+        std::lock_guard<std::mutex> lock(mutex_);
+        results_[key] = {std::move(result), wall_ms};
     }
 
     const SimResult &
     get(const std::string &key) const
     {
+        std::lock_guard<std::mutex> lock(mutex_);
         const auto it = results_.find(key);
         if (it == results_.end())
             FINEREG_FATAL("bench result '", key, "' missing");
-        return it->second;
+        return it->second.first;
     }
 
-    bool has(const std::string &key) const { return results_.count(key); }
+    /** Wall-clock ms the stored run took (0 when unknown). */
+    double
+    wallMs(const std::string &key) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = results_.find(key);
+        return it == results_.end() ? 0.0 : it->second.second;
+    }
+
+    bool
+    has(const std::string &key) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return results_.count(key) > 0;
+    }
 
   private:
-    std::map<std::string, SimResult> results_;
+    mutable std::mutex mutex_;
+    std::map<std::string, std::pair<SimResult, double>> results_;
 };
+
+/** Simulations registered by the binary, executed by preRunAll(). */
+inline std::vector<std::pair<std::string, std::function<SimResult()>>> &
+pendingSims()
+{
+    static std::vector<std::pair<std::string, std::function<SimResult()>>>
+        pending;
+    return pending;
+}
+
+/**
+ * Fan every registered simulation across the parallel runner and stash the
+ * results (keyed by case name, ordered by registration index) so the
+ * benchmark cases and the report read precomputed values. Idempotent.
+ */
+inline void
+preRunAll()
+{
+    auto &pending = pendingSims();
+    if (pending.empty())
+        return;
+
+    ParallelRunner runner;
+    std::vector<ParallelRunner::Job> jobs;
+    jobs.reserve(pending.size());
+    for (auto &[name, run] : pending)
+        jobs.push_back(run);
+
+    const ParallelRunner::Outcome outcome = runner.runAll(std::move(jobs));
+    auto &store = ResultStore::instance();
+    for (std::size_t i = 0; i < pending.size(); ++i)
+        store.put(pending[i].first, outcome.results[i], outcome.wallMs[i]);
+    std::fprintf(stderr,
+                 "bench: %zu simulations on %u jobs in %.0f ms\n",
+                 pending.size(), outcome.jobsUsed, outcome.totalWallMs);
+    pending.clear();
+}
 
 /** Register one simulation as a single-iteration benchmark case. */
 inline void
 registerSim(const std::string &name, std::function<SimResult()> run)
 {
+    pendingSims().emplace_back(name, run);
     benchmark::RegisterBenchmark(
         name.c_str(),
         [name, run = std::move(run)](benchmark::State &state) {
             for (auto _ : state) {
-                SimResult result = run();
+                auto &store = ResultStore::instance();
+                if (!store.has(name)) // e.g. preRunAll was skipped
+                    store.put(name, run());
+                const SimResult &result = store.get(name);
                 state.counters["ipc"] = result.ipc;
                 state.counters["cycles"] =
                     static_cast<double>(result.cycles);
                 state.counters["resident_ctas"] = result.avgResidentCtas;
-                ResultStore::instance().put(name, std::move(result));
+                state.SetIterationTime(store.wallMs(name) / 1e3);
             }
         })
         ->Iterations(1)
+        ->UseManualTime()
         ->Unit(benchmark::kMillisecond);
 }
 
@@ -96,13 +160,14 @@ printReportHeader(const char *experiment, const char *paper_claim)
     std::printf("=====================================================\n");
 }
 
-/** Run google-benchmark then the report callback. */
+/** Run the parallel pre-pass, then google-benchmark, then the report. */
 inline int
 runBenchmarkMain(int argc, char **argv, std::function<void()> report)
 {
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
+    preRunAll();
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     report();

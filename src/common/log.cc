@@ -1,5 +1,6 @@
 #include "common/log.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -8,19 +9,22 @@ namespace finereg
 
 namespace
 {
-bool g_verbose = false;
+// The only process-global mutable state in the library. Atomic so the
+// parallel runner's workers can consult it while a driver thread toggles
+// it; everything else a Simulator::run touches is owned by its Gpu.
+std::atomic<bool> g_verbose{false};
 } // namespace
 
 void
 setVerbose(bool verbose)
 {
-    g_verbose = verbose;
+    g_verbose.store(verbose, std::memory_order_relaxed);
 }
 
 bool
 verbose()
 {
-    return g_verbose;
+    return g_verbose.load(std::memory_order_relaxed);
 }
 
 namespace log_detail

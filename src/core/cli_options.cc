@@ -119,6 +119,15 @@ parseCliOptions(const std::vector<std::string> &args)
             options.gridScale = std::atof(value->c_str());
             if (options.gridScale <= 0.0)
                 return fail("--scale must be positive");
+        } else if (arg == "--jobs") {
+            const auto value = need_value(i, arg);
+            if (!value)
+                return fail("--jobs needs a value");
+            ++i;
+            const int jobs = std::atoi(value->c_str());
+            if (jobs <= 0)
+                return fail("--jobs must be positive");
+            options.jobs = static_cast<unsigned>(jobs);
         } else if (arg == "--sms") {
             const auto value = need_value(i, arg);
             if (!value)
@@ -256,6 +265,8 @@ cliUsage()
            "  --policy NAME[,..]  baseline|vt|regdram|regmutex|finereg|all\n"
            "                      (default: baseline,finereg)\n"
            "  --scale X           grid scale factor (default 1.0)\n"
+           "  --jobs N            parallel simulation jobs (default:\n"
+           "                      FINEREG_JOBS env, then hardware threads)\n"
            "  --sms N             number of SMs (default 16)\n"
            "  --acrf KB           FineReg ACRF size (PCRF = RF - ACRF)\n"
            "  --pcrf KB           FineReg PCRF size\n"

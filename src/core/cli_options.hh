@@ -28,6 +28,9 @@ struct CliOptions
 
     double gridScale = 1.0;
 
+    /** Parallel worker count (0 = FINEREG_JOBS env, then hardware). */
+    unsigned jobs = 0;
+
     /** The device configuration after applying overrides. */
     GpuConfig config = GpuConfig::gtx980();
 
@@ -54,6 +57,8 @@ struct ParseResult
  *   --app NAME[,NAME...]      suite apps to run (default: all)
  *   --policy NAME[,NAME...]   baseline|vt|regdram|regmutex|finereg|all
  *   --scale X                 grid scale factor (default 1.0)
+ *   --jobs N                  parallel simulation jobs (default:
+ *                             FINEREG_JOBS env, then hardware threads)
  *   --sms N                   number of SMs
  *   --acrf KB / --pcrf KB     FineReg register file split
  *   --srp-ratio X             RegMutex shared-pool fraction

@@ -1,6 +1,9 @@
 #include "core/experiment.hh"
 
+#include <iterator>
+
 #include "common/log.hh"
+#include "core/parallel_runner.hh"
 
 namespace finereg
 {
@@ -15,13 +18,38 @@ Experiment::runApp(const std::string &abbrev, const GpuConfig &config,
 }
 
 std::vector<SimResult>
-Experiment::runSuite(const GpuConfig &config, double grid_scale)
+Experiment::runSuite(const GpuConfig &config, double grid_scale,
+                     unsigned jobs)
 {
-    std::vector<SimResult> results;
-    results.reserve(Suite::all().size());
-    for (const auto &app : Suite::all())
-        results.push_back(runApp(app.abbrev, config, grid_scale));
-    return results;
+    auto sweep = runSweep({config}, grid_scale, jobs);
+    return std::move(sweep.front());
+}
+
+std::vector<std::vector<SimResult>>
+Experiment::runSweep(const std::vector<GpuConfig> &configs,
+                     double grid_scale, unsigned jobs)
+{
+    const auto &apps = Suite::all();
+    std::vector<ParallelRunner::Job> matrix;
+    matrix.reserve(configs.size() * apps.size());
+    for (const auto &config : configs) {
+        for (const auto &app : apps) {
+            matrix.push_back([config, abbrev = app.abbrev, grid_scale] {
+                return runApp(abbrev, config, grid_scale);
+            });
+        }
+    }
+
+    ParallelRunner runner({.jobs = jobs, .failFast = false});
+    std::vector<SimResult> flat = runner.run(std::move(matrix));
+
+    std::vector<std::vector<SimResult>> out(configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        out[c].assign(
+            std::make_move_iterator(flat.begin() + c * apps.size()),
+            std::make_move_iterator(flat.begin() + (c + 1) * apps.size()));
+    }
+    return out;
 }
 
 std::map<std::string, double>

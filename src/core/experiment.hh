@@ -28,13 +28,29 @@ class Experiment
                             double grid_scale = 1.0);
 
     /**
-     * Run every suite application under @p config.
+     * Run every suite application under @p config, fanning the
+     * independent runs across a ParallelRunner pool.
      *
      * @param grid_scale shrinks the grids for sweep-heavy experiments.
+     * @param jobs worker count (0 = FINEREG_JOBS env, then hardware
+     *             concurrency; 1 = serial). Results are bit-identical
+     *             for every worker count.
      * @return results keyed by abbreviation, in suite order.
      */
     static std::vector<SimResult> runSuite(const GpuConfig &config,
-                                           double grid_scale = 1.0);
+                                           double grid_scale = 1.0,
+                                           unsigned jobs = 0);
+
+    /**
+     * Run every suite application under every config in @p configs as one
+     * flat job matrix on a single worker pool (so a 5-policy sweep keeps
+     * all workers busy across config boundaries).
+     *
+     * @return out[c][a] = result of app a under configs[c], suite order.
+     */
+    static std::vector<std::vector<SimResult>>
+    runSweep(const std::vector<GpuConfig> &configs, double grid_scale = 1.0,
+             unsigned jobs = 0);
 
     /** Per-app IPC of @p results divided by @p baseline (paired by
      * kernel name). */

@@ -18,6 +18,10 @@ simErrorKindName(SimErrorKind kind)
         return "invariant-violation";
       case SimErrorKind::Deadlock:
         return "deadlock";
+      case SimErrorKind::WorkerException:
+        return "worker-exception";
+      case SimErrorKind::Cancelled:
+        return "cancelled";
     }
     return "unknown";
 }

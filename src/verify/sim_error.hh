@@ -24,6 +24,8 @@ enum class SimErrorKind : unsigned char
     Config,             ///< Illegal configuration or parameters.
     InvariantViolation, ///< Simulator state failed a bookkeeping invariant.
     Deadlock,           ///< Watchdog: no forward progress for too long.
+    WorkerException,    ///< Non-SimException escaped a parallel job.
+    Cancelled,          ///< Job cancelled by the runner's fail-fast mode.
 };
 
 const char *simErrorKindName(SimErrorKind kind);

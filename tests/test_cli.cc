@@ -109,6 +109,17 @@ TEST(CliOptions, NumericFlags)
     EXPECT_DOUBLE_EQ(r.options->config.policy.pendingGrowthFactor, 1.5);
 }
 
+TEST(CliOptions, JobsFlag)
+{
+    const auto r = parse({"--jobs", "8"});
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.options->jobs, 8u);
+    EXPECT_EQ(parse({}).options->jobs, 0u); // 0 = auto-resolve
+    EXPECT_FALSE(parse({"--jobs", "0"}).ok());
+    EXPECT_FALSE(parse({"--jobs", "-2"}).ok());
+    EXPECT_FALSE(parse({"--jobs"}).ok());
+}
+
 TEST(CliOptions, VerifyFlags)
 {
     const auto r = parse({"--audit-interval", "1000", "--watchdog-cycles",
@@ -190,7 +201,8 @@ TEST(CliOptions, UsageMentionsEveryFlag)
 {
     const std::string usage = cliUsage();
     for (const char *flag :
-         {"--app", "--policy", "--scale", "--sms", "--acrf", "--pcrf",
+         {"--app", "--policy", "--scale", "--jobs", "--sms", "--acrf",
+          "--pcrf",
           "--srp-ratio", "--growth-factor", "--sched", "--unified-memory",
           "--seed", "--max-cycles", "--csv", "--list-apps", "--verbose",
           "--help"}) {

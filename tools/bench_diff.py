@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_suite.json artifacts with per-metric tolerances.
+
+Usage:
+    bench_diff.py GOLDEN.json NEW.json [--ipc-tol 0.02] [--wall-tol 0.25]
+                  [--ignore-wall]
+
+Exit status is nonzero when:
+  * any app/policy pair present in the golden is missing from the new run,
+  * any run is marked failed,
+  * per-app IPC drifts by more than --ipc-tol (default 2%, either
+    direction — the simulator is deterministic, so drift means a modeling
+    change that must be acknowledged by refreshing the golden),
+  * total wall-clock regresses by more than --wall-tol (default 25%)
+    relative to the golden, unless --ignore-wall is given. Wall time is
+    only compared in aggregate: per-job times are too noisy on shared CI
+    runners.
+
+Deterministic metrics (cycles, instructions, DRAM bytes) are reported as
+informational drift but only IPC gates, per the CI policy.
+"""
+
+import argparse
+import json
+import sys
+
+
+def rel_drift(new, old):
+    if old == 0:
+        return 0.0 if new == 0 else float("inf")
+    return (new - old) / old
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("golden")
+    parser.add_argument("new")
+    parser.add_argument("--ipc-tol", type=float, default=0.02,
+                        help="max |relative IPC drift| per app/policy")
+    parser.add_argument("--wall-tol", type=float, default=0.25,
+                        help="max relative total wall-clock regression")
+    parser.add_argument("--ignore-wall", action="store_true",
+                        help="skip the wall-clock comparison")
+    args = parser.parse_args()
+
+    with open(args.golden) as f:
+        golden = json.load(f)
+    with open(args.new) as f:
+        new = json.load(f)
+
+    failures = []
+    infos = []
+
+    for app, policies in sorted(golden["apps"].items()):
+        new_app = new["apps"].get(app)
+        if new_app is None:
+            failures.append(f"{app}: missing from new run")
+            continue
+        for policy, gold in sorted(policies.items()):
+            cur = new_app.get(policy)
+            if cur is None:
+                failures.append(f"{app}/{policy}: missing from new run")
+                continue
+            if cur.get("failed"):
+                failures.append(f"{app}/{policy}: run failed")
+                continue
+
+            drift = rel_drift(cur["ipc"], gold["ipc"])
+            tag = f"{app}/{policy}"
+            if abs(drift) > args.ipc_tol:
+                failures.append(
+                    f"{tag}: IPC drift {drift:+.2%} exceeds "
+                    f"{args.ipc_tol:.0%} "
+                    f"({gold['ipc']:.4f} -> {cur['ipc']:.4f})")
+            elif drift != 0.0:
+                infos.append(f"{tag}: IPC drift {drift:+.2%} (within tol)")
+
+            for metric in ("cycles", "instructions", "dram_bytes_data",
+                           "dram_bytes_cta", "dram_bytes_bitvec"):
+                d = rel_drift(cur[metric], gold[metric])
+                if d != 0.0:
+                    infos.append(
+                        f"{tag}: {metric} {gold[metric]} -> "
+                        f"{cur[metric]} ({d:+.2%})")
+
+    if not args.ignore_wall:
+        gold_wall = golden.get("total_wall_ms", 0.0)
+        new_wall = new.get("total_wall_ms", 0.0)
+        if gold_wall > 0:
+            d = rel_drift(new_wall, gold_wall)
+            line = (f"total wall {gold_wall:.0f} ms -> {new_wall:.0f} ms "
+                    f"({d:+.1%})")
+            if d > args.wall_tol:
+                failures.append(
+                    f"{line} exceeds {args.wall_tol:.0%} regression budget")
+            else:
+                infos.append(line)
+
+    for line in infos:
+        print(f"info: {line}")
+    for line in failures:
+        print(f"FAIL: {line}")
+
+    n_pairs = sum(len(p) for p in golden["apps"].values())
+    if failures:
+        print(f"bench_diff: {len(failures)} failure(s) across "
+              f"{n_pairs} app/policy pairs")
+        return 1
+    print(f"bench_diff: OK — {n_pairs} app/policy pairs within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

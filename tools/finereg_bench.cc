@@ -1,0 +1,362 @@
+/**
+ * @file
+ * finereg_bench — the machine-readable suite benchmark. Runs the full
+ * application suite under a set of policies on the parallel runner and
+ * emits BENCH_suite.json: per-app/per-policy {cycles, instructions, ipc,
+ * speedup_vs_baseline, dram_bytes_{data,cta,bitvec}, wall_ms} plus host
+ * metadata. CI diffs this artifact against the checked-in golden baseline
+ * (bench/golden/BENCH_suite.json) with tools/bench_diff.py.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cli_options.hh"
+#include "core/experiment.hh"
+#include "core/parallel_runner.hh"
+#include "workloads/suite.hh"
+
+using namespace finereg;
+
+namespace
+{
+
+struct BenchOptions
+{
+    std::string outPath = "BENCH_suite.json";
+    double scale = 0.0; // 0 = FINEREG_BENCH_SCALE env, then 1.0
+    unsigned jobs = 0;
+    bool failFast = false;
+    std::vector<PolicyKind> policies{PolicyKind::Baseline,
+                                     PolicyKind::FineReg};
+};
+
+const char *kUsage =
+    "finereg_bench — run the suite and emit BENCH_suite.json\n"
+    "\n"
+    "usage: finereg_bench [flags]\n"
+    "  --out FILE        output path (default BENCH_suite.json)\n"
+    "  --scale X         grid scale (default: FINEREG_BENCH_SCALE env,\n"
+    "                    then 1.0)\n"
+    "  --policy NAME[,..] baseline|vt|regdram|regmutex|finereg|all\n"
+    "                    (default: baseline,finereg)\n"
+    "  --jobs N          parallel jobs (default: FINEREG_JOBS env, then\n"
+    "                    hardware threads)\n"
+    "  --fail-fast       cancel pending runs after the first failure\n"
+    "  --help            this text\n";
+
+double
+resolveScale(double requested)
+{
+    if (requested > 0.0)
+        return requested;
+    if (const char *env = std::getenv("FINEREG_BENCH_SCALE")) {
+        const double parsed = std::atof(env);
+        if (parsed > 0.0)
+            return parsed;
+    }
+    return 1.0;
+}
+
+/**
+ * Minimal JSON emitter: supports exactly the shapes this tool writes
+ * (string keys without escapes, numbers, booleans, nested objects/arrays).
+ */
+class JsonWriter
+{
+  public:
+    void
+    key(const std::string &name)
+    {
+        comma();
+        oss_ << '"' << name << "\":";
+        need_ = false;
+    }
+
+    void
+    open(char c)
+    {
+        comma();
+        oss_ << c;
+        need_ = false;
+    }
+
+    void
+    close(char c)
+    {
+        oss_ << c;
+        need_ = true;
+    }
+
+    void
+    str(const std::string &v)
+    {
+        comma();
+        oss_ << '"' << v << '"';
+        need_ = true;
+    }
+
+    void
+    num(double v, int precision = 6)
+    {
+        comma();
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+        oss_ << buf;
+        need_ = true;
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        comma();
+        oss_ << v;
+        need_ = true;
+    }
+
+    void
+    boolean(bool v)
+    {
+        comma();
+        oss_ << (v ? "true" : "false");
+        need_ = true;
+    }
+
+    std::string text() const { return oss_.str(); }
+
+  private:
+    void
+    comma()
+    {
+        if (need_)
+            oss_ << ',';
+        need_ = false;
+    }
+
+    std::ostringstream oss_;
+    bool need_ = false;
+};
+
+int
+runBench(const BenchOptions &options)
+{
+    const double scale = resolveScale(options.scale);
+    const unsigned jobs = ParallelRunner::resolveJobs(options.jobs);
+    const auto &apps = Suite::all();
+
+    std::fprintf(stderr,
+                 "bench: %zu apps x %zu policies at scale %.3f with %u "
+                 "jobs\n",
+                 apps.size(), options.policies.size(), scale, jobs);
+
+    // Policy-major matrix so results[p * napps + a] = (policy p, app a).
+    std::vector<ParallelRunner::Job> matrix;
+    matrix.reserve(options.policies.size() * apps.size());
+    for (const PolicyKind kind : options.policies) {
+        const GpuConfig config = Experiment::configFor(kind);
+        for (const auto &app : apps) {
+            matrix.push_back([config, abbrev = app.abbrev, scale] {
+                return Experiment::runApp(abbrev, config, scale);
+            });
+        }
+    }
+
+    ParallelRunner runner({.jobs = options.jobs,
+                           .failFast = options.failFast});
+    const ParallelRunner::Outcome outcome = runner.runAll(std::move(matrix));
+
+    // Baseline IPC per app for speedup_vs_baseline (0 when the baseline
+    // policy was not part of the sweep).
+    std::vector<double> baseline_ipc(apps.size(), 0.0);
+    for (std::size_t p = 0; p < options.policies.size(); ++p) {
+        if (options.policies[p] != PolicyKind::Baseline)
+            continue;
+        for (std::size_t a = 0; a < apps.size(); ++a)
+            baseline_ipc[a] = outcome.results[p * apps.size() + a].ipc;
+    }
+
+    JsonWriter json;
+    json.open('{');
+    json.key("schema");
+    json.str("finereg-bench-suite");
+    json.key("schema_version");
+    json.u64(1);
+
+    json.key("host");
+    json.open('{');
+    json.key("hardware_concurrency");
+    json.u64(std::thread::hardware_concurrency());
+    json.key("jobs");
+    json.u64(outcome.jobsUsed);
+    json.key("scale");
+    json.num(scale, 4);
+    json.key("compiler");
+    json.str(
+#if defined(__VERSION__)
+        __VERSION__
+#else
+        "unknown"
+#endif
+    );
+    json.key("build_type");
+#if defined(NDEBUG)
+    json.str("release");
+#else
+    json.str("debug");
+#endif
+    json.key("unix_time");
+    json.u64(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count()));
+    json.close('}');
+
+    json.key("policies");
+    json.open('[');
+    for (const PolicyKind kind : options.policies)
+        json.str(policyKindName(kind));
+    json.close(']');
+
+    bool any_failed = false;
+    json.key("apps");
+    json.open('{');
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        json.key(apps[a].abbrev);
+        json.open('{');
+        for (std::size_t p = 0; p < options.policies.size(); ++p) {
+            const std::size_t i = p * apps.size() + a;
+            const SimResult &r = outcome.results[i];
+            json.key(policyKindName(options.policies[p]));
+            json.open('{');
+            json.key("cycles");
+            json.u64(r.cycles);
+            json.key("instructions");
+            json.u64(r.instructions);
+            json.key("ipc");
+            json.num(r.ipc);
+            json.key("speedup_vs_baseline");
+            json.num(baseline_ipc[a] > 0.0 ? r.ipc / baseline_ipc[a]
+                                           : 0.0);
+            json.key("dram_bytes_data");
+            json.u64(r.dramBytesData);
+            json.key("dram_bytes_cta");
+            json.u64(r.dramBytesCtaContext);
+            json.key("dram_bytes_bitvec");
+            json.u64(r.dramBytesBitvec);
+            json.key("wall_ms");
+            json.num(outcome.wallMs[i], 3);
+            json.key("failed");
+            json.boolean(r.failed || r.hitCycleLimit);
+            json.close('}');
+            if (r.failed || r.hitCycleLimit) {
+                any_failed = true;
+                std::fprintf(stderr, "bench: %s/%s FAILED: %s\n",
+                             apps[a].abbrev.c_str(),
+                             policyKindName(options.policies[p]),
+                             r.failed ? r.failureReason.c_str()
+                                      : "hit the cycle cap");
+            }
+        }
+        json.close('}');
+    }
+    json.close('}');
+
+    json.key("total_wall_ms");
+    json.num(outcome.totalWallMs, 3);
+    json.close('}');
+
+    std::ofstream out(options.outPath);
+    if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     options.outPath.c_str());
+        return 2;
+    }
+    out << json.text() << '\n';
+    std::fprintf(stderr, "bench: wrote %s (%.0f ms total)\n",
+                 options.outPath.c_str(), outcome.totalWallMs);
+    return any_failed ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--help" || arg == "-h") {
+            std::printf("%s", kUsage);
+            return 0;
+        } else if (arg == "--out") {
+            const char *v = value();
+            if (!v) {
+                std::fprintf(stderr, "error: --out needs a value\n");
+                return 2;
+            }
+            options.outPath = v;
+        } else if (arg == "--scale") {
+            const char *v = value();
+            if (!v || std::atof(v) <= 0.0) {
+                std::fprintf(stderr,
+                             "error: --scale needs a positive value\n");
+                return 2;
+            }
+            options.scale = std::atof(v);
+        } else if (arg == "--jobs") {
+            const char *v = value();
+            if (!v || std::atoi(v) <= 0) {
+                std::fprintf(stderr,
+                             "error: --jobs needs a positive value\n");
+                return 2;
+            }
+            options.jobs = static_cast<unsigned>(std::atoi(v));
+        } else if (arg == "--fail-fast") {
+            options.failFast = true;
+        } else if (arg == "--policy") {
+            const char *v = value();
+            if (!v) {
+                std::fprintf(stderr, "error: --policy needs a value\n");
+                return 2;
+            }
+            options.policies.clear();
+            std::stringstream ss{std::string(v)};
+            std::string token;
+            while (std::getline(ss, token, ',')) {
+                if (token == "all") {
+                    options.policies = {
+                        PolicyKind::Baseline, PolicyKind::VirtualThread,
+                        PolicyKind::RegDram, PolicyKind::RegMutex,
+                        PolicyKind::FineReg};
+                    continue;
+                }
+                const auto kind = parsePolicyName(token);
+                if (!kind) {
+                    std::fprintf(stderr, "error: unknown policy '%s'\n",
+                                 token.c_str());
+                    return 2;
+                }
+                options.policies.push_back(*kind);
+            }
+            if (options.policies.empty()) {
+                std::fprintf(stderr, "error: --policy selected nothing\n");
+                return 2;
+            }
+        } else {
+            std::fprintf(stderr, "error: unknown flag '%s'\n\n%s",
+                         arg.c_str(), kUsage);
+            return 2;
+        }
+    }
+    return runBench(options);
+}

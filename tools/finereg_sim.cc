@@ -12,6 +12,7 @@
 #include "common/log.hh"
 #include "core/cli_options.hh"
 #include "core/experiment.hh"
+#include "core/parallel_runner.hh"
 #include "workloads/suite.hh"
 
 using namespace finereg;
@@ -52,13 +53,31 @@ run(const CliOptions &options)
     TableFormatter table({"app", "policy", "cycles", "IPC", "res.CTAs",
                           "act.CTAs", "DRAM MB", "energy"});
 
-    bool any_failed = false;
+    // Fan the (app, policy) matrix across the parallel runner; results come
+    // back in submission order, so the report below is identical to the
+    // old serial loop.
+    std::vector<ParallelRunner::Job> matrix;
+    matrix.reserve(apps.size() * options.policies.size());
     for (const std::string &app : apps) {
         for (const PolicyKind kind : options.policies) {
             GpuConfig config = options.config;
             config.policy.kind = kind;
-            const SimResult r =
-                Experiment::runApp(app, config, options.gridScale);
+            matrix.push_back([app, config, scale = options.gridScale] {
+                return Experiment::runApp(app, config, scale);
+            });
+        }
+    }
+
+    ParallelRunner runner({.jobs = options.jobs, .failFast = false});
+    std::fprintf(stderr, "info: running %zu simulations with %u jobs\n",
+                 matrix.size(), ParallelRunner::resolveJobs(options.jobs));
+    const std::vector<SimResult> results = runner.run(std::move(matrix));
+
+    bool any_failed = false;
+    std::size_t job = 0;
+    for (const std::string &app : apps) {
+        for (const PolicyKind kind : options.policies) {
+            const SimResult &r = results[job++];
             if (r.failed) {
                 any_failed = true;
                 std::fprintf(stderr, "error: %s/%s failed: %s\n",
