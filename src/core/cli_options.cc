@@ -74,6 +74,8 @@ parseCliOptions(const std::vector<std::string> &args)
             options.verbose = true;
         } else if (arg == "--csv") {
             options.csv = true;
+        } else if (arg == "--diff-check") {
+            options.diffCheck = true;
         } else if (arg == "--unified-memory") {
             options.config.policy.unifiedMemory = true;
         } else if (arg == "--app") {
@@ -286,6 +288,8 @@ cliUsage()
            "  --fault-pcrf P      injected PCRF-full probability\n"
            "  --fault-bitvec P    injected bit-vector-cache-miss probability\n"
            "  --csv               CSV output (one row per run)\n"
+           "  --diff-check        diff every run's architectural end state\n"
+           "                      against the reference executor\n"
            "  --list-apps         print the benchmark suite and exit\n"
            "  --verbose           enable status logging\n"
            "  --help              this text\n";

@@ -40,6 +40,13 @@ struct CliOptions
 
     /** Emit one CSV row per run instead of the ASCII table. */
     bool csv = false;
+
+    /**
+     * Differential mode: instead of reporting performance, diff each run's
+     * architectural end state against the untimed reference executor and
+     * fail on any divergence.
+     */
+    bool diffCheck = false;
 };
 
 struct ParseResult
@@ -73,6 +80,7 @@ struct ParseResult
  *   --fault-dram P            injected DRAM-delay probability
  *   --fault-pcrf P            injected PCRF-full probability
  *   --fault-bitvec P          injected bit-vector-cache-miss probability
+ *   --diff-check              diff end states against the reference executor
  *   --csv                     machine-readable output
  *   --verbose                 enable inform() logging
  *   --list-apps               print the suite and exit

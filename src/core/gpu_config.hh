@@ -87,6 +87,16 @@ struct PolicyConfig
 
     /** UM pool size (paper: 128 + 96 + 48 = 272 KB). */
     std::uint64_t umBytes = 272 * 1024;
+
+    // Test hooks --------------------------------------------------------------
+
+    /**
+     * Deliberately clear this register's bit in every liveness mask the
+     * RMU gathers (-1 = off). A FineReg swap then drops the register even
+     * when it is live — the class of bug the differential oracle exists to
+     * catch. Never set outside correctness tests.
+     */
+    int dropLiveReg = -1;
 };
 
 struct GpuConfig
@@ -107,6 +117,13 @@ struct GpuConfig
 
     /** Enable the Table III stall-episode probe. */
     bool stallProbe = false;
+
+    /**
+     * Track architectural register/memory values and capture the end state
+     * on SimResult::archState (differential oracle, golden snapshots).
+     * Pure observation: cycle counts and stats are unaffected.
+     */
+    bool trackValues = false;
 
     /** Hardening knobs: invariant auditor, watchdog, fault injection. */
     VerifyConfig verify{};

@@ -78,6 +78,7 @@ Simulator::run(const GpuConfig &config_in, const Kernel &kernel,
     Gpu &gpu = *gpu_holder;
 
     out.policyName = gpu.policy().name();
+    out.archState = gpu.takeArchState();
     out.cycles = run.cycles;
     out.instructions = run.instructions;
     out.ipc = run.ipc();

@@ -21,6 +21,8 @@
 namespace finereg
 {
 
+struct ArchState;
+
 /** Condensed outcome of one kernel execution. */
 struct SimResult
 {
@@ -80,6 +82,9 @@ struct SimResult
 
     /** Watchdog-style stall dump when the cycle cap was hit. */
     std::string stallDiagnostic;
+
+    /** Architectural end state (null unless config.trackValues was set). */
+    std::shared_ptr<const ArchState> archState;
 };
 
 class Simulator

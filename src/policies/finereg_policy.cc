@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/gpu_config.hh"
+#include "ref/cta_values.hh"
 #include "sm/gpu.hh"
 #include "verify/fault_injection.hh"
 #include "verify/sim_error.hh"
@@ -30,6 +31,7 @@ FineRegPolicy::onBind()
     rmu_config.bitvecCacheEntries = pc.bitvecCacheEntries;
     rmu_config.pcrfAccessLatency = pc.pcrfAccessLatency;
     rmu_config.fullContextBackup = pc.fullContextBackup;
+    rmu_config.dropLiveReg = pc.dropLiveReg;
 
     states_.clear();
     for (unsigned s = 0; s < gpu().config().numSms; ++s) {
@@ -124,6 +126,23 @@ FineRegPolicy::evictCta(Sm &sm, Cta &cta, const Rmu::Gather &gather,
                       static_cast<unsigned>(gather.regs.size()));
     st.pendingReady[cta.gridId()] =
         std::max(cta.estimateReadyCycle(now), drain_done);
+
+    // Architecturally, only the gathered (live) registers survive the
+    // swap: everything else is dropped and its value becomes undefined.
+    // Scramble the dropped values in the tracker so a liveness bug that
+    // drops a live register propagates visible garbage.
+    if (CtaValues *values = cta.values()) {
+        std::vector<RegBitVec> keep(cta.numWarps());
+        for (const LiveReg &reg : gather.regs) {
+            if (reg.warp < keep.size())
+                keep[reg.warp].set(reg.reg);
+        }
+        for (const auto &warp : cta.warps()) {
+            if (!warp->finished())
+                values->dropDeadRegs(warp->id(), keep[warp->id()]);
+        }
+    }
+
     sm.suspendCta(cta, now);
     st.pcrf->storeCta(cta.gridId(), gather.regs);
     st.acrf->free(cta.regAllocHandle);

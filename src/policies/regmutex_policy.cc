@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/gpu_config.hh"
+#include "ref/cta_values.hh"
 #include "sm/gpu.hh"
 #include "verify/sim_error.hh"
 
@@ -214,6 +215,24 @@ RegMutexPolicy::switchStalledCtas(Sm &sm, Cycle now)
         // when a CTA stalls; only the dead portion returns to the pool.
         const unsigned keep =
             std::min(ext_regs, liveExtendedRegs(sm, *cta));
+
+        // Value tracking: the released (dead) extended registers lose
+        // their contents; BRS and live extended registers survive.
+        if (CtaValues *values = cta->values()) {
+            const unsigned brs = brsRegsPerThread(sm);
+            const unsigned regs = kernel.regsPerThread();
+            const auto &table = sm.context().liveTable();
+            for (const auto &warp : cta->warps()) {
+                if (warp->finished())
+                    continue;
+                RegBitVec keep_mask;
+                for (unsigned r = 0; r < brs && r < regs; ++r)
+                    keep_mask.set(static_cast<RegIndex>(r));
+                for (const auto &entry : warp->simtStack())
+                    keep_mask |= table.lookup(entry.pc);
+                values->dropDeadRegs(warp->id(), keep_mask);
+            }
+        }
 
         st.pendingReady[cta->gridId()] = cta->estimateReadyCycle(now);
         sm.suspendCta(*cta, now);

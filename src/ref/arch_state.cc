@@ -1,0 +1,80 @@
+#include "ref/arch_state.hh"
+
+#include <sstream>
+
+namespace finereg
+{
+
+namespace
+{
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void
+fnv(std::uint64_t &h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= kFnvPrime;
+    }
+}
+
+} // namespace
+
+unsigned
+ArchState::completedCtas() const
+{
+    unsigned n = 0;
+    for (const CtaEndState &cta : ctas)
+        n += cta.completed() ? 1 : 0;
+    return n;
+}
+
+std::uint64_t
+ArchState::fingerprint() const
+{
+    std::uint64_t h = kFnvOffset;
+    fnv(h, regsPerThread);
+    fnv(h, threadsPerCta);
+    fnv(h, ctas.size());
+    for (std::size_t c = 0; c < ctas.size(); ++c) {
+        const CtaEndState &cta = ctas[c];
+        fnv(h, cta.completed() ? c + 1 : 0);
+        for (const ThreadEndState &t : cta.threads) {
+            fnv(h, t.poison);
+            fnv(h, t.retired);
+            for (std::size_t r = 0; r < t.regs.size(); ++r) {
+                // Poisoned registers hold undefined values; fold only the
+                // defined ones so the digest is policy-comparable.
+                if (!(t.poison >> r & 1))
+                    fnv(h, t.regs[r]);
+            }
+        }
+        for (const auto &[off, val] : cta.sharedStores) {
+            fnv(h, off);
+            fnv(h, val);
+        }
+    }
+    for (const auto &[addr, val] : globalStores) {
+        fnv(h, addr);
+        fnv(h, val);
+    }
+    return h;
+}
+
+std::string
+ArchState::summary() const
+{
+    std::uint64_t shared_words = 0;
+    for (const CtaEndState &cta : ctas)
+        shared_words += cta.sharedStores.size();
+    std::ostringstream oss;
+    oss << kernelName << ": " << completedCtas() << "/" << ctas.size()
+        << " CTAs, " << globalStores.size() << " global store words, "
+        << shared_words << " shared store words, fingerprint 0x" << std::hex
+        << fingerprint();
+    return oss.str();
+}
+
+} // namespace finereg

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Canonical architectural end state of one kernel execution: the final
+ * register values of every retired thread, per-thread retired-instruction
+ * counts, and the final global/shared store images. Produced both by the
+ * functional reference executor (src/ref/ref_executor.hh) and by the
+ * cycle-level simulator's value-tracking layer; the differential oracle
+ * compares the two.
+ */
+
+#ifndef FINEREG_REF_ARCH_STATE_HH
+#define FINEREG_REF_ARCH_STATE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace finereg
+{
+
+/** Final state of one thread at CTA retirement. */
+struct ThreadEndState
+{
+    /** Final architectural register values, index 0..regsPerThread-1. */
+    std::vector<std::uint32_t> regs;
+
+    /**
+     * Bit r set: register r was dropped as dead at a CTA swap-out and
+     * never rewritten — its value is undefined by design and excluded
+     * from differential comparison. Always 0 in reference executions.
+     */
+    std::uint64_t poison = 0;
+
+    /** Dynamic instructions retired with this thread's lane active. */
+    std::uint64_t retired = 0;
+};
+
+/** Final state of one CTA at retirement. */
+struct CtaEndState
+{
+    std::vector<ThreadEndState> threads; // warp-major: warp * 32 + lane
+
+    /** Final shared-memory store image: word offset -> accumulated value.
+     * Words never stored to are absent. */
+    std::map<std::uint32_t, std::uint32_t> sharedStores;
+
+    bool completed() const { return !threads.empty(); }
+};
+
+/** Canonical end state of a whole grid. */
+struct ArchState
+{
+    std::string kernelName;
+    unsigned regsPerThread = 0;
+    unsigned threadsPerCta = 0;
+
+    /** Indexed by grid CTA id; a CTA that never retired is !completed(). */
+    std::vector<CtaEndState> ctas;
+
+    /** Final global-memory store image: word address -> accumulated value. */
+    std::map<Addr, std::uint32_t> globalStores;
+
+    unsigned completedCtas() const;
+
+    /** Order-independent FNV-1a digest of the full state (golden tests). */
+    std::uint64_t fingerprint() const;
+
+    /** Small human-readable summary (CTAs, store words, sample digest). */
+    std::string summary() const;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_REF_ARCH_STATE_HH

@@ -1,0 +1,185 @@
+#include "ref/cta_values.hh"
+
+#include <algorithm>
+
+#include "ref/value_semantics.hh"
+
+namespace finereg
+{
+
+CtaValues::CtaValues(GridCtaId grid_id, const KernelContext &context)
+    : gridId_(grid_id), context_(&context),
+      regsPerThread_(context.kernel().regsPerThread()),
+      numThreads_(context.kernel().threadsPerCta()),
+      regs_(std::size_t(numThreads_) * regsPerThread_),
+      poison_(numThreads_, 0), retired_(numThreads_, 0),
+      sharedExec_(std::size_t(context.kernel().warpsPerCta()) *
+                      std::max(1u, context.numMemInstrs()),
+                  0)
+{
+    for (unsigned t = 0; t < numThreads_; ++t)
+        for (unsigned r = 0; r < regsPerThread_; ++r)
+            regs_[std::size_t(t) * regsPerThread_ + r] =
+                initRegValue(gridId_, t, r);
+}
+
+void
+CtaValues::noteRetire(WarpId warp, std::uint32_t mask)
+{
+    const unsigned base = warp * kWarpSize;
+    for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+        if (mask >> lane & 1)
+            ++retired_[base + lane];
+    }
+}
+
+std::uint32_t
+CtaValues::readSrc(unsigned thread, int src) const
+{
+    if (src < 0)
+        return 0;
+    return regs_[std::size_t(thread) * regsPerThread_ + src];
+}
+
+void
+CtaValues::execAlu(WarpId warp, std::uint32_t mask, const Instruction &instr)
+{
+    if (instr.dst < 0)
+        return;
+    const unsigned base = warp * kWarpSize;
+    for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+        if (!(mask >> lane & 1))
+            continue;
+        const unsigned t = base + lane;
+        const std::uint32_t v =
+            aluEval(instr.op, readSrc(t, instr.srcs[0]),
+                    readSrc(t, instr.srcs[1]), readSrc(t, instr.srcs[2]));
+        regs_[std::size_t(t) * regsPerThread_ + instr.dst] = v;
+        poison_[t] &= ~(1ull << instr.dst);
+    }
+}
+
+void
+CtaValues::execGlobal(WarpId warp, std::uint32_t mask,
+                      const Instruction &instr, Addr addr)
+{
+    const unsigned base = warp * kWarpSize;
+    const bool load = isLoad(instr.op);
+    for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+        if (!(mask >> lane & 1))
+            continue;
+        const unsigned t = base + lane;
+        const Addr word = addr + 4ull * lane;
+        if (load) {
+            if (instr.dst < 0)
+                continue;
+            regs_[std::size_t(t) * regsPerThread_ + instr.dst] =
+                loadGlobalValue(word);
+            poison_[t] &= ~(1ull << instr.dst);
+        } else {
+            // srcs[1] is the data operand of a store (srcs[0] addresses).
+            globalStores_[word] += readSrc(t, instr.srcs[1]);
+        }
+    }
+}
+
+std::uint32_t
+CtaValues::sharedBaseOffset(WarpId warp, const Instruction &instr)
+{
+    const int mem_id = context_->memId(instr.index);
+    const std::uint32_t k =
+        sharedExec_[std::size_t(warp) * std::max(1u, context_->numMemInstrs()) +
+                    mem_id]++;
+    // Walk the CTA's shared region in stride steps per execution, with a
+    // per-warp 128-byte phase; wrap to the (128-byte-rounded) region size.
+    const std::uint32_t region = std::max<std::uint32_t>(
+        (context_->kernel().shmemPerCta() + 127u) & ~127u, 128u);
+    const std::uint64_t stride = std::max<std::uint64_t>(instr.mem.stride, 4);
+    return static_cast<std::uint32_t>(
+        (std::uint64_t(warp) * 128 + k * stride) % region & ~3ull);
+}
+
+void
+CtaValues::execShared(WarpId warp, std::uint32_t mask,
+                      const Instruction &instr)
+{
+    const std::uint32_t region = std::max<std::uint32_t>(
+        (context_->kernel().shmemPerCta() + 127u) & ~127u, 128u);
+    const std::uint32_t off = sharedBaseOffset(warp, instr);
+    const unsigned base = warp * kWarpSize;
+    const bool load = isLoad(instr.op);
+    for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+        if (!(mask >> lane & 1))
+            continue;
+        const unsigned t = base + lane;
+        const std::uint32_t word = (off + 4u * lane) % region;
+        if (load) {
+            if (instr.dst < 0)
+                continue;
+            regs_[std::size_t(t) * regsPerThread_ + instr.dst] =
+                loadSharedValue(gridId_, word);
+            poison_[t] &= ~(1ull << instr.dst);
+        } else {
+            sharedStores_[word] += readSrc(t, instr.srcs[1]);
+        }
+    }
+}
+
+void
+CtaValues::dropDeadRegs(WarpId warp, const RegBitVec &keep)
+{
+    const unsigned base = warp * kWarpSize;
+    for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+        const unsigned t = base + lane;
+        for (unsigned r = 0; r < regsPerThread_; ++r) {
+            if (keep.test(static_cast<RegIndex>(r)))
+                continue;
+            regs_[std::size_t(t) * regsPerThread_ + r] =
+                poisonValue(gridId_, t, r);
+            poison_[t] |= 1ull << r;
+        }
+    }
+}
+
+std::uint32_t
+CtaValues::reg(unsigned thread, unsigned r) const
+{
+    return regs_[std::size_t(thread) * regsPerThread_ + r];
+}
+
+std::uint64_t
+CtaValues::poisonMask(unsigned thread) const
+{
+    return poison_[thread];
+}
+
+std::uint64_t
+CtaValues::retired(unsigned thread) const
+{
+    return retired_[thread];
+}
+
+CtaEndState
+CtaValues::takeEndState()
+{
+    CtaEndState out;
+    out.threads.resize(numThreads_);
+    for (unsigned t = 0; t < numThreads_; ++t) {
+        ThreadEndState &ts = out.threads[t];
+        ts.regs.assign(regs_.begin() + std::size_t(t) * regsPerThread_,
+                       regs_.begin() + std::size_t(t + 1) * regsPerThread_);
+        ts.poison = poison_[t];
+        ts.retired = retired_[t];
+    }
+    out.sharedStores = std::move(sharedStores_);
+    return out;
+}
+
+void
+CtaValues::mergeGlobalInto(std::map<Addr, std::uint32_t> &image) const
+{
+    for (const auto &[addr, val] : globalStores_)
+        image[addr] += val;
+}
+
+} // namespace finereg

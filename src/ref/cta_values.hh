@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Per-CTA functional value state: the architectural register file contents,
+ * shared/global store images, and retired-instruction counts of one CTA,
+ * updated instruction by instruction under the value semantics of
+ * value_semantics.hh. The cycle-level SM drives one instance per CTA when
+ * value tracking is enabled; the untimed reference executor drives the same
+ * code, so the two executors cannot disagree on what an instruction
+ * computes — only on which instructions execute and which register values
+ * survive a CTA swap.
+ */
+
+#ifndef FINEREG_REF_CTA_VALUES_HH
+#define FINEREG_REF_CTA_VALUES_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "common/types.hh"
+#include "isa/instruction.hh"
+#include "ref/arch_state.hh"
+#include "sm/kernel_context.hh"
+
+namespace finereg
+{
+
+class CtaValues
+{
+  public:
+    CtaValues(GridCtaId grid_id, const KernelContext &context);
+
+    GridCtaId gridId() const { return gridId_; }
+
+    /** Count one retired instruction for every lane in @p mask. */
+    void noteRetire(WarpId warp, std::uint32_t mask);
+
+    /** Apply an ALU/SFU instruction's value effect for the active lanes. */
+    void execAlu(WarpId warp, std::uint32_t mask, const Instruction &instr);
+
+    /** Apply a global load/store at warp base address @p addr (128-byte
+     * aligned; lane i touches word addr + 4i). */
+    void execGlobal(WarpId warp, std::uint32_t mask,
+                    const Instruction &instr, Addr addr);
+
+    /** Apply a shared load/store; the offset derives from a private
+     * per-(warp, instruction) counter, so it needs no RNG. */
+    void execShared(WarpId warp, std::uint32_t mask,
+                    const Instruction &instr);
+
+    /**
+     * CTA swap-out dropped every register outside @p keep: scramble the
+     * dropped values and mark them poisoned. A later write by an active
+     * lane clears the poison; poisoned registers are excluded from
+     * differential comparison (their values are undefined by design).
+     */
+    void dropDeadRegs(WarpId warp, const RegBitVec &keep);
+
+    // Introspection (tests) ---------------------------------------------------
+
+    std::uint32_t reg(unsigned thread, unsigned r) const;
+    std::uint64_t poisonMask(unsigned thread) const;
+    std::uint64_t retired(unsigned thread) const;
+
+    /** Move this CTA's end state out (called once, at CTA retirement). */
+    CtaEndState takeEndState();
+
+    /** Accumulate this CTA's global stores into a grid-wide image. */
+    void mergeGlobalInto(std::map<Addr, std::uint32_t> &image) const;
+
+  private:
+    std::uint32_t readSrc(unsigned thread, int src) const;
+    std::uint32_t sharedBaseOffset(WarpId warp, const Instruction &instr);
+
+    GridCtaId gridId_;
+    const KernelContext *context_;
+    unsigned regsPerThread_;
+    unsigned numThreads_;
+
+    std::vector<std::uint32_t> regs_;    // [thread * regsPerThread + r]
+    std::vector<std::uint64_t> poison_;  // per-thread bit mask
+    std::vector<std::uint64_t> retired_; // per-thread count
+
+    /** Per-(warp, mem instruction) shared-access counters. */
+    std::vector<std::uint32_t> sharedExec_;
+
+    std::map<std::uint32_t, std::uint32_t> sharedStores_;
+    std::map<Addr, std::uint32_t> globalStores_;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_REF_CTA_VALUES_HH

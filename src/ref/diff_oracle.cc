@@ -1,0 +1,268 @@
+#include "ref/diff_oracle.hh"
+
+#include <sstream>
+
+#include "ref/ref_executor.hh"
+
+namespace finereg
+{
+
+namespace
+{
+
+const char *
+kindName(Divergence::Kind kind)
+{
+    switch (kind) {
+      case Divergence::Kind::None:
+        return "none";
+      case Divergence::Kind::RunFailure:
+        return "run-failure";
+      case Divergence::Kind::Shape:
+        return "shape";
+      case Divergence::Kind::RetiredCount:
+        return "retired-count";
+      case Divergence::Kind::RegValue:
+        return "reg-value";
+      case Divergence::Kind::SharedMem:
+        return "shared-mem";
+      case Divergence::Kind::GlobalMem:
+        return "global-mem";
+    }
+    return "?";
+}
+
+/**
+ * First difference between two word->value maps; missing words are
+ * reported with the present side's value and a note in @p where.
+ */
+template <typename Map>
+bool
+diffStoreImage(const Map &ref, const Map &sim, Addr &addr,
+               std::uint64_t &ref_value, std::uint64_t &sim_value,
+               std::string &where)
+{
+    auto ri = ref.begin();
+    auto si = sim.begin();
+    while (ri != ref.end() || si != sim.end()) {
+        if (si == sim.end() || (ri != ref.end() && ri->first < si->first)) {
+            addr = ri->first;
+            ref_value = ri->second;
+            sim_value = 0;
+            where = "word missing from the simulated image";
+            return true;
+        }
+        if (ri == ref.end() || si->first < ri->first) {
+            addr = si->first;
+            ref_value = 0;
+            sim_value = si->second;
+            where = "word missing from the reference image";
+            return true;
+        }
+        if (ri->second != si->second) {
+            addr = ri->first;
+            ref_value = ri->second;
+            sim_value = si->second;
+            where.clear();
+            return true;
+        }
+        ++ri;
+        ++si;
+    }
+    return false;
+}
+
+} // namespace
+
+std::string
+Divergence::toString() const
+{
+    std::ostringstream oss;
+    oss << "divergence[" << kindName(kind) << "] policy="
+        << policyKindName(policy);
+    switch (kind) {
+      case Kind::None:
+        return "no divergence";
+      case Kind::RunFailure:
+      case Kind::Shape:
+        oss << ": " << detail;
+        break;
+      case Kind::RetiredCount:
+        oss << " cta=" << cta << " thread=" << thread << " (warp "
+            << thread / kWarpSize << " lane " << thread % kWarpSize
+            << "): retired " << simValue << " instructions, reference "
+            << refValue;
+        break;
+      case Kind::RegValue:
+        oss << " cta=" << cta << " thread=" << thread << " (warp "
+            << thread / kWarpSize << " lane " << thread % kWarpSize
+            << ") reg=r" << reg << ": sim=0x" << std::hex << simValue
+            << " ref=0x" << refValue;
+        break;
+      case Kind::SharedMem:
+        oss << " cta=" << cta << " shared word offset=0x" << std::hex
+            << addr << ": sim=0x" << simValue << " ref=0x" << refValue;
+        break;
+      case Kind::GlobalMem:
+        oss << " global word addr=0x" << std::hex << addr << ": sim=0x"
+            << simValue << " ref=0x" << refValue;
+        break;
+    }
+    if ((kind == Kind::SharedMem || kind == Kind::GlobalMem) &&
+        !detail.empty()) {
+        oss << " (" << detail << ")";
+    }
+    return oss.str();
+}
+
+Divergence
+DiffOracle::compare(const ArchState &ref, const ArchState &sim)
+{
+    Divergence d;
+    if (ref.ctas.size() != sim.ctas.size() ||
+        ref.regsPerThread != sim.regsPerThread ||
+        ref.threadsPerCta != sim.threadsPerCta) {
+        d.kind = Divergence::Kind::Shape;
+        d.detail = "grid dimensions disagree: ref " +
+                   std::to_string(ref.ctas.size()) + " CTAs x " +
+                   std::to_string(ref.threadsPerCta) + " threads x " +
+                   std::to_string(ref.regsPerThread) + " regs, sim " +
+                   std::to_string(sim.ctas.size()) + " x " +
+                   std::to_string(sim.threadsPerCta) + " x " +
+                   std::to_string(sim.regsPerThread);
+        return d;
+    }
+
+    for (std::size_t c = 0; c < ref.ctas.size(); ++c) {
+        const CtaEndState &rc = ref.ctas[c];
+        const CtaEndState &sc = sim.ctas[c];
+        if (rc.completed() != sc.completed()) {
+            d.kind = Divergence::Kind::Shape;
+            d.cta = static_cast<GridCtaId>(c);
+            d.detail = "CTA " + std::to_string(c) +
+                       (sc.completed() ? " completed only in the simulation"
+                                       : " never retired in the simulation");
+            return d;
+        }
+        if (!rc.completed())
+            continue;
+
+        for (unsigned t = 0; t < rc.threads.size(); ++t) {
+            const ThreadEndState &rt = rc.threads[t];
+            const ThreadEndState &st = sc.threads[t];
+            if (rt.retired != st.retired) {
+                d.kind = Divergence::Kind::RetiredCount;
+                d.cta = static_cast<GridCtaId>(c);
+                d.thread = t;
+                d.refValue = rt.retired;
+                d.simValue = st.retired;
+                return d;
+            }
+            for (unsigned r = 0; r < rt.regs.size(); ++r) {
+                if (st.poison >> r & 1)
+                    continue; // dropped as dead: undefined by design
+                if (rt.regs[r] != st.regs[r]) {
+                    d.kind = Divergence::Kind::RegValue;
+                    d.cta = static_cast<GridCtaId>(c);
+                    d.thread = t;
+                    d.reg = static_cast<int>(r);
+                    d.refValue = rt.regs[r];
+                    d.simValue = st.regs[r];
+                    return d;
+                }
+            }
+        }
+
+        if (diffStoreImage(rc.sharedStores, sc.sharedStores, d.addr,
+                           d.refValue, d.simValue, d.detail)) {
+            d.kind = Divergence::Kind::SharedMem;
+            d.cta = static_cast<GridCtaId>(c);
+            return d;
+        }
+    }
+
+    if (diffStoreImage(ref.globalStores, sim.globalStores, d.addr,
+                       d.refValue, d.simValue, d.detail)) {
+        d.kind = Divergence::Kind::GlobalMem;
+        return d;
+    }
+    return d;
+}
+
+Divergence
+DiffOracle::checkPolicy(const Kernel &kernel, const GpuConfig &config_in,
+                        PolicyKind policy, const ArchState &ref)
+{
+    GpuConfig config = config_in;
+    config.policy.kind = policy;
+    config.trackValues = true;
+
+    const SimResult result = Simulator::run(config, kernel);
+
+    Divergence d;
+    d.policy = policy;
+    if (result.failed) {
+        d.kind = Divergence::Kind::RunFailure;
+        d.detail = result.failureReason;
+        return d;
+    }
+    if (result.hitCycleLimit ||
+        result.completedCtas != kernel.gridCtas()) {
+        d.kind = Divergence::Kind::RunFailure;
+        d.detail = "run incomplete: " +
+                   std::to_string(result.completedCtas) + "/" +
+                   std::to_string(kernel.gridCtas()) + " CTAs at cycle " +
+                   std::to_string(result.cycles) +
+                   (result.hitCycleLimit ? " (cycle cap)" : "");
+        return d;
+    }
+    if (!result.archState) {
+        d.kind = Divergence::Kind::RunFailure;
+        d.detail = "simulation produced no architectural state even though "
+                   "trackValues was set";
+        return d;
+    }
+
+    d = compare(ref, *result.archState);
+    d.policy = policy;
+    return d;
+}
+
+bool
+DiffOracle::Report::pass() const
+{
+    for (const Divergence &d : results) {
+        if (d.any())
+            return false;
+    }
+    return !results.empty();
+}
+
+std::string
+DiffOracle::Report::toString() const
+{
+    std::ostringstream oss;
+    for (const Divergence &d : results) {
+        oss << policyKindName(d.policy) << ": "
+            << (d.any() ? d.toString() : "ok") << "\n";
+    }
+    return oss.str();
+}
+
+DiffOracle::Report
+DiffOracle::checkAllPolicies(const Kernel &kernel, const GpuConfig &config,
+                             const std::vector<PolicyKind> &policies)
+{
+    static const std::vector<PolicyKind> kAll{
+        PolicyKind::Baseline, PolicyKind::VirtualThread, PolicyKind::RegDram,
+        PolicyKind::RegMutex, PolicyKind::FineReg};
+
+    const ArchState ref = RefExecutor::execute(kernel, config.seed);
+
+    Report report;
+    for (PolicyKind policy : policies.empty() ? kAll : policies)
+        report.results.push_back(checkPolicy(kernel, config, policy, ref));
+    return report;
+}
+
+} // namespace finereg

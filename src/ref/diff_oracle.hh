@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Differential correctness oracle. Runs the cycle-level simulator with
+ * value tracking under a register-management policy and diffs the captured
+ * architectural end state against the untimed reference execution of the
+ * same kernel. Any divergence — a register value, a store image word, a
+ * retired-instruction count — means the policy altered what the program
+ * computed, which FineReg's swap path must never do (PAPER.md §IV).
+ */
+
+#ifndef FINEREG_REF_DIFF_ORACLE_HH
+#define FINEREG_REF_DIFF_ORACLE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/simulator.hh"
+#include "isa/kernel.hh"
+#include "ref/arch_state.hh"
+
+namespace finereg
+{
+
+/** First point where a simulated end state departs from the reference. */
+struct Divergence
+{
+    enum class Kind : unsigned char
+    {
+        None,         ///< States identical (modulo poisoned registers).
+        RunFailure,   ///< The simulated run failed or did not complete.
+        Shape,        ///< Grid/CTA dimensions disagree (harness bug).
+        RetiredCount, ///< A thread retired a different instruction count.
+        RegValue,     ///< A final register value differs.
+        SharedMem,    ///< A CTA's shared store image differs.
+        GlobalMem,    ///< The global store image differs.
+    };
+
+    Kind kind = Kind::None;
+    PolicyKind policy = PolicyKind::Baseline;
+
+    GridCtaId cta = kInvalidId;
+    unsigned thread = 0;  ///< Thread index within the CTA (warp * 32 + lane).
+    int reg = -1;         ///< Register index for RegValue.
+    Addr addr = 0;        ///< Word address (GlobalMem) or offset (SharedMem).
+
+    std::uint64_t refValue = 0;
+    std::uint64_t simValue = 0;
+
+    /** Failure reason / context for RunFailure and map-shape mismatches. */
+    std::string detail;
+
+    bool any() const { return kind != Kind::None; }
+
+    /** One-line report naming the first divergent location and values. */
+    std::string toString() const;
+};
+
+class DiffOracle
+{
+  public:
+    /**
+     * Compare a simulated end state against the reference in canonical
+     * order (CTAs ascending, then threads, then registers; then shared
+     * images; then the global image). Registers the simulated run marked
+     * poisoned (dropped as dead at a swap) are excluded — their values
+     * are undefined by design. Returns the first divergence.
+     */
+    static Divergence compare(const ArchState &ref, const ArchState &sim);
+
+    /**
+     * Run @p kernel under @p policy (value tracking forced on) and diff
+     * against @p ref. Incomplete or failed runs report Kind::RunFailure.
+     */
+    static Divergence checkPolicy(const Kernel &kernel,
+                                  const GpuConfig &config, PolicyKind policy,
+                                  const ArchState &ref);
+
+    struct Report
+    {
+        /** One entry per checked policy, Kind::None when it matched. */
+        std::vector<Divergence> results;
+
+        bool pass() const;
+        std::string toString() const;
+    };
+
+    /**
+     * Reference-execute @p kernel once, then check every policy in
+     * @p policies (all five when empty) under @p config.
+     */
+    static Report
+    checkAllPolicies(const Kernel &kernel, const GpuConfig &config,
+                     const std::vector<PolicyKind> &policies = {});
+};
+
+} // namespace finereg
+
+#endif // FINEREG_REF_DIFF_ORACLE_HH

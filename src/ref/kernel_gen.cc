@@ -1,0 +1,469 @@
+#include "ref/kernel_gen.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "isa/kernel_builder.hh"
+
+namespace finereg
+{
+
+namespace
+{
+
+/** Deterministic generator RNG, independent of the simulator's PRNG. */
+class GenRng
+{
+  public:
+    explicit GenRng(std::uint64_t seed) : state_(seed ^ 0x2545f4914f6cdd1dull)
+    {
+    }
+
+    std::uint64_t
+    next()
+    {
+        state_ += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = state_;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [lo, hi]. */
+    unsigned
+    range(unsigned lo, unsigned hi)
+    {
+        return lo + static_cast<unsigned>(next() % (hi - lo + 1));
+    }
+
+    bool chance(double p) { return double(next() >> 11) * 0x1p-53 < p; }
+
+    template <typename T, std::size_t N>
+    T
+    pick(const T (&options)[N])
+    {
+        return options[next() % N];
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+GenOp
+randomAlu(GenRng &rng, unsigned regs)
+{
+    static const Opcode kAluOps[] = {Opcode::IADD, Opcode::IMUL, Opcode::FADD,
+                                     Opcode::FMUL, Opcode::FFMA, Opcode::MOV,
+                                     Opcode::SFU};
+    GenOp op;
+    op.kind = GenOp::Kind::Alu;
+    op.op = rng.pick(kAluOps);
+    op.dst = static_cast<int>(rng.range(0, regs - 1));
+    op.srcA = static_cast<int>(rng.range(0, regs - 1));
+    op.srcB = op.op == Opcode::MOV || op.op == Opcode::SFU
+                  ? -1
+                  : static_cast<int>(rng.range(0, regs - 1));
+    op.srcC = op.op == Opcode::FFMA
+                  ? static_cast<int>(rng.range(0, regs - 1))
+                  : -1;
+    return op;
+}
+
+MemPattern
+randomPattern(GenRng &rng, bool shared)
+{
+    static const std::uint64_t kFootprints[] = {64 << 10, 1 << 20};
+    static const unsigned kTransactions[] = {1u, 2u, 4u};
+    static const std::uint64_t kStrides[] = {128, 256, 4096};
+    static const double kReuse[] = {0.0, 0.0, 0.5};
+
+    MemPattern mem;
+    mem.region = rng.range(0, 3);
+    mem.footprint = rng.pick(kFootprints);
+    mem.transactions = rng.pick(kTransactions);
+    mem.stride = rng.pick(kStrides);
+    mem.reuse = rng.pick(kReuse);
+    mem.shared = shared;
+    return mem;
+}
+
+GenOp
+randomMem(GenRng &rng, unsigned regs, bool allow_shared)
+{
+    GenOp op;
+    const bool is_load = rng.chance(0.65);
+    const bool shared = allow_shared && rng.chance(0.3);
+    op.mem = randomPattern(rng, shared);
+    op.srcA = static_cast<int>(rng.range(0, regs - 1)); // address register
+    if (is_load) {
+        op.kind = GenOp::Kind::Load;
+        op.op = shared ? Opcode::LD_SHARED : Opcode::LD_GLOBAL;
+        op.dst = static_cast<int>(rng.range(0, regs - 1));
+        // Bias toward load-then-use: the dependent consumer stalls the
+        // warp, which is what drives CTA switching in the swap policies.
+        op.dependentUse = rng.chance(0.7);
+    } else {
+        op.kind = GenOp::Kind::Store;
+        op.op = shared ? Opcode::ST_SHARED : Opcode::ST_GLOBAL;
+        op.srcB = static_cast<int>(rng.range(0, regs - 1)); // data register
+    }
+    return op;
+}
+
+std::vector<GenOp>
+randomOps(GenRng &rng, unsigned count, unsigned regs, bool allow_shared)
+{
+    std::vector<GenOp> ops;
+    ops.reserve(count);
+    for (unsigned i = 0; i < count; ++i) {
+        if (rng.chance(0.35))
+            ops.push_back(randomMem(rng, regs, allow_shared));
+        else
+            ops.push_back(randomAlu(rng, regs));
+    }
+    return ops;
+}
+
+/** Emit one GenOp (and a load's dependent consumer) into the builder. */
+void
+emitOp(KernelBuilder &b, const GenOp &op, unsigned regs)
+{
+    switch (op.kind) {
+      case GenOp::Kind::Alu:
+        b.alu(op.op, op.dst, op.srcA, op.srcB, op.srcC);
+        break;
+      case GenOp::Kind::Load:
+        b.load(op.op, op.dst, op.srcA, op.mem);
+        if (op.dependentUse) {
+            const int consumer = (op.dst + 1) % static_cast<int>(regs);
+            b.alu(Opcode::IADD, consumer, op.dst, op.dst);
+        }
+        break;
+      case GenOp::Kind::Store:
+        b.store(op.op, op.srcA, op.srcB, op.mem);
+        break;
+    }
+}
+
+unsigned
+opsInstrCount(const std::vector<GenOp> &ops)
+{
+    unsigned n = 0;
+    for (const GenOp &op : ops)
+        n += op.kind == GenOp::Kind::Load && op.dependentUse ? 2 : 1;
+    return n;
+}
+
+} // namespace
+
+std::unique_ptr<Kernel>
+KernelSpec::build() const
+{
+    std::ostringstream name;
+    name << "gen-" << std::hex << seed;
+
+    KernelBuilder b(name.str());
+    b.regsPerThread(regs)
+        .threadsPerCta(threads)
+        .gridCtas(grid)
+        .shmemPerCta(shmem);
+
+    // Block indices are assigned in creation order and non-terminated
+    // blocks fall through to the next index, so each segment can compute
+    // its branch targets before the target blocks exist.
+    int cur = b.newBlock();
+    bool cur_empty = true;
+
+    for (const GenSegment &seg : segments) {
+        const bool thin = seg.ops.size() < 2;
+        if (seg.kind == GenSegment::Kind::Straight ||
+            (seg.kind == GenSegment::Kind::Diamond && thin)) {
+            // Thin diamonds degrade to straight code: a one-op diamond
+            // would leave an arm block empty, which finalize() rejects.
+            for (const GenOp &op : seg.ops)
+                emitOp(b, op, regs);
+            cur_empty = cur_empty && seg.ops.empty();
+            continue;
+        }
+
+        if (seg.kind == GenSegment::Kind::Loop) {
+            // The body must start a block (it is the back-edge target);
+            // reuse the current block if nothing was emitted into it yet.
+            const int body = cur_empty ? cur : b.newBlock();
+            if (seg.ops.empty())
+                b.mov(0, 0); // blocks may not be empty
+            for (const GenOp &op : seg.ops)
+                emitOp(b, op, regs);
+            b.loopBranch(body, /*cond_src=*/0, std::max(seg.trips, 1u),
+                         seg.divergeProb);
+            cur = b.newBlock(); // loop exit falls through here
+            cur_empty = true;
+            continue;
+        }
+
+        // Diamond: [cur: BRA -> then] [else] [then] [join]. The BRA falls
+        // through to the else arm; the then arm falls through to join; the
+        // else arm jumps over it.
+        const std::size_t split = seg.ops.size() / 2;
+        const int then_blk = cur + 2;
+        const int join_blk = cur + 3;
+        b.branch(then_blk, /*cond_src=*/0, seg.takenProb, seg.divergeProb);
+        b.newBlock(); // else arm == cur + 1
+        for (std::size_t i = 0; i < split; ++i)
+            emitOp(b, seg.ops[i], regs);
+        b.jump(join_blk);
+        b.newBlock(); // then arm == cur + 2
+        for (std::size_t i = split; i < seg.ops.size(); ++i)
+            emitOp(b, seg.ops[i], regs);
+        cur = b.newBlock(); // join == cur + 3
+        cur_empty = true;
+    }
+
+    // Observability epilogue: fold the observed registers into R0 and
+    // store it, so no tracked register can be corrupted silently.
+    if (observeRegs.empty()) {
+        for (unsigned r = 1; r < regs; ++r)
+            b.alu(Opcode::IADD, 0, 0, static_cast<int>(r));
+    } else {
+        for (unsigned r : observeRegs) {
+            if (r != 0 && r < regs)
+                b.alu(Opcode::IADD, 0, 0, static_cast<int>(r));
+        }
+    }
+    MemPattern out;
+    out.region = 7; // result region, disjoint from generated access regions
+    out.footprint = 1 << 20;
+    b.store(Opcode::ST_GLOBAL, 0, 0, out);
+    if (shmem > 0) {
+        MemPattern shout;
+        shout.shared = true;
+        b.store(Opcode::ST_SHARED, 0, 0, shout);
+    }
+    b.exit();
+    return b.finalize();
+}
+
+unsigned
+KernelSpec::instrCount() const
+{
+    return build()->staticInstrs();
+}
+
+std::string
+KernelSpec::describe() const
+{
+    std::ostringstream oss;
+    oss << "seed=0x" << std::hex << seed << std::dec << " regs=" << regs
+        << " threads=" << threads << " grid=" << grid << " shmem=" << shmem
+        << " segments=" << segments.size() << " [";
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+        const GenSegment &seg = segments[i];
+        if (i)
+            oss << " ";
+        switch (seg.kind) {
+          case GenSegment::Kind::Straight:
+            oss << "straight:" << opsInstrCount(seg.ops);
+            break;
+          case GenSegment::Kind::Loop:
+            oss << "loop(x" << seg.trips << "):" << opsInstrCount(seg.ops);
+            break;
+          case GenSegment::Kind::Diamond:
+            oss << "diamond(t=" << seg.takenProb << ",d=" << seg.divergeProb
+                << "):" << opsInstrCount(seg.ops);
+            break;
+        }
+    }
+    oss << "] instrs=" << instrCount();
+    return oss.str();
+}
+
+KernelSpec
+generateKernelSpec(std::uint64_t seed, const GenOptions &options)
+{
+    static const unsigned kThreads[] = {64u, 128u, 256u};
+    static const unsigned kShmem[] = {0u, 2048u, 8192u};
+    static const double kTaken[] = {0.2, 0.5, 0.8};
+    static const double kDiverge[] = {0.0, 0.3, 0.7};
+
+    GenRng rng(seed);
+    KernelSpec spec;
+    spec.seed = seed;
+    spec.regs = rng.range(8, 24);
+    spec.threads = rng.pick(kThreads);
+    spec.grid = rng.range(8, 24);
+    spec.shmem = rng.pick(kShmem);
+
+    const unsigned nsegs = rng.range(2, 5);
+    for (unsigned i = 0; i < nsegs; ++i) {
+        GenSegment seg;
+        switch (rng.range(0, 3)) {
+          case 0:
+            seg.kind = GenSegment::Kind::Loop;
+            seg.trips = rng.range(2, 6);
+            break;
+          case 1:
+            seg.kind = GenSegment::Kind::Diamond;
+            seg.takenProb = rng.pick(kTaken);
+            seg.divergeProb = rng.pick(kDiverge);
+            break;
+          default:
+            seg.kind = GenSegment::Kind::Straight;
+            break;
+        }
+        seg.ops = randomOps(rng, rng.range(2, 6), spec.regs, spec.shmem > 0);
+        spec.segments.push_back(std::move(seg));
+    }
+
+    if (options.observeAllRegs) {
+        for (unsigned r = 0; r < spec.regs; ++r)
+            spec.observeRegs.push_back(r);
+    } else {
+        for (unsigned r = 0; r < spec.regs; ++r) {
+            if (rng.chance(0.5))
+                spec.observeRegs.push_back(r);
+        }
+        if (spec.observeRegs.empty())
+            spec.observeRegs.push_back(0);
+    }
+    return spec;
+}
+
+std::vector<KernelSpec>
+shrinkCandidates(const KernelSpec &spec)
+{
+    std::vector<KernelSpec> out;
+
+    // Drop whole segments first (largest reduction).
+    if (spec.segments.size() > 1) {
+        for (std::size_t i = 0; i < spec.segments.size(); ++i) {
+            KernelSpec c = spec;
+            c.segments.erase(c.segments.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+            out.push_back(std::move(c));
+        }
+    }
+
+    // Halve each segment's body (keep the first half).
+    for (std::size_t i = 0; i < spec.segments.size(); ++i) {
+        if (spec.segments[i].ops.size() > 1) {
+            KernelSpec c = spec;
+            c.segments[i].ops.resize(c.segments[i].ops.size() / 2);
+            out.push_back(std::move(c));
+        }
+    }
+
+    // Flatten structured segments into straight code.
+    for (std::size_t i = 0; i < spec.segments.size(); ++i) {
+        if (spec.segments[i].kind != GenSegment::Kind::Straight) {
+            KernelSpec c = spec;
+            c.segments[i].kind = GenSegment::Kind::Straight;
+            out.push_back(std::move(c));
+        }
+    }
+
+    // Halve the register count (remapping operands), which also shrinks
+    // the fold epilogue — minimized counterexamples need this to get small.
+    if (spec.regs > 4) {
+        KernelSpec c = spec;
+        const unsigned nr = std::max(4u, c.regs / 2);
+        c.regs = nr;
+        const auto remap = [nr](int r) {
+            return r < 0 ? r : r % static_cast<int>(nr);
+        };
+        for (GenSegment &seg : c.segments) {
+            for (GenOp &op : seg.ops) {
+                op.dst = remap(op.dst);
+                op.srcA = remap(op.srcA);
+                op.srcB = remap(op.srcB);
+                op.srcC = remap(op.srcC);
+            }
+        }
+        std::vector<unsigned> observe;
+        for (unsigned r : c.observeRegs) {
+            const unsigned m = r % nr;
+            if (std::find(observe.begin(), observe.end(), m) ==
+                observe.end())
+                observe.push_back(m);
+        }
+        c.observeRegs = std::move(observe);
+        out.push_back(std::move(c));
+    }
+
+    // Shrink launch geometry and loop depth.
+    if (spec.grid > 2) {
+        KernelSpec c = spec;
+        c.grid = std::max(2u, c.grid / 2);
+        out.push_back(std::move(c));
+    }
+    if (spec.threads > 2 * kWarpSize) {
+        KernelSpec c = spec;
+        c.threads = std::max(kWarpSize, c.threads / 2);
+        out.push_back(std::move(c));
+    }
+    for (std::size_t i = 0; i < spec.segments.size(); ++i) {
+        if (spec.segments[i].kind == GenSegment::Kind::Loop &&
+            spec.segments[i].trips > 2) {
+            KernelSpec c = spec;
+            c.segments[i].trips /= 2;
+            out.push_back(std::move(c));
+        }
+    }
+    if (spec.shmem > 0) {
+        KernelSpec c = spec;
+        c.shmem = 0;
+        // Shared-memory ops need shmem; retarget them at global memory.
+        for (GenSegment &seg : c.segments) {
+            for (GenOp &op : seg.ops) {
+                if (op.op == Opcode::LD_SHARED)
+                    op.op = Opcode::LD_GLOBAL;
+                else if (op.op == Opcode::ST_SHARED)
+                    op.op = Opcode::ST_GLOBAL;
+                op.mem.shared = false;
+            }
+        }
+        out.push_back(std::move(c));
+    }
+
+    // Last resort: drop the dependent consumers of loads. This usually
+    // removes the stall that provokes CTA switching, so it is tried only
+    // after everything else.
+    bool any_dep = false;
+    for (const GenSegment &seg : spec.segments) {
+        for (const GenOp &op : seg.ops)
+            any_dep = any_dep ||
+                      (op.kind == GenOp::Kind::Load && op.dependentUse);
+    }
+    if (any_dep) {
+        KernelSpec c = spec;
+        for (GenSegment &seg : c.segments) {
+            for (GenOp &op : seg.ops)
+                op.dependentUse = false;
+        }
+        out.push_back(std::move(c));
+    }
+    return out;
+}
+
+KernelSpec
+minimizeSpec(KernelSpec spec,
+             const std::function<bool(const KernelSpec &)> &reproduces,
+             unsigned budget)
+{
+    bool progress = true;
+    while (progress && budget > 0) {
+        progress = false;
+        for (KernelSpec &cand : shrinkCandidates(spec)) {
+            if (budget == 0)
+                break;
+            --budget;
+            if (reproduces(cand)) {
+                spec = std::move(cand);
+                progress = true;
+                break;
+            }
+        }
+    }
+    return spec;
+}
+
+} // namespace finereg

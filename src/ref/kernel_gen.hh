@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Seeded property-based kernel generator for the differential oracle.
+ * Emits random-but-valid kernels through KernelBuilder — structured control
+ * flow (straight runs, counted loops, diamonds with probabilistic
+ * divergence), register pressure, and global/shared memory patterns biased
+ * toward load-then-use stalls so CTAs actually get swapped. Every kernel
+ * ends in an observability epilogue that folds registers into a global
+ * store, so a corrupted register cannot retire silently.
+ *
+ * Failures minimize via greedy shrinking: candidate reductions (drop a
+ * segment, halve its body, shrink the grid/threads/trip counts) are
+ * re-tested and applied while the divergence still reproduces.
+ */
+
+#ifndef FINEREG_REF_KERNEL_GEN_HH
+#define FINEREG_REF_KERNEL_GEN_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/kernel.hh"
+
+namespace finereg
+{
+
+/** One generated instruction (plus the dependent consumer of a load). */
+struct GenOp
+{
+    enum class Kind : unsigned char { Alu, Load, Store };
+
+    Kind kind = Kind::Alu;
+    Opcode op = Opcode::IADD;
+    int dst = 0;
+    int srcA = 0;
+    int srcB = 0;
+    int srcC = -1;
+
+    MemPattern mem;
+
+    /** Loads: emit an ALU consumer of dst right after (stall-on-use). */
+    bool dependentUse = false;
+};
+
+/** A structured control-flow region of the generated kernel. */
+struct GenSegment
+{
+    enum class Kind : unsigned char { Straight, Loop, Diamond };
+
+    Kind kind = Kind::Straight;
+    unsigned trips = 0;       ///< Loop: body executes this many times.
+    double takenProb = 0.5;   ///< Diamond: warp-wide taken probability.
+    double divergeProb = 0.0; ///< Diamond: SIMT divergence probability.
+    std::vector<GenOp> ops;
+};
+
+/**
+ * A declarative kernel recipe: cheap to copy, mutate (shrinking), and
+ * rebuild into an immutable Kernel.
+ */
+struct KernelSpec
+{
+    std::uint64_t seed = 0;
+    unsigned regs = 16;
+    unsigned threads = 128;
+    unsigned grid = 8;
+    unsigned shmem = 0;
+    std::vector<GenSegment> segments;
+
+    /** Epilogue observability: which registers fold into the final store.
+     * Empty means all of them. */
+    std::vector<unsigned> observeRegs;
+
+    /** Build the kernel (finalized and validated by KernelBuilder). */
+    std::unique_ptr<Kernel> build() const;
+
+    /** Static instructions of the built kernel. */
+    unsigned instrCount() const;
+
+    /** One-line parameter summary for failure reports. */
+    std::string describe() const;
+};
+
+struct GenOptions
+{
+    /** Fold every register in the epilogue (guarantees any dropped live
+     * register is observed; used by the broken-liveness self check). */
+    bool observeAllRegs = false;
+};
+
+/** Deterministically generate a kernel recipe from @p seed. */
+KernelSpec generateKernelSpec(std::uint64_t seed,
+                              const GenOptions &options = {});
+
+/**
+ * One-step reductions of @p spec, most aggressive first. Every candidate
+ * builds a valid kernel.
+ */
+std::vector<KernelSpec> shrinkCandidates(const KernelSpec &spec);
+
+/**
+ * Greedy shrink: repeatedly apply the first candidate reduction for which
+ * @p reproduces returns true, until none does (or @p budget test runs are
+ * spent). Returns the minimized spec.
+ */
+KernelSpec minimizeSpec(KernelSpec spec,
+                        const std::function<bool(const KernelSpec &)>
+                            &reproduces,
+                        unsigned budget = 200);
+
+} // namespace finereg
+
+#endif // FINEREG_REF_KERNEL_GEN_HH

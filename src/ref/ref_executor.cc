@@ -1,0 +1,115 @@
+#include "ref/ref_executor.hh"
+
+#include <string>
+
+#include "ref/cta_values.hh"
+#include "sm/cta.hh"
+#include "sm/kernel_context.hh"
+#include "sm/warp_exec.hh"
+#include "verify/sim_error.hh"
+
+namespace finereg
+{
+
+namespace
+{
+
+/**
+ * Run one warp to completion, mirroring Sm::issueInstr's architectural
+ * effects (and nothing else): every instruction retires for its active
+ * lanes, ALU/SFU/memory update the value state, control flow updates the
+ * SIMT stack. BAR is a timing fence with no value effect; scoreboards,
+ * latencies, and the memory hierarchy do not exist here.
+ */
+void
+runWarp(Warp &warp, CtaValues &values, std::uint64_t max_instrs)
+{
+    std::uint64_t executed = 0;
+    while (!warp.finished() && !warp.pastEnd()) {
+        if (++executed > max_instrs) {
+            raiseDeadlock("reference executor exceeded " +
+                              std::to_string(max_instrs) +
+                              " instructions in one warp of kernel " +
+                              warp.context().kernel().name(),
+                          0, "");
+        }
+        const Instruction &instr = warp.currentInstr();
+        const std::uint32_t mask = warp.activeMask();
+        values.noteRetire(warp.id(), mask);
+
+        switch (funcUnitOf(instr.op)) {
+          case FuncUnit::ALU:
+          case FuncUnit::SFU:
+            values.execAlu(warp.id(), mask, instr);
+            warp.setPc(warp.pc() + kInstrBytes);
+            break;
+          case FuncUnit::MEM:
+            if (isGlobalMemory(instr.op)) {
+                const Addr addr = warpGenerateAddress(warp, instr);
+                values.execGlobal(warp.id(), mask, instr, addr);
+            } else {
+                values.execShared(warp.id(), mask, instr);
+            }
+            warp.setPc(warp.pc() + kInstrBytes);
+            break;
+          case FuncUnit::CTRL:
+            switch (instr.op) {
+              case Opcode::BRA:
+                warpExecBranch(warp, instr);
+                break;
+              case Opcode::JMP:
+                warp.setPc(warp.context().kernel().blockStartPc(
+                    instr.targetBlock));
+                break;
+              case Opcode::BAR:
+                warp.setPc(warp.pc() + kInstrBytes);
+                break;
+              case Opcode::EXIT:
+                warp.exitCurrentPath();
+                break;
+              default:
+                raiseInvariant("ref-executor",
+                               "unhandled control opcode in reference "
+                               "executor");
+            }
+            break;
+        }
+
+        if (!warp.finished())
+            warp.reconvergeIfNeeded();
+    }
+}
+
+} // namespace
+
+ArchState
+RefExecutor::execute(const Kernel &kernel, std::uint64_t seed,
+                     std::uint64_t max_instrs_per_warp)
+{
+    const KernelContext context(kernel);
+
+    ArchState out;
+    out.kernelName = kernel.name();
+    out.regsPerThread = kernel.regsPerThread();
+    out.threadsPerCta = kernel.threadsPerCta();
+    out.ctas.resize(kernel.gridCtas());
+
+    for (GridCtaId grid_id = 0; grid_id < kernel.gridCtas(); ++grid_id) {
+        // Same per-CTA seed derivation as Sm::launchCta: the warps' RNG
+        // streams — and thus the executed paths — match the timed run.
+        const std::uint64_t cta_seed =
+            seed + 0x9e3779b97f4a7c15ull * (std::uint64_t(grid_id) + 1);
+        Cta cta(grid_id, 0, context, cta_seed);
+        cta.enableValueTracking();
+        CtaValues &values = *cta.values();
+
+        for (auto &warp : cta.warps())
+            runWarp(*warp, values, max_instrs_per_warp);
+
+        values.mergeGlobalInto(out.globalStores);
+        out.ctas[grid_id] = values.takeEndState();
+    }
+    return out;
+}
+
+} // namespace finereg

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Functional, untimed architectural reference executor. Interprets any
+ * isa::Kernel directly — warp by warp, in grid order, with no caches, no
+ * scheduling, and no register-file policy — and produces the canonical
+ * ArchState the differential oracle compares cycle-level runs against.
+ *
+ * The executor replays exactly the instruction stream the cycle simulator
+ * executes: per-warp control flow and addresses are drawn from the same
+ * per-warp RNG streams through the shared sm/warp_exec.hh functions, and
+ * the per-warp seeds derive from (seed, grid CTA id, warp id) with the
+ * same mixing the Gpu/Sm/Cta chain uses. Warps can run sequentially to
+ * completion because the value semantics (ref/value_semantics.hh) make
+ * final state independent of inter-warp interleaving: loads never observe
+ * stores, and stores accumulate commutatively. Barriers are therefore
+ * timing-only and execute as no-ops here.
+ */
+
+#ifndef FINEREG_REF_REF_EXECUTOR_HH
+#define FINEREG_REF_REF_EXECUTOR_HH
+
+#include <cstdint>
+
+#include "isa/kernel.hh"
+#include "ref/arch_state.hh"
+
+namespace finereg
+{
+
+class RefExecutor
+{
+  public:
+    /**
+     * Execute @p kernel under grid seed @p seed (the GpuConfig::seed the
+     * simulated runs use).
+     *
+     * @param max_instrs_per_warp runaway guard; exceeding it raises a
+     *        Deadlock-kind SimException (a valid finalized kernel cannot
+     *        loop forever, so this only fires on ISA/CFG bugs).
+     */
+    static ArchState execute(const Kernel &kernel, std::uint64_t seed,
+                             std::uint64_t max_instrs_per_warp = 4'000'000);
+};
+
+} // namespace finereg
+
+#endif // FINEREG_REF_REF_EXECUTOR_HH

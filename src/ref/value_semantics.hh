@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Architectural value semantics shared by the functional reference executor
+ * and the cycle-level simulator's value-tracking layer. The simulator is a
+ * *performance* model — it has no program inputs — so "what a kernel
+ * computes" is defined axiomatically here:
+ *
+ *  - every register starts with a deterministic hash of (cta, thread, reg);
+ *  - loads return a pure hash of the loaded address (stores do not feed
+ *    loads), so load results are independent of timing and warp order;
+ *  - stores accumulate commutatively (wrapping 32-bit add) into a word-
+ *    granular memory image, so the final image is independent of store
+ *    order;
+ *  - ALU/SFU opcodes are interpreted as fixed integer mixing functions
+ *    (NOT IEEE arithmetic) chosen to be distinct per opcode and to
+ *    propagate every operand bit.
+ *
+ * Under these semantics the final architectural state is a pure function
+ * of (kernel, seed): any divergence between two executors is a real
+ * execution-path or register-preservation bug, never a scheduling
+ * artifact. What this deliberately does NOT check: memory ordering,
+ * load/store forwarding, and FP numerics (see DESIGN.md "Correctness
+ * methodology").
+ */
+
+#ifndef FINEREG_REF_VALUE_SEMANTICS_HH
+#define FINEREG_REF_VALUE_SEMANTICS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/opcode.hh"
+
+namespace finereg
+{
+
+namespace detail
+{
+
+/** SplitMix64 finalizer: the avalanche everything below is built on. */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+constexpr std::uint32_t
+rotl32(std::uint32_t x, int k)
+{
+    return (x << k) | (x >> (32 - k));
+}
+
+} // namespace detail
+
+/** Initial value of register @p reg of thread @p thread in CTA @p cta. */
+constexpr std::uint32_t
+initRegValue(GridCtaId cta, unsigned thread, unsigned reg)
+{
+    return static_cast<std::uint32_t>(detail::mix64(
+        (std::uint64_t(cta) << 32) ^ (std::uint64_t(thread) << 8) ^ reg ^
+        0x1ec5ull << 48));
+}
+
+/** Value a load observes at global word address @p word_addr. */
+constexpr std::uint32_t
+loadGlobalValue(Addr word_addr)
+{
+    return static_cast<std::uint32_t>(
+        detail::mix64(word_addr ^ 0x6c0adull << 44));
+}
+
+/** Value a load observes at shared-memory word @p word_off of CTA @p cta. */
+constexpr std::uint32_t
+loadSharedValue(GridCtaId cta, std::uint32_t word_off)
+{
+    return static_cast<std::uint32_t>(detail::mix64(
+        (std::uint64_t(cta) << 32) ^ word_off ^ 0x54aedull << 44));
+}
+
+/**
+ * Scramble written over a register dropped as dead at CTA swap-out. A
+ * liveness bug that drops a *live* register propagates this (deterministic)
+ * garbage into downstream state, which the differential oracle then flags.
+ */
+constexpr std::uint32_t
+poisonValue(GridCtaId cta, unsigned thread, unsigned reg)
+{
+    return static_cast<std::uint32_t>(detail::mix64(
+        (std::uint64_t(cta) << 32) ^ (std::uint64_t(thread) << 8) ^ reg ^
+        0xdeadull << 48));
+}
+
+/**
+ * Interpreted result of an ALU/SFU opcode over its operand values. Every
+ * opcode is a distinct total function on uint32 so value-transport bugs
+ * cannot cancel out; unused operand slots must be passed as 0.
+ */
+constexpr std::uint32_t
+aluEval(Opcode op, std::uint32_t a, std::uint32_t b, std::uint32_t c)
+{
+    switch (op) {
+      case Opcode::IADD:
+        return a + b;
+      case Opcode::IMUL:
+        return a * (b | 1u); // |1 keeps the map sensitive to a when b == 0
+      case Opcode::FADD:
+        return (a ^ detail::rotl32(b, 7)) + 0x9e3779b9u;
+      case Opcode::FMUL:
+        return (a * 0x85ebca6bu) ^ detail::rotl32(b, 19);
+      case Opcode::FFMA:
+        return a * (b | 1u) + c;
+      case Opcode::MOV:
+        return a;
+      case Opcode::SFU:
+        return detail::rotl32(a * 0xc2b2ae35u, 13) ^ 0x27d4eb2fu;
+      default:
+        return 0;
+    }
+}
+
+} // namespace finereg
+
+#endif // FINEREG_REF_VALUE_SEMANTICS_HH

@@ -52,6 +52,14 @@ Rmu::gatherLiveRegs(const Cta &cta, Cycle now)
             }
         }
 
+        if (config_.dropLiveReg >= 0 &&
+            config_.dropLiveReg < int(regs_per_thread)) {
+            // Deliberately broken liveness (test hook): the register is
+            // dropped from the backup set even when the program still
+            // needs it.
+            live.reset(static_cast<RegIndex>(config_.dropLiveReg));
+        }
+
         live.forEach([&](RegIndex r) {
             out.regs.push_back({warp->id(), r});
         });

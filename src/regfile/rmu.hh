@@ -31,6 +31,10 @@ struct RmuConfig
 
     /** Ablation: treat every allocated register as live. */
     bool fullContextBackup = false;
+
+    /** Test hook: deliberately drop this register from every gathered
+     * liveness mask (-1 = off); see PolicyConfig::dropLiveReg. */
+    int dropLiveReg = -1;
 };
 
 class FaultInjector;

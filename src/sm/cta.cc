@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "ref/cta_values.hh"
 
 namespace finereg
 {
@@ -19,6 +20,15 @@ Cta::Cta(GridCtaId grid_id, unsigned launch_seq, const KernelContext &context,
         warps_.push_back(
             std::make_unique<Warp>(this, WarpId(w), context, warp_seed));
     }
+}
+
+Cta::~Cta() = default;
+
+void
+Cta::enableValueTracking()
+{
+    if (!values_)
+        values_ = std::make_unique<CtaValues>(gridId_, *context_);
 }
 
 bool

@@ -19,6 +19,8 @@
 namespace finereg
 {
 
+class CtaValues;
+
 enum class CtaState : unsigned char
 {
     Active,  ///< Executing: context in pipeline, registers in ACRF.
@@ -36,6 +38,7 @@ class Cta
      */
     Cta(GridCtaId grid_id, unsigned launch_seq, const KernelContext &context,
         std::uint64_t seed_base = 0);
+    ~Cta();
 
     GridCtaId gridId() const { return gridId_; }
 
@@ -112,6 +115,19 @@ class Cta
      * episode was open. */
     Cycle closeExecutionEpisode(Cycle now);
 
+    // Value tracking ---------------------------------------------------------
+
+    /**
+     * Attach a functional value tracker (ref/cta_values.hh). Off by
+     * default: the timing model never reads values, so tracking is pure
+     * observation enabled only for differential/golden runs.
+     */
+    void enableValueTracking();
+
+    /** The value tracker, or nullptr when tracking is off. */
+    CtaValues *values() { return values_.get(); }
+    const CtaValues *values() const { return values_.get(); }
+
     /** Registers-in-ACRF bookkeeping handle for policies. */
     unsigned regAllocHandle = kInvalidId;
 
@@ -123,6 +139,8 @@ class Cta
     std::vector<std::unique_ptr<Warp>> warps_;
     unsigned finishedWarps_ = 0;
     unsigned barrierCount_ = 0;
+
+    std::unique_ptr<CtaValues> values_;
 
     Cycle episodeStart_ = 0;
     bool episodeOpen_ = false;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/log.hh"
+#include "ref/cta_values.hh"
 #include "verify/invariant_auditor.hh"
 #include "verify/sim_error.hh"
 #include "verify/watchdog.hh"
@@ -37,6 +38,14 @@ Gpu::Gpu(const GpuConfig &config, const Kernel &kernel,
         sms_.back()->setCtaSeedBase(config_.seed);
         sms_.back()->enableUsageTracking(config_.usageTracking);
         sms_.back()->enableStallProbe(config_.stallProbe);
+        sms_.back()->enableValueTracking(config_.trackValues);
+    }
+    if (config_.trackValues) {
+        archState_ = std::make_shared<ArchState>();
+        archState_->kernelName = kernel.name();
+        archState_->regsPerThread = kernel.regsPerThread();
+        archState_->threadsPerCta = kernel.threadsPerCta();
+        archState_->ctas.resize(kernel.gridCtas());
     }
     policy_->bind(*this);
 }
@@ -76,6 +85,13 @@ Gpu::run()
             for (Cta *cta : sm->takeFinished()) {
                 policy_->onCtaFinished(*sm, *cta, now_);
                 dispatcher_.noteCompleted();
+                // Absorb the architectural end state before the CTA (and
+                // its value tracker) is destroyed.
+                if (archState_ && cta->values()) {
+                    cta->values()->mergeGlobalInto(archState_->globalStores);
+                    archState_->ctas[cta->gridId()] =
+                        cta->values()->takeEndState();
+                }
                 sm->destroyCta(*cta);
                 retired = true;
             }

@@ -19,6 +19,7 @@
 #include "core/gpu_config.hh"
 #include "mem/mem_hierarchy.hh"
 #include "policies/policy.hh"
+#include "ref/arch_state.hh"
 #include "sm/cta_dispatcher.hh"
 #include "sm/kernel_context.hh"
 #include "sm/sm.hh"
@@ -72,6 +73,16 @@ class Gpu
     /** Active fault injector, or nullptr when fault injection is off. */
     FaultInjector *faultInjector() { return fault_.get(); }
 
+    /**
+     * The architectural end state accumulated from retired CTAs (null
+     * unless config.trackValues). CTAs that never retired — cycle cap,
+     * aborted run — stay !completed() in the returned state.
+     */
+    std::shared_ptr<const ArchState> takeArchState()
+    {
+        return std::move(archState_);
+    }
+
   private:
     GpuConfig config_;
     StatGroup stats_;
@@ -81,6 +92,7 @@ class Gpu
     CtaDispatcher dispatcher_;
     std::unique_ptr<FaultInjector> fault_;
     std::unique_ptr<Policy> policy_;
+    std::shared_ptr<ArchState> archState_;
     Cycle now_ = 0;
 
     Counter *cyclesCtr_;

@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "ref/cta_values.hh"
+#include "sm/warp_exec.hh"
 
 namespace finereg
 {
@@ -83,6 +85,8 @@ Sm::launchCta(GridCtaId grid_id, Cycle now)
     auto cta =
         std::make_unique<Cta>(grid_id, launchSeq_++, *context_, cta_seed);
     Cta *raw = cta.get();
+    if (trackValues_)
+        raw->enableValueTracking();
     ctas_.push_back(std::move(cta));
 
     shmemUsed_ += kernel.shmemPerCta();
@@ -253,6 +257,12 @@ Sm::issueInstr(Warp &warp, Cycle now)
 {
     const Instruction &instr = warp.currentInstr();
 
+    // Capture before the switch: control ops rewrite the SIMT stack.
+    const std::uint32_t active_mask = warp.activeMask();
+    CtaValues *values = warp.cta()->values();
+    if (values)
+        values->noteRetire(warp.id(), active_mask);
+
     // If a stall episode was closed by the probe, the first issue after the
     // stall opens a new one.
     warp.cta()->startExecutionEpisodeIfClosed(now);
@@ -275,6 +285,8 @@ Sm::issueInstr(Warp &warp, Cycle now)
 
     switch (funcUnitOf(instr.op)) {
       case FuncUnit::ALU:
+        if (values)
+            values->execAlu(warp.id(), active_mask, instr);
         if (instr.dst >= 0) {
             warp.scoreboard().recordWrite(
                 static_cast<RegIndex>(instr.dst), now + config_.aluLatency,
@@ -283,6 +295,8 @@ Sm::issueInstr(Warp &warp, Cycle now)
         warp.setPc(warp.pc() + kInstrBytes);
         break;
       case FuncUnit::SFU:
+        if (values)
+            values->execAlu(warp.id(), active_mask, instr);
         if (instr.dst >= 0) {
             warp.scoreboard().recordWrite(
                 static_cast<RegIndex>(instr.dst), now + config_.sfuLatency,
@@ -334,86 +348,21 @@ Sm::issueInstr(Warp &warp, Cycle now)
 void
 Sm::execBranch(Warp &warp, const Instruction &instr, Cycle now)
 {
-    const Kernel &kernel = context_->kernel();
-    const Pc target_pc = kernel.blockStartPc(instr.targetBlock);
-    const Pc fall_pc = warp.pc() + kInstrBytes;
     warp.setEarliestIssue(now + config_.branchLatency);
-
-    if (instr.isLoopBranch()) {
-        const int loop = context_->loopId(instr.index);
-        unsigned remaining = warp.loopRemaining(loop);
-        if (remaining == 0)
-            remaining = instr.tripCount; // entering the loop
-        --remaining;
-        warp.setLoopRemaining(loop, remaining);
-        warp.setPc(remaining > 0 ? target_pc : fall_pc);
-        return;
-    }
-
-    const bool can_diverge = warp.activeLanes() > 1;
-    if (can_diverge && warp.rng().chance(instr.divergeProb)) {
-        // Split the active mask into two non-empty groups.
-        const std::uint32_t mask = warp.activeMask();
-        std::uint32_t taken =
-            static_cast<std::uint32_t>(warp.rng().next()) & mask;
-        if (taken == 0 || taken == mask) {
-            // Fallback: lowest active lane takes the branch.
-            taken = mask & (~mask + 1);
-        }
+    // The architectural outcome (PC, SIMT stack, loop counters, RNG draws)
+    // is shared with the reference executor via warp_exec.
+    if (warpExecBranch(warp, instr).diverged)
         divergences_->inc();
-        warp.diverge(target_pc, taken, fall_pc,
-                     context_->reconvergencePc(instr.index));
-        return;
-    }
-
-    warp.setPc(warp.rng().chance(instr.takenProb) ? target_pc : fall_pc);
-}
-
-Addr
-Sm::generateAddress(Warp &warp, const Instruction &instr)
-{
-    const Kernel &kernel = context_->kernel();
-    const MemPattern &mp = instr.mem;
-    const int mem_id = context_->memId(instr.index);
-    const std::uint32_t k = warp.memExecCount(mem_id);
-
-    if (k > 0 && mp.reuse > 0.0 && warp.rng().chance(mp.reuse)) {
-        warp.bumpMemExecCount(mem_id);
-        return warp.lastMemAddr(mem_id);
-    }
-
-    const Addr region_base = static_cast<Addr>(mp.region) << 40;
-    const std::uint64_t total_warps =
-        std::uint64_t(kernel.gridCtas()) * kernel.warpsPerCta();
-    // Shared structures are walked identically by every warp; private
-    // data is partitioned into per-warp slices.
-    const std::uint64_t warp_index =
-        mp.shared ? 0
-                  : std::uint64_t(warp.cta()->gridId()) *
-                            kernel.warpsPerCta() +
-                        warp.id();
-    std::uint64_t slice =
-        mp.shared ? 0
-                  : mp.footprint / std::max<std::uint64_t>(total_warps, 1);
-    slice = mp.shared ? 0
-                      : std::max<std::uint64_t>(slice & ~std::uint64_t(127),
-                                                128);
-
-    std::uint64_t offset =
-        (warp_index * slice + std::uint64_t(k) * mp.stride) % mp.footprint;
-    offset &= ~std::uint64_t(127);
-
-    const Addr addr = region_base + offset;
-    warp.setLastMemAddr(mem_id, addr);
-    warp.bumpMemExecCount(mem_id);
-    return addr;
 }
 
 void
 Sm::execMemory(Warp &warp, const Instruction &instr, Cycle now)
 {
+    CtaValues *values = warp.cta()->values();
     if (!isGlobalMemory(instr.op)) {
         sharedAccesses_->inc();
+        if (values)
+            values->execShared(warp.id(), warp.activeMask(), instr);
         if (isLoad(instr.op) && instr.dst >= 0) {
             warp.scoreboard().recordWrite(
                 static_cast<RegIndex>(instr.dst),
@@ -423,7 +372,9 @@ Sm::execMemory(Warp &warp, const Instruction &instr, Cycle now)
     }
 
     ++memIssuedThisCycle_;
-    const Addr addr = generateAddress(warp, instr);
+    const Addr addr = warpGenerateAddress(warp, instr);
+    if (values)
+        values->execGlobal(warp.id(), warp.activeMask(), instr, addr);
 
     // Scale the transaction count by the active-lane fraction.
     const unsigned lanes = warp.activeLanes();

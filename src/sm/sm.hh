@@ -149,6 +149,10 @@ class Sm
     /** Enable the Table III stall-episode probe. */
     void enableStallProbe(bool on) { stallProbe_ = on; }
 
+    /** Attach functional value trackers to CTAs launched from now on
+     * (differential/golden end-state capture; no timing effect). */
+    void enableValueTracking(bool on) { trackValues_ = on; }
+
     std::uint64_t issuedInstrs() const { return issuedTotal_; }
 
     /** Issued during the most recent tick. */
@@ -162,7 +166,6 @@ class Sm
     void execBranch(Warp &warp, const Instruction &instr, Cycle now);
     void execMemory(Warp &warp, const Instruction &instr, Cycle now);
     void execExit(Warp &warp, Cycle now);
-    Addr generateAddress(Warp &warp, const Instruction &instr);
     void finishWarp(Warp &warp, Cycle now);
     void addWarpToSchedulers(Cta &cta);
     void removeWarpFromSchedulers(Cta &cta);
@@ -198,6 +201,7 @@ class Sm
     std::uint64_t windowIssued_ = 0;
 
     bool stallProbe_ = false;
+    bool trackValues_ = false;
 
     Counter *issuedCtr_;
     Counter *rfReads_;

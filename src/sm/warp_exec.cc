@@ -1,0 +1,90 @@
+#include "sm/warp_exec.hh"
+
+#include <algorithm>
+
+#include "sm/cta.hh"
+#include "sm/kernel_context.hh"
+
+namespace finereg
+{
+
+BranchOutcome
+warpExecBranch(Warp &warp, const Instruction &instr)
+{
+    const KernelContext &context = warp.context();
+    const Kernel &kernel = context.kernel();
+    const Pc target_pc = kernel.blockStartPc(instr.targetBlock);
+    const Pc fall_pc = warp.pc() + kInstrBytes;
+
+    if (instr.isLoopBranch()) {
+        const int loop = context.loopId(instr.index);
+        unsigned remaining = warp.loopRemaining(loop);
+        if (remaining == 0)
+            remaining = instr.tripCount; // entering the loop
+        --remaining;
+        warp.setLoopRemaining(loop, remaining);
+        warp.setPc(remaining > 0 ? target_pc : fall_pc);
+        return {};
+    }
+
+    const bool can_diverge = warp.activeLanes() > 1;
+    if (can_diverge && warp.rng().chance(instr.divergeProb)) {
+        // Split the active mask into two non-empty groups.
+        const std::uint32_t mask = warp.activeMask();
+        std::uint32_t taken =
+            static_cast<std::uint32_t>(warp.rng().next()) & mask;
+        if (taken == 0 || taken == mask) {
+            // Fallback: lowest active lane takes the branch.
+            taken = mask & (~mask + 1);
+        }
+        warp.diverge(target_pc, taken, fall_pc,
+                     context.reconvergencePc(instr.index));
+        return {.diverged = true};
+    }
+
+    warp.setPc(warp.rng().chance(instr.takenProb) ? target_pc : fall_pc);
+    return {};
+}
+
+Addr
+warpGenerateAddress(Warp &warp, const Instruction &instr)
+{
+    const KernelContext &context = warp.context();
+    const Kernel &kernel = context.kernel();
+    const MemPattern &mp = instr.mem;
+    const int mem_id = context.memId(instr.index);
+    const std::uint32_t k = warp.memExecCount(mem_id);
+
+    if (k > 0 && mp.reuse > 0.0 && warp.rng().chance(mp.reuse)) {
+        warp.bumpMemExecCount(mem_id);
+        return warp.lastMemAddr(mem_id);
+    }
+
+    const Addr region_base = static_cast<Addr>(mp.region) << 40;
+    const std::uint64_t total_warps =
+        std::uint64_t(kernel.gridCtas()) * kernel.warpsPerCta();
+    // Shared structures are walked identically by every warp; private
+    // data is partitioned into per-warp slices.
+    const std::uint64_t warp_index =
+        mp.shared ? 0
+                  : std::uint64_t(warp.cta()->gridId()) *
+                            kernel.warpsPerCta() +
+                        warp.id();
+    std::uint64_t slice =
+        mp.shared ? 0
+                  : mp.footprint / std::max<std::uint64_t>(total_warps, 1);
+    slice = mp.shared ? 0
+                      : std::max<std::uint64_t>(slice & ~std::uint64_t(127),
+                                                128);
+
+    std::uint64_t offset =
+        (warp_index * slice + std::uint64_t(k) * mp.stride) % mp.footprint;
+    offset &= ~std::uint64_t(127);
+
+    const Addr addr = region_base + offset;
+    warp.setLastMemAddr(mem_id, addr);
+    warp.bumpMemExecCount(mem_id);
+    return addr;
+}
+
+} // namespace finereg

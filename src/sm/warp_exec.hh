@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Architectural warp execution semantics shared by the cycle-level SM and
+ * the untimed reference executor (src/ref). The executed instruction stream
+ * of a warp is a pure function of (kernel, warp seed): branch outcomes,
+ * divergence masks, and memory addresses are drawn from the warp's private
+ * RNG in a fixed order. Both executors MUST consume that stream through
+ * these functions — any extra or missing draw desynchronizes the paths and
+ * every differential comparison becomes meaningless.
+ */
+
+#ifndef FINEREG_SM_WARP_EXEC_HH
+#define FINEREG_SM_WARP_EXEC_HH
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+#include "sm/warp.hh"
+
+namespace finereg
+{
+
+struct BranchOutcome
+{
+    /** The branch split the active mask (SIMT divergence). */
+    bool diverged = false;
+};
+
+/**
+ * Execute a BRA architecturally: update the warp's PC / SIMT stack / loop
+ * counters and consume the warp RNG exactly as the issue stage does.
+ * Timing side effects (branch latency) are the caller's business.
+ */
+BranchOutcome warpExecBranch(Warp &warp, const Instruction &instr);
+
+/**
+ * Deterministic warp address for a global memory instruction: the pattern
+ * descriptor plus the warp's per-instruction execution count and reuse
+ * draws yield a 128-byte-aligned base address. Advances the warp's
+ * per-instruction memory state (and possibly its RNG).
+ */
+Addr warpGenerateAddress(Warp &warp, const Instruction &instr);
+
+} // namespace finereg
+
+#endif // FINEREG_SM_WARP_EXEC_HH

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Differential-oracle tests: compare() unit semantics (including poison
+ * exclusion), generated kernels matching the reference under every policy,
+ * the PCRF round-trip properties, and the headline acceptance check — a
+ * deliberately broken liveness mask must be caught and minimized to a
+ * counterexample of at most 10 instructions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/simulator.hh"
+#include "ref/diff_oracle.hh"
+#include "ref/kernel_gen.hh"
+#include "ref/ref_executor.hh"
+#include "sm/gpu.hh"
+#include "workloads/suite.hh"
+
+namespace finereg
+{
+namespace
+{
+
+/** Small GPU with a skewed ACRF/PCRF split: maximal CTA-switch pressure. */
+GpuConfig
+pressureConfig()
+{
+    GpuConfig config = GpuConfig::gtx980();
+    config.numSms = 1;
+    config.policy.acrfBytes = 64 * 1024;
+    config.policy.pcrfBytes = 192 * 1024;
+    return config;
+}
+
+ArchState
+twoThreadState()
+{
+    ArchState s;
+    s.kernelName = "synthetic";
+    s.regsPerThread = 2;
+    s.threadsPerCta = 32;
+    s.ctas.resize(1);
+    s.ctas[0].threads.resize(32);
+    for (auto &t : s.ctas[0].threads) {
+        t.regs = {1, 2};
+        t.retired = 5;
+    }
+    return s;
+}
+
+TEST(DiffOracleCompare, IdenticalStatesMatch)
+{
+    const ArchState a = twoThreadState();
+    const ArchState b = twoThreadState();
+    EXPECT_FALSE(DiffOracle::compare(a, b).any());
+}
+
+TEST(DiffOracleCompare, FlagsFirstRegisterDivergence)
+{
+    const ArchState ref = twoThreadState();
+    ArchState sim = twoThreadState();
+    sim.ctas[0].threads[3].regs[1] = 99;
+
+    const Divergence d = DiffOracle::compare(ref, sim);
+    ASSERT_EQ(d.kind, Divergence::Kind::RegValue);
+    EXPECT_EQ(d.cta, 0u);
+    EXPECT_EQ(d.thread, 3u);
+    EXPECT_EQ(d.reg, 1);
+    EXPECT_EQ(d.refValue, 2u);
+    EXPECT_EQ(d.simValue, 99u);
+    EXPECT_NE(d.toString().find("thread=3"), std::string::npos);
+}
+
+TEST(DiffOracleCompare, PoisonedRegistersAreExcluded)
+{
+    const ArchState ref = twoThreadState();
+    ArchState sim = twoThreadState();
+    sim.ctas[0].threads[3].regs[1] = 99;
+    sim.ctas[0].threads[3].poison = 1ull << 1; // dropped as dead: legal
+    EXPECT_FALSE(DiffOracle::compare(ref, sim).any());
+
+    // But poison on the *sim* side never hides a retired-count mismatch.
+    sim.ctas[0].threads[3].retired = 4;
+    EXPECT_EQ(DiffOracle::compare(ref, sim).kind,
+              Divergence::Kind::RetiredCount);
+}
+
+TEST(DiffOracleCompare, FlagsStoreImageDivergence)
+{
+    ArchState ref = twoThreadState();
+    ArchState sim = twoThreadState();
+    ref.globalStores[0x1000] = 7;
+    sim.globalStores[0x1000] = 8;
+    EXPECT_EQ(DiffOracle::compare(ref, sim).kind,
+              Divergence::Kind::GlobalMem);
+
+    sim.globalStores[0x1000] = 7;
+    sim.ctas[0].sharedStores[16] = 1; // word absent from the reference
+    const Divergence d = DiffOracle::compare(ref, sim);
+    EXPECT_EQ(d.kind, Divergence::Kind::SharedMem);
+    EXPECT_EQ(d.addr, 16u);
+}
+
+TEST(DiffOracleCompare, FlagsShapeMismatch)
+{
+    const ArchState ref = twoThreadState();
+    ArchState sim = twoThreadState();
+    sim.ctas.emplace_back();
+    EXPECT_EQ(DiffOracle::compare(ref, sim).kind, Divergence::Kind::Shape);
+}
+
+/** Print the seed and a replay command when a generated case fails. */
+void
+reportCase(std::uint64_t seed)
+{
+    std::fprintf(stderr,
+                 "differential case failed: seed=0x%llx\n"
+                 "repro: tools/finereg_diff --case-seed 0x%llx --sms 1 "
+                 "--acrf 64 --pcrf 192\n",
+                 static_cast<unsigned long long>(seed),
+                 static_cast<unsigned long long>(seed));
+}
+
+TEST(DiffOracle, GeneratedKernelsMatchUnderEveryPolicy)
+{
+    const GpuConfig config = pressureConfig();
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        const KernelSpec spec = generateKernelSpec(seed);
+        const auto kernel = spec.build();
+        const DiffOracle::Report report =
+            DiffOracle::checkAllPolicies(*kernel, config);
+        EXPECT_EQ(report.results.size(), 5u);
+        if (!report.pass())
+            reportCase(seed);
+        ASSERT_TRUE(report.pass())
+            << spec.describe() << "\n" << report.toString();
+    }
+}
+
+TEST(DiffOracle, SuiteWorkloadMatchesUnderFineReg)
+{
+    // One real Table II app (scaled down) through the oracle, exercising
+    // barriers and shared memory on top of the generated coverage.
+    const auto &entry = Suite::byName("NW");
+    const auto kernel = Suite::makeKernel(entry, 0.01);
+    const DiffOracle::Report report = DiffOracle::checkAllPolicies(
+        *kernel, pressureConfig(),
+        {PolicyKind::Baseline, PolicyKind::FineReg});
+    ASSERT_TRUE(report.pass()) << report.toString();
+}
+
+// PCRF round-trip properties (ISSUE satellite): a swap out and back in
+// through the PCRF must be bit-exact for registers that are live, and may
+// only differ (poison) on registers liveness proved dead.
+
+TEST(PcrfRoundTrip, AllLiveKernelIsBitExact)
+{
+    // observeAllRegs folds every register into the stored result, so all
+    // registers stay live until the epilogue: FineReg must preserve every
+    // one bit-exactly, with no poison at all.
+    GpuConfig config = pressureConfig();
+    config.policy.kind = PolicyKind::FineReg;
+    config.trackValues = true;
+
+    GenOptions gen;
+    gen.observeAllRegs = true;
+
+    bool any_swapped = false;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const KernelSpec spec = generateKernelSpec(seed, gen);
+        const auto kernel = spec.build();
+
+        Gpu gpu(config, *kernel);
+        const auto run = gpu.run();
+        ASSERT_FALSE(run.hitCycleLimit) << spec.describe();
+        any_swapped = any_swapped ||
+                      gpu.stats().counterValue("pcrf.stored_ctas") > 0;
+
+        const auto sim = gpu.takeArchState();
+        ASSERT_NE(sim, nullptr);
+        for (const CtaEndState &cta : sim->ctas) {
+            for (const ThreadEndState &t : cta.threads)
+                ASSERT_EQ(t.poison, 0u) << spec.describe();
+        }
+        const ArchState ref = RefExecutor::execute(*kernel, config.seed);
+        const Divergence d = DiffOracle::compare(ref, *sim);
+        ASSERT_FALSE(d.any()) << spec.describe() << "\n" << d.toString();
+    }
+    // The property is vacuous if nothing was ever swapped out.
+    EXPECT_TRUE(any_swapped)
+        << "no CTA was ever stored to the PCRF: raise the pressure";
+}
+
+TEST(PcrfRoundTrip, DeadRegistersMayOnlyDifferWherePoisoned)
+{
+    // With a sparse observe set most registers die early; FineReg may drop
+    // them (poison), but every unpoisoned register must still match the
+    // reference exactly — compare() would flag anything else.
+    GpuConfig config = pressureConfig();
+    config.policy.kind = PolicyKind::FineReg;
+    config.trackValues = true;
+
+    bool any_poison = false;
+    for (std::uint64_t seed = 11; seed <= 18; ++seed) {
+        const KernelSpec spec = generateKernelSpec(seed);
+        const auto kernel = spec.build();
+
+        const SimResult run = Simulator::run(config, *kernel);
+        ASSERT_FALSE(run.failed) << run.failureReason;
+        ASSERT_NE(run.archState, nullptr);
+
+        for (const CtaEndState &cta : run.archState->ctas) {
+            for (const ThreadEndState &t : cta.threads)
+                any_poison = any_poison || t.poison != 0;
+        }
+        const ArchState ref = RefExecutor::execute(*kernel, config.seed);
+        const Divergence d = DiffOracle::compare(ref, *run.archState);
+        ASSERT_FALSE(d.any()) << spec.describe() << "\n" << d.toString();
+    }
+    // At least one run must have exercised the dead-drop path, or the
+    // poison exclusion in compare() is untested.
+    EXPECT_TRUE(any_poison)
+        << "no register was ever dropped as dead: raise the pressure";
+}
+
+// Acceptance check from ISSUE.md: break the liveness mask on purpose and
+// require the oracle to (a) catch it and (b) shrink the counterexample to
+// at most 10 static instructions.
+
+TEST(BrokenLiveness, IsCaughtAndMinimizedToTenInstructions)
+{
+    GpuConfig config = pressureConfig();
+    config.policy.dropLiveReg = 1; // every gathered mask loses R1
+
+    GenOptions gen;
+    gen.observeAllRegs = true;
+
+    const std::vector<PolicyKind> policies{PolicyKind::FineReg};
+
+    std::uint64_t bad_seed = 0;
+    bool caught = false;
+    for (std::uint64_t seed = 1; seed <= 40 && !caught; ++seed) {
+        const KernelSpec spec = generateKernelSpec(seed, gen);
+        const auto kernel = spec.build();
+        if (!DiffOracle::checkAllPolicies(*kernel, config, policies)
+                 .pass()) {
+            caught = true;
+            bad_seed = seed;
+        }
+    }
+    ASSERT_TRUE(caught)
+        << "the deliberately broken liveness mask was never detected";
+
+    const auto reproduces = [&](const KernelSpec &cand) {
+        const auto kernel = cand.build();
+        return !DiffOracle::checkAllPolicies(*kernel, config, policies)
+                    .pass();
+    };
+    const KernelSpec minimized =
+        minimizeSpec(generateKernelSpec(bad_seed, gen), reproduces, 150);
+
+    ASSERT_TRUE(reproduces(minimized)) << minimized.describe();
+    EXPECT_LE(minimized.instrCount(), 10u) << minimized.describe();
+}
+
+} // namespace
+} // namespace finereg

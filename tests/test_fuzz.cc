@@ -15,12 +15,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "common/rng.hh"
 #include "compiler/cfg_analysis.hh"
 #include "compiler/liveness.hh"
 #include "core/experiment.hh"
 #include "isa/kernel_builder.hh"
 #include "policies/finereg_policy.hh"
+#include "ref/diff_oracle.hh"
 #include "sm/gpu.hh"
 
 namespace finereg
@@ -146,6 +149,29 @@ useSetOf(const Instruction &instr)
 
 class FuzzKernel : public ::testing::TestWithParam<std::uint64_t>
 {
+  protected:
+    /**
+     * Make failures replayable: print the generator seed, the offending
+     * kernel, and a one-line repro command to stderr, so a red CI run can
+     * be reproduced without bisecting the whole seed range.
+     */
+    void
+    TearDown() override
+    {
+        if (!HasFailure())
+            return;
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        const auto kernel = randomKernel(GetParam());
+        std::fprintf(stderr,
+                     "fuzz failure: seed=%llu kernel=%s (%u instrs, %zu "
+                     "blocks)\n%srepro: finereg_tests "
+                     "--gtest_filter='%s.%s'\n",
+                     static_cast<unsigned long long>(GetParam()),
+                     kernel->name().c_str(), kernel->staticInstrs(),
+                     kernel->blocks().size(), kernel->toString().c_str(),
+                     info->test_suite_name(), info->name());
+    }
 };
 
 TEST_P(FuzzKernel, LivenessSatisfiesDataflowEquations)
@@ -229,6 +255,19 @@ TEST_P(FuzzKernel, EveryPolicyCompletesDeterministically)
         ASSERT_EQ(a.cycles, b.cycles) << policyKindName(kind);
         ASSERT_EQ(a.instructions, b.instructions) << policyKindName(kind);
     }
+}
+
+TEST_P(FuzzKernel, EndStateMatchesTheReference)
+{
+    // The independent fuzz generator (barriers mid-loop, mismatched
+    // pattern/opcode combinations) also goes through the differential
+    // oracle, complementing ref/kernel_gen's coverage.
+    const auto kernel = randomKernel(GetParam());
+    GpuConfig config = GpuConfig::gtx980();
+    config.numSms = 2;
+    config.maxCycles = 5'000'000;
+    const auto report = DiffOracle::checkAllPolicies(*kernel, config);
+    ASSERT_TRUE(report.pass()) << report.toString();
 }
 
 TEST_P(FuzzKernel, FineRegLeavesNoResidue)

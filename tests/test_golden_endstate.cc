@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Golden end-state snapshots: the architectural end state (register values,
+ * store images, retired counts) of every Table II workload under the
+ * baseline policy is pinned by fingerprint in tests/golden/. Any change to
+ * execution semantics — ISA interpretation, RNG draw order, address
+ * generation, value tracking — shows up as a fingerprint mismatch here
+ * before it can silently shift the differential oracle's ground truth.
+ *
+ * Regenerate intentionally with:  UPDATE_GOLDEN=1 ./finereg_tests \
+ *     --gtest_filter='GoldenEndState.*'
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/simulator.hh"
+#include "ref/arch_state.hh"
+#include "workloads/suite.hh"
+
+#ifndef FINEREG_GOLDEN_DIR
+#error "FINEREG_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace finereg
+{
+namespace
+{
+
+constexpr double kScale = 0.02;
+
+GpuConfig
+goldenConfig()
+{
+    GpuConfig config = GpuConfig::gtx980();
+    config.numSms = 2;
+    config.policy.kind = PolicyKind::Baseline;
+    config.trackValues = true;
+    return config;
+}
+
+std::string
+goldenPath(const std::string &abbrev)
+{
+    return std::string(FINEREG_GOLDEN_DIR) + "/" + abbrev + ".golden";
+}
+
+/** Read the pinned fingerprint; 0 when the file is missing/unparsable. */
+std::uint64_t
+readGolden(const std::string &path)
+{
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream iss(line);
+        std::string key;
+        if (iss >> key && key == "fingerprint") {
+            std::string value;
+            iss >> value;
+            return std::strtoull(value.c_str(), nullptr, 0);
+        }
+    }
+    return 0;
+}
+
+void
+writeGolden(const std::string &path, const SuiteEntry &entry,
+            const ArchState &state)
+{
+    std::ofstream out(path);
+    out << "# golden end state: " << entry.abbrev
+        << " policy=baseline scale=" << kScale << " sms=2 seed=0x5eedf00d\n"
+        << "# " << state.summary() << "\n"
+        << "fingerprint 0x" << std::hex << state.fingerprint() << "\n";
+}
+
+TEST(GoldenEndState, EveryWorkloadMatchesItsSnapshot)
+{
+    const bool update = std::getenv("UPDATE_GOLDEN") != nullptr;
+    const GpuConfig config = goldenConfig();
+
+    for (const SuiteEntry &entry : Suite::all()) {
+        const auto kernel = Suite::makeKernel(entry, kScale);
+        const SimResult result = Simulator::run(config, *kernel);
+        ASSERT_FALSE(result.failed)
+            << entry.abbrev << ": " << result.failureReason;
+        ASSERT_FALSE(result.hitCycleLimit) << entry.abbrev;
+        ASSERT_NE(result.archState, nullptr) << entry.abbrev;
+
+        const std::string path = goldenPath(entry.abbrev);
+        if (update) {
+            writeGolden(path, entry, *result.archState);
+            continue;
+        }
+        const std::uint64_t pinned = readGolden(path);
+        ASSERT_NE(pinned, 0u)
+            << "missing golden snapshot " << path
+            << " — run with UPDATE_GOLDEN=1 to create it";
+        EXPECT_EQ(result.archState->fingerprint(), pinned)
+            << entry.abbrev << ": end state changed ("
+            << result.archState->summary()
+            << "); if intentional, regenerate with UPDATE_GOLDEN=1";
+    }
+}
+
+} // namespace
+} // namespace finereg

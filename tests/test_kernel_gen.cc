@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Property tests for the random-kernel generator and its greedy shrinker:
+ * every generated spec builds a valid kernel, generation is deterministic
+ * in the seed, every shrink candidate is both valid and strictly simpler,
+ * and minimization converges to a local minimum of the predicate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ref/kernel_gen.hh"
+
+namespace finereg
+{
+namespace
+{
+
+TEST(KernelGen, IsDeterministicInTheSeed)
+{
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        const KernelSpec a = generateKernelSpec(seed);
+        const KernelSpec b = generateKernelSpec(seed);
+        EXPECT_EQ(a.describe(), b.describe());
+    }
+    EXPECT_NE(generateKernelSpec(1).describe(),
+              generateKernelSpec(2).describe());
+}
+
+TEST(KernelGen, EverySpecBuildsAValidKernel)
+{
+    for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+        const KernelSpec spec = generateKernelSpec(seed);
+        const auto kernel = spec.build(); // finalize() validates or dies
+        ASSERT_NE(kernel, nullptr);
+        EXPECT_GT(kernel->staticInstrs(), 0u) << spec.describe();
+        EXPECT_EQ(kernel->regsPerThread(), spec.regs);
+        EXPECT_EQ(kernel->threadsPerCta(), spec.threads);
+        EXPECT_EQ(kernel->gridCtas(), spec.grid);
+        // The observability epilogue always ends in a global store + EXIT.
+        const auto &instrs = kernel->instrs();
+        EXPECT_EQ(instrs.back().op, Opcode::EXIT);
+        bool has_store = false;
+        for (const auto &instr : instrs)
+            has_store = has_store || instr.op == Opcode::ST_GLOBAL;
+        EXPECT_TRUE(has_store) << spec.describe();
+    }
+}
+
+TEST(KernelGen, ObserveAllRegsFoldsEveryRegister)
+{
+    GenOptions gen;
+    gen.observeAllRegs = true;
+    const KernelSpec spec = generateKernelSpec(5, gen);
+    EXPECT_EQ(spec.observeRegs.size(), spec.regs);
+    const auto kernel = spec.build();
+    // Folding all N regs into R0 appends N-1 IADDs before the store.
+    unsigned folds = 0;
+    for (const auto &instr : kernel->instrs()) {
+        if (instr.op == Opcode::IADD && instr.dst == 0 &&
+            instr.srcs[0] == 0)
+            ++folds;
+    }
+    EXPECT_GE(folds, spec.regs - 1);
+}
+
+TEST(KernelGen, ShrinkCandidatesAreValidAndSimpler)
+{
+    for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+        const KernelSpec spec = generateKernelSpec(seed);
+        const unsigned base_instrs = spec.instrCount();
+        const auto candidates = shrinkCandidates(spec);
+        ASSERT_FALSE(candidates.empty()) << spec.describe();
+        for (const KernelSpec &cand : candidates) {
+            const auto kernel = cand.build();
+            ASSERT_NE(kernel, nullptr) << cand.describe();
+            // Simpler: fewer instructions, or a smaller launch.
+            const bool simpler =
+                cand.instrCount() < base_instrs ||
+                cand.grid < spec.grid || cand.threads < spec.threads ||
+                cand.regs < spec.regs || cand.shmem < spec.shmem ||
+                cand.segments.size() < spec.segments.size();
+            bool trips_shrunk = false;
+            for (std::size_t i = 0; i < cand.segments.size() &&
+                                    i < spec.segments.size();
+                 ++i) {
+                trips_shrunk = trips_shrunk ||
+                               cand.segments[i].trips <
+                                   spec.segments[i].trips;
+            }
+            EXPECT_TRUE(simpler || trips_shrunk)
+                << spec.describe() << " -> " << cand.describe();
+        }
+    }
+}
+
+TEST(KernelGen, MinimizeConvergesToPredicateLocalMinimum)
+{
+    // Predicate: the kernel launches at least 3 CTAs. The minimum under
+    // shrinking is a tiny spec whose grid can no longer halve.
+    const auto predicate = [](const KernelSpec &spec) {
+        return spec.grid >= 3;
+    };
+    const KernelSpec minimized =
+        minimizeSpec(generateKernelSpec(9), predicate, 500);
+    EXPECT_TRUE(predicate(minimized));
+    // No candidate still satisfies it.
+    for (const KernelSpec &cand : shrinkCandidates(minimized))
+        EXPECT_FALSE(predicate(cand)) << cand.describe();
+    // And everything unrelated to the predicate has been stripped away.
+    EXPECT_EQ(minimized.segments.size(), 1u);
+    EXPECT_EQ(minimized.regs, 4u);
+}
+
+TEST(KernelGen, MinimizeRespectsTheBudget)
+{
+    unsigned calls = 0;
+    const auto counting = [&](const KernelSpec &) {
+        ++calls;
+        return false; // nothing reproduces: must stop after one sweep
+    };
+    const KernelSpec spec = generateKernelSpec(3);
+    const KernelSpec out = minimizeSpec(spec, counting, 5);
+    EXPECT_LE(calls, 5u);
+    EXPECT_EQ(out.describe(), spec.describe());
+}
+
+} // namespace
+} // namespace finereg

@@ -13,6 +13,8 @@
 #include "core/cli_options.hh"
 #include "core/experiment.hh"
 #include "core/parallel_runner.hh"
+#include "ref/diff_oracle.hh"
+#include "ref/ref_executor.hh"
 #include "workloads/suite.hh"
 
 using namespace finereg;
@@ -34,6 +36,79 @@ printSuite()
                       std::to_string(app.params.gridCtas)});
     }
     std::printf("%s", table.render().c_str());
+}
+
+/**
+ * --diff-check: run every selected (app, policy) pair with value tracking
+ * and diff the architectural end state against the reference executor
+ * instead of reporting performance.
+ */
+int
+runDiffCheck(const CliOptions &options)
+{
+    std::vector<std::string> apps = options.apps;
+    if (apps.empty()) {
+        for (const auto &app : Suite::all())
+            apps.push_back(app.abbrev);
+    }
+
+    // Reference-execute each kernel once, then fan the (app, policy)
+    // matrix across the runner; each job records its divergence slot.
+    std::vector<std::unique_ptr<Kernel>> kernels;
+    std::vector<ArchState> refs;
+    kernels.reserve(apps.size());
+    refs.reserve(apps.size());
+    for (const std::string &app : apps) {
+        kernels.push_back(
+            Suite::makeKernel(Suite::byName(app), options.gridScale));
+        refs.push_back(
+            RefExecutor::execute(*kernels.back(), options.config.seed));
+    }
+
+    std::vector<Divergence> divs(apps.size() * options.policies.size());
+    std::vector<ParallelRunner::Job> matrix;
+    matrix.reserve(divs.size());
+    std::size_t idx = 0;
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        for (const PolicyKind kind : options.policies) {
+            matrix.push_back([idx, a, kind, &divs, &kernels, &refs,
+                              &options] {
+                divs[idx] = DiffOracle::checkPolicy(
+                    *kernels[a], options.config, kind, refs[a]);
+                SimResult summary;
+                summary.kernelName = kernels[a]->name();
+                summary.failed = divs[idx].any();
+                return summary;
+            });
+            ++idx;
+        }
+    }
+
+    ParallelRunner runner({.jobs = options.jobs, .failFast = false});
+    std::fprintf(stderr, "info: diff-checking %zu runs with %u jobs\n",
+                 matrix.size(), ParallelRunner::resolveJobs(options.jobs));
+    runner.run(std::move(matrix));
+
+    bool any_diverged = false;
+    idx = 0;
+    for (const std::string &app : apps) {
+        for (const PolicyKind kind : options.policies) {
+            const Divergence &d = divs[idx++];
+            if (d.any()) {
+                any_diverged = true;
+                std::fprintf(stderr, "FAIL %s/%s: %s\n", app.c_str(),
+                             policyKindName(kind), d.toString().c_str());
+            } else {
+                std::printf("ok   %s/%s\n", app.c_str(),
+                            policyKindName(kind));
+            }
+        }
+    }
+    if (!any_diverged) {
+        std::printf("diff-check: %zu runs match the reference end state\n",
+                    divs.size());
+    }
+    return any_diverged ? 1 : 0;
 }
 
 int
@@ -154,5 +229,7 @@ main(int argc, char **argv)
         return 0;
     }
     setVerbose(options.verbose);
+    if (options.diffCheck)
+        return runDiffCheck(options);
     return run(options);
 }
