@@ -1,0 +1,223 @@
+#include "analysis/diagnostics.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace finereg::analysis
+{
+
+std::string_view
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+std::string_view
+diagKindName(DiagKind kind)
+{
+    switch (kind) {
+      case DiagKind::EmptyBlock: return "empty-block";
+      case DiagKind::BlockExtentCorrupt: return "block-extent-corrupt";
+      case DiagKind::TerminatorMidBlock: return "terminator-mid-block";
+      case DiagKind::BranchTargetOutOfRange:
+        return "branch-target-out-of-range";
+      case DiagKind::FallThroughOffEnd: return "fall-through-off-end";
+      case DiagKind::NoExit: return "no-exit";
+      case DiagKind::UnreachableBlock: return "unreachable-block";
+      case DiagKind::NoPathToExit: return "no-path-to-exit";
+      case DiagKind::CfgEdgesInconsistent: return "cfg-edges-inconsistent";
+      case DiagKind::RegisterOutOfRange: return "register-out-of-range";
+      case DiagKind::UseBeforeDef: return "use-before-def";
+      case DiagKind::UseNeverDefined: return "use-never-defined";
+      case DiagKind::LivenessUnsound: return "liveness-unsound";
+      case DiagKind::LivenessOverApprox: return "liveness-over-approx";
+      case DiagKind::DeadDef: return "dead-def";
+      case DiagKind::ReconvergenceMismatch: return "reconvergence-mismatch";
+      case DiagKind::SharedOpWithoutShmem: return "shared-op-without-shmem";
+      case DiagKind::SharedFootprintExceedsShmem:
+        return "shared-footprint-exceeds-shmem";
+      case DiagKind::SharedBankConflict: return "shared-bank-conflict";
+      case DiagKind::SharedTransactionsIgnored:
+        return "shared-transactions-ignored";
+    }
+    return "?";
+}
+
+Severity
+defaultSeverity(DiagKind kind)
+{
+    switch (kind) {
+      case DiagKind::UseBeforeDef:
+      case DiagKind::UseNeverDefined:
+      case DiagKind::LivenessOverApprox:
+      case DiagKind::SharedOpWithoutShmem:
+      case DiagKind::SharedFootprintExceedsShmem:
+      case DiagKind::SharedBankConflict:
+      case DiagKind::SharedTransactionsIgnored:
+        return Severity::Warning;
+      case DiagKind::DeadDef:
+        return Severity::Note;
+      default:
+        return Severity::Error;
+    }
+}
+
+std::string
+Diagnostic::location() const
+{
+    std::ostringstream oss;
+    oss << kernel;
+    if (block >= 0)
+        oss << ":B" << block;
+    if (instr >= 0) {
+        oss << ":I" << instr << "(pc=0x" << std::hex << pc() << std::dec
+            << ")";
+    }
+    return oss.str();
+}
+
+std::string
+Diagnostic::toString() const
+{
+    std::ostringstream oss;
+    oss << severityName(severity) << ": " << location() << ": ["
+        << diagKindName(kind) << "] " << message;
+    if (reg >= 0)
+        oss << " (R" << reg << ")";
+    return oss.str();
+}
+
+Diagnostic &
+DiagnosticSet::add(DiagKind kind, std::string kernel, int block, int instr,
+                   int reg, std::string message)
+{
+    Diagnostic diag;
+    diag.kind = kind;
+    diag.severity = defaultSeverity(kind);
+    diag.kernel = std::move(kernel);
+    diag.block = block;
+    diag.instr = instr;
+    diag.reg = reg;
+    diag.message = std::move(message);
+    return add(std::move(diag));
+}
+
+Diagnostic &
+DiagnosticSet::add(Diagnostic diag)
+{
+    diags_.push_back(std::move(diag));
+    return diags_.back();
+}
+
+void
+DiagnosticSet::append(const DiagnosticSet &other)
+{
+    append(other.diags_);
+}
+
+void
+DiagnosticSet::append(const std::vector<Diagnostic> &diags)
+{
+    diags_.insert(diags_.end(), diags.begin(), diags.end());
+}
+
+unsigned
+DiagnosticSet::count(Severity severity) const
+{
+    unsigned n = 0;
+    for (const Diagnostic &diag : diags_)
+        n += diag.severity == severity ? 1 : 0;
+    return n;
+}
+
+bool
+DiagnosticSet::has(DiagKind kind) const
+{
+    return find(kind) != nullptr;
+}
+
+const Diagnostic *
+DiagnosticSet::find(DiagKind kind) const
+{
+    for (const Diagnostic &diag : diags_) {
+        if (diag.kind == kind)
+            return &diag;
+    }
+    return nullptr;
+}
+
+std::string
+DiagnosticSet::renderText(unsigned max_lines) const
+{
+    // Errors first, then warnings, then notes; stable within a severity so
+    // the order tracks program order.
+    std::vector<const Diagnostic *> order;
+    order.reserve(diags_.size());
+    for (const Diagnostic &diag : diags_)
+        order.push_back(&diag);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const Diagnostic *a, const Diagnostic *b) {
+                         return static_cast<int>(a->severity) >
+                                static_cast<int>(b->severity);
+                     });
+
+    std::ostringstream oss;
+    unsigned emitted = 0;
+    for (const Diagnostic *diag : order) {
+        if (max_lines > 0 && emitted == max_lines) {
+            oss << "  ... " << (order.size() - emitted)
+                << " more diagnostics suppressed\n";
+            break;
+        }
+        oss << "  " << diag->toString() << '\n';
+        ++emitted;
+    }
+    return oss.str();
+}
+
+namespace
+{
+
+void
+jsonEscape(std::ostream &os, const std::string &text)
+{
+    for (const char c : text) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default: os << c; break;
+        }
+    }
+}
+
+} // namespace
+
+void
+DiagnosticSet::renderJson(std::ostream &os) const
+{
+    os << '[';
+    for (std::size_t i = 0; i < diags_.size(); ++i) {
+        const Diagnostic &diag = diags_[i];
+        if (i)
+            os << ',';
+        os << "{\"kind\":\"" << diagKindName(diag.kind) << "\",\"severity\":\""
+           << severityName(diag.severity) << "\",\"kernel\":\"";
+        jsonEscape(os, diag.kernel);
+        os << "\",\"block\":" << diag.block << ",\"instr\":" << diag.instr
+           << ",\"pc\":" << diag.pc() << ",\"reg\":" << diag.reg
+           << ",\"message\":\"";
+        jsonEscape(os, diag.message);
+        os << "\"}";
+    }
+    os << ']';
+}
+
+} // namespace finereg::analysis

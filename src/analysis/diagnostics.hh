@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Structured diagnostics for the static kernel analysis subsystem. Every
+ * pass reports findings as typed Diagnostic records (kind + severity +
+ * kernel/block/instruction location) collected into a DiagnosticSet, which
+ * renders them for humans (one line per finding, compiler-style) or as JSON
+ * for CI artifacts. Severity policy: Errors are proofs of ill-formedness
+ * that make simulation results meaningless (finereg_lint exits non-zero);
+ * Warnings flag legal-but-suspicious constructs; Notes carry per-kernel
+ * efficiency observations (e.g. dead definitions, the Fig. 5 story).
+ */
+
+#ifndef FINEREG_ANALYSIS_DIAGNOSTICS_HH
+#define FINEREG_ANALYSIS_DIAGNOSTICS_HH
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace finereg::analysis
+{
+
+enum class Severity : unsigned char
+{
+    Note,    ///< Efficiency/structure observation; never fails a build.
+    Warning, ///< Legal but suspicious; reported, does not fail lint.
+    Error,   ///< Proven ill-formedness; finereg_lint exits non-zero.
+};
+
+/** Every diagnostic the subsystem can emit, one stable kind per defect. */
+enum class DiagKind : unsigned char
+{
+    // CFG well-formedness -------------------------------------------------
+    EmptyBlock,             ///< Basic block spans zero instructions.
+    BlockExtentCorrupt,     ///< Block extents overlap / leave gaps.
+    TerminatorMidBlock,     ///< BRA/JMP/EXIT before the block's last slot.
+    BranchTargetOutOfRange, ///< BRA/JMP targets a nonexistent block.
+    FallThroughOffEnd,      ///< Last block falls through past kernel end.
+    NoExit,                 ///< Kernel contains no EXIT instruction.
+    UnreachableBlock,       ///< Block unreachable from the entry.
+    NoPathToExit,           ///< Reachable block cannot reach any EXIT.
+    CfgEdgesInconsistent,   ///< Stored succ/pred lists disagree with the
+                            ///< edges the terminators imply.
+    RegisterOutOfRange,     ///< Operand register >= declared regsPerThread.
+
+    // Dataflow ------------------------------------------------------------
+    UseBeforeDef,    ///< Register possibly read before any def on some path.
+    UseNeverDefined, ///< Register read but never defined anywhere.
+
+    // Liveness cross-validation -------------------------------------------
+    LivenessUnsound,   ///< Compiler bit vector misses a needed register.
+    LivenessOverApprox, ///< Bit vectors grossly over-approximate liveness.
+    DeadDef,            ///< Definition whose value is never read.
+
+    // Reconvergence cross-validation --------------------------------------
+    ReconvergenceMismatch, ///< Independent post-dominators disagree with
+                           ///< the compiler's CfgAnalysis ipdoms.
+
+    // Shared memory --------------------------------------------------------
+    SharedOpWithoutShmem,       ///< Shared access but shmemPerCta == 0.
+    SharedFootprintExceedsShmem, ///< Declared footprint walks past the
+                                 ///< CTA's shared allocation (wraps).
+    SharedBankConflict,          ///< Statically resolved lane addresses
+                                 ///< collide in a bank.
+    SharedTransactionsIgnored,   ///< Shared op declares >1 transactions;
+                                 ///< the shared path models fixed latency.
+};
+
+std::string_view severityName(Severity severity);
+std::string_view diagKindName(DiagKind kind);
+
+/** The severity each kind carries unless a pass overrides it. */
+Severity defaultSeverity(DiagKind kind);
+
+struct Diagnostic
+{
+    DiagKind kind = DiagKind::EmptyBlock;
+    Severity severity = Severity::Error;
+
+    std::string kernel;
+
+    /** Block index, or -1 for kernel-scope findings. */
+    int block = -1;
+
+    /** Flat instruction index, or -1; pc() derives from it. */
+    int instr = -1;
+
+    /** Register index the finding names, or -1. */
+    int reg = -1;
+
+    std::string message;
+
+    Pc pc() const { return static_cast<Pc>(instr < 0 ? 0 : instr) * kInstrBytes; }
+
+    /** "kernel:B2:I7(pc=0x38)" style location prefix. */
+    std::string location() const;
+
+    /** One-line compiler-style rendering: "error: loc: [kind] message". */
+    std::string toString() const;
+};
+
+class DiagnosticSet
+{
+  public:
+    /** Add with the kind's default severity. */
+    Diagnostic &add(DiagKind kind, std::string kernel, int block, int instr,
+                    int reg, std::string message);
+
+    Diagnostic &add(Diagnostic diag);
+
+    void append(const DiagnosticSet &other);
+    void append(const std::vector<Diagnostic> &diags);
+
+    const std::vector<Diagnostic> &all() const { return diags_; }
+    bool empty() const { return diags_.empty(); }
+    std::size_t size() const { return diags_.size(); }
+
+    unsigned count(Severity severity) const;
+    unsigned errors() const { return count(Severity::Error); }
+    unsigned warnings() const { return count(Severity::Warning); }
+    unsigned notes() const { return count(Severity::Note); }
+    bool hasErrors() const { return errors() > 0; }
+
+    bool has(DiagKind kind) const;
+
+    /** First diagnostic of @p kind, or nullptr. */
+    const Diagnostic *find(DiagKind kind) const;
+
+    /**
+     * Human rendering, one line per diagnostic, errors first. @p max_lines
+     * caps the output (0 = unlimited); a trailing elision line reports how
+     * many were suppressed.
+     */
+    std::string renderText(unsigned max_lines = 0) const;
+
+    /** JSON array of {kind, severity, kernel, block, instr, pc, reg, message}. */
+    void renderJson(std::ostream &os) const;
+
+  private:
+    std::vector<Diagnostic> diags_;
+};
+
+} // namespace finereg::analysis
+
+#endif // FINEREG_ANALYSIS_DIAGNOSTICS_HH

@@ -1,0 +1,183 @@
+#include "analysis/dominators.hh"
+
+#include <algorithm>
+
+#include "analysis/cfg_check.hh"
+#include "common/log.hh"
+
+namespace finereg::analysis
+{
+
+namespace
+{
+
+/**
+ * Reverse postorder over @p succs starting at @p root, visiting only
+ * reachable nodes. Iterative DFS with an explicit edge cursor so deep
+ * kernels cannot overflow the stack.
+ */
+std::vector<int>
+reversePostorder(const std::vector<std::vector<int>> &succs, int root)
+{
+    const int n = static_cast<int>(succs.size());
+    std::vector<char> visited(n, 0);
+    std::vector<int> postorder;
+    postorder.reserve(n);
+
+    std::vector<std::pair<int, std::size_t>> stack;
+    stack.emplace_back(root, 0);
+    visited[root] = 1;
+    while (!stack.empty()) {
+        auto &[node, cursor] = stack.back();
+        if (cursor < succs[node].size()) {
+            const int next = succs[node][cursor++];
+            if (!visited[next]) {
+                visited[next] = 1;
+                stack.emplace_back(next, 0);
+            }
+        } else {
+            postorder.push_back(node);
+            stack.pop_back();
+        }
+    }
+    std::reverse(postorder.begin(), postorder.end());
+    return postorder;
+}
+
+/**
+ * Cooper-Harvey-Kennedy iterative dominators over an arbitrary edge
+ * relation. Nodes never visited get idom -1.
+ */
+std::vector<int>
+iterativeDoms(const std::vector<std::vector<int>> &succs,
+              const std::vector<std::vector<int>> &preds, int root)
+{
+    const int n = static_cast<int>(succs.size());
+    const std::vector<int> rpo = reversePostorder(succs, root);
+
+    std::vector<int> rpo_index(n, -1);
+    for (std::size_t i = 0; i < rpo.size(); ++i)
+        rpo_index[rpo[i]] = static_cast<int>(i);
+
+    std::vector<int> idom(n, -1);
+    idom[root] = root;
+
+    auto intersect = [&](int a, int b) {
+        while (a != b) {
+            while (rpo_index[a] > rpo_index[b])
+                a = idom[a];
+            while (rpo_index[b] > rpo_index[a])
+                b = idom[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const int b : rpo) {
+            if (b == root)
+                continue;
+            int new_idom = -1;
+            for (const int p : preds[b]) {
+                if (idom[p] < 0)
+                    continue; // Not yet processed or unreachable.
+                new_idom = new_idom < 0 ? p : intersect(new_idom, p);
+            }
+            if (new_idom >= 0 && idom[b] != new_idom) {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    return idom;
+}
+
+} // namespace
+
+bool
+DomTreeResult::dominates(int a, int b) const
+{
+    if (b < 0 || b >= static_cast<int>(idom.size()) || idom[b] < 0)
+        return false;
+    while (true) {
+        if (b == a)
+            return true;
+        const int up = idom[b];
+        if (up == b)
+            return false; // Reached the entry without meeting a.
+        b = up;
+    }
+}
+
+std::vector<std::string_view>
+DomTreePass::dependsOn() const
+{
+    return {CfgCheckResult::kName};
+}
+
+std::unique_ptr<AnalysisResultBase>
+DomTreePass::run(AnalysisContext &ctx)
+{
+    const auto *cfg =
+        ctx.manager.resultOf<CfgCheckResult>(ctx.kernel,
+                                             CfgCheckResult::kName);
+    if (cfg == nullptr)
+        FINEREG_PANIC("domtree scheduled without a sound cfg-check result");
+
+    auto result = std::make_unique<DomTreeResult>();
+    result->idom = iterativeDoms(cfg->succs, cfg->preds,
+                                 ctx.kernel.entryBlock());
+    return result;
+}
+
+std::vector<std::string_view>
+PostDomTreePass::dependsOn() const
+{
+    return {CfgCheckResult::kName};
+}
+
+std::unique_ptr<AnalysisResultBase>
+PostDomTreePass::run(AnalysisContext &ctx)
+{
+    const auto *cfg =
+        ctx.manager.resultOf<CfgCheckResult>(ctx.kernel,
+                                             CfgCheckResult::kName);
+    if (cfg == nullptr)
+        FINEREG_PANIC("postdomtree scheduled without a cfg-check result");
+
+    const int n = static_cast<int>(cfg->succs.size());
+    const int virtual_exit = n;
+
+    // Reverse the graph and add a virtual exit succeeding every
+    // EXIT-terminated block, so multi-exit kernels have one post-dom root.
+    std::vector<std::vector<int>> rsuccs(n + 1), rpreds(n + 1);
+    const auto &instrs = ctx.kernel.instrs();
+    const auto &blocks = ctx.kernel.blocks();
+    for (int b = 0; b < n; ++b) {
+        for (const int s : cfg->succs[b]) {
+            rsuccs[s].push_back(b);
+            rpreds[b].push_back(s);
+        }
+        const unsigned last = blocks[b].firstInstr + blocks[b].numInstrs - 1;
+        if (instrs[last].op == Opcode::EXIT) {
+            rsuccs[virtual_exit].push_back(b);
+            rpreds[b].push_back(virtual_exit);
+        }
+    }
+
+    std::vector<int> idom = iterativeDoms(rsuccs, rpreds, virtual_exit);
+
+    auto result = std::make_unique<PostDomTreeResult>();
+    result->ipdom.assign(n, -1);
+    for (int b = 0; b < n; ++b) {
+        if (idom[b] < 0)
+            continue; // Reaches no EXIT.
+        result->ipdom[b] = idom[b] == virtual_exit
+                               ? PostDomTreeResult::kVirtualExit
+                               : idom[b];
+    }
+    return result;
+}
+
+} // namespace finereg::analysis

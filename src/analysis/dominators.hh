@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Dominator and post-dominator trees over the cfg-check pass's derived
+ * edges, computed with the Cooper-Harvey-Kennedy iterative algorithm.
+ * The dominator tree lets the reaching-definitions pass phrase its
+ * messages ("no def dominates this use"); the post-dominator tree is the
+ * independent input the reconvergence cross-check compares against the
+ * compiler's CfgAnalysis ipdoms. Both trees use a virtual root so
+ * multi-exit kernels post-dominate cleanly.
+ */
+
+#ifndef FINEREG_ANALYSIS_DOMINATORS_HH
+#define FINEREG_ANALYSIS_DOMINATORS_HH
+
+#include <vector>
+
+#include "analysis/pass.hh"
+
+namespace finereg::analysis
+{
+
+struct DomTreeResult : AnalysisResultBase
+{
+    static constexpr std::string_view kName = "domtree";
+
+    /**
+     * Immediate dominator per block; idom[entry] == entry, and -1 for
+     * blocks unreachable from the entry.
+     */
+    std::vector<int> idom;
+
+    /** True when @p a dominates @p b (reflexive). */
+    bool dominates(int a, int b) const;
+};
+
+struct PostDomTreeResult : AnalysisResultBase
+{
+    static constexpr std::string_view kName = "postdomtree";
+
+    /**
+     * Immediate post-dominator per block. kVirtualExit marks blocks whose
+     * only post-dominator is the virtual exit (e.g. EXIT blocks
+     * themselves); -1 marks blocks that reach no EXIT at all.
+     */
+    std::vector<int> ipdom;
+
+    static constexpr int kVirtualExit = -2;
+};
+
+class DomTreePass : public Pass
+{
+  public:
+    std::string_view name() const override { return DomTreeResult::kName; }
+    std::vector<std::string_view> dependsOn() const override;
+    std::unique_ptr<AnalysisResultBase> run(AnalysisContext &ctx) override;
+};
+
+class PostDomTreePass : public Pass
+{
+  public:
+    std::string_view name() const override { return PostDomTreeResult::kName; }
+    std::vector<std::string_view> dependsOn() const override;
+    std::unique_ptr<AnalysisResultBase> run(AnalysisContext &ctx) override;
+};
+
+} // namespace finereg::analysis
+
+#endif // FINEREG_ANALYSIS_DOMINATORS_HH

@@ -1,0 +1,398 @@
+#include "analysis/kernel_mutator.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace finereg::analysis
+{
+
+std::string_view
+defectKindName(DefectKind kind)
+{
+    switch (kind) {
+      case DefectKind::DanglingBranch: return "dangling-branch";
+      case DefectKind::MidBlockTerminator: return "mid-block-terminator";
+      case DefectKind::FallThroughOffEnd: return "fall-through-off-end";
+      case DefectKind::NoExit: return "no-exit";
+      case DefectKind::UnreachableBlock: return "unreachable-block";
+      case DefectKind::SelfLoopTrap: return "self-loop-trap";
+      case DefectKind::RegisterOutOfRange: return "register-out-of-range";
+      case DefectKind::DroppedDef: return "dropped-def";
+      case DefectKind::OobSharedStore: return "oob-shared-store";
+      case DefectKind::CorruptBitvecDrop: return "corrupt-bitvec-drop";
+      case DefectKind::CorruptBitvecFull: return "corrupt-bitvec-full";
+      case DefectKind::PhantomEdge: return "phantom-edge";
+      case DefectKind::ShrunkBlock: return "shrunk-block";
+    }
+    return "?";
+}
+
+std::vector<DefectKind>
+allDefectKinds()
+{
+    return {
+        DefectKind::DanglingBranch,     DefectKind::MidBlockTerminator,
+        DefectKind::FallThroughOffEnd,  DefectKind::NoExit,
+        DefectKind::UnreachableBlock,   DefectKind::SelfLoopTrap,
+        DefectKind::RegisterOutOfRange, DefectKind::DroppedDef,
+        DefectKind::OobSharedStore,     DefectKind::CorruptBitvecDrop,
+        DefectKind::CorruptBitvecFull,  DefectKind::PhantomEdge,
+        DefectKind::ShrunkBlock,
+    };
+}
+
+std::unique_ptr<Kernel>
+KernelMutator::clone(const Kernel &kernel, std::string_view tag)
+{
+    auto copy = std::unique_ptr<Kernel>(new Kernel());
+    copy->name_ = kernel.name_ + " !" + std::string(tag);
+    copy->instrs_ = kernel.instrs_;
+    copy->blocks_ = kernel.blocks_;
+    copy->regsPerThread_ = kernel.regsPerThread_;
+    copy->threadsPerCta_ = kernel.threadsPerCta_;
+    copy->shmemPerCta_ = kernel.shmemPerCta_;
+    copy->gridCtas_ = kernel.gridCtas_;
+    return copy;
+}
+
+void
+KernelMutator::recomputeEdges(Kernel &kernel)
+{
+    const int n = static_cast<int>(kernel.blocks_.size());
+    for (auto &blk : kernel.blocks_) {
+        blk.succs.clear();
+        blk.preds.clear();
+    }
+    for (int b = 0; b < n; ++b) {
+        BasicBlock &blk = kernel.blocks_[b];
+        if (blk.numInstrs == 0)
+            continue;
+        const Instruction &term =
+            kernel.instrs_[blk.firstInstr + blk.numInstrs - 1];
+        auto add = [&](int to) {
+            if (to >= 0 && to < n)
+                blk.succs.push_back(to);
+        };
+        switch (term.op) {
+          case Opcode::EXIT:
+            break;
+          case Opcode::JMP:
+            add(term.targetBlock);
+            break;
+          case Opcode::BRA:
+            add(term.targetBlock);
+            add(b + 1 < n ? b + 1 : -1);
+            break;
+          default:
+            add(b + 1 < n ? b + 1 : -1);
+            break;
+        }
+    }
+    for (int b = 0; b < n; ++b) {
+        for (const int s : kernel.blocks_[b].succs)
+            kernel.blocks_[s].preds.push_back(b);
+    }
+}
+
+namespace
+{
+
+/** Deterministic site selection: splitmix-style scramble of the seed. */
+std::size_t
+pick(std::uint64_t seed, std::size_t n)
+{
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<std::size_t>((z ^ (z >> 31)) % n);
+}
+
+std::string
+describe(std::string_view what, int block, int instr)
+{
+    std::ostringstream oss;
+    oss << what << " at B" << block << ":I" << instr;
+    return oss.str();
+}
+
+} // namespace
+
+std::optional<DefectCandidate>
+KernelMutator::seedDefect(const Kernel &kernel, DefectKind kind,
+                          std::uint64_t seed)
+{
+    DefectCandidate out;
+    out.kernel = clone(kernel, defectKindName(kind));
+    Kernel &mutant = *out.kernel;
+    auto &instrs = mutant.instrs_;
+    auto &blocks = mutant.blocks_;
+    const int n_blocks = static_cast<int>(blocks.size());
+
+    auto block_of = [&](unsigned i) { return mutant.blockOfInstr(i); };
+
+    switch (kind) {
+      case DefectKind::DanglingBranch: {
+        std::vector<unsigned> sites;
+        for (unsigned i = 0; i < instrs.size(); ++i) {
+            if (instrs[i].op == Opcode::BRA || instrs[i].op == Opcode::JMP)
+                sites.push_back(i);
+        }
+        if (sites.empty())
+            return std::nullopt;
+        const unsigned i = sites[pick(seed, sites.size())];
+        instrs[i].targetBlock = n_blocks + 2;
+        recomputeEdges(mutant);
+        out.expected = {DiagKind::BranchTargetOutOfRange};
+        out.detail = describe("branch retargeted past the last block",
+                              block_of(i), i);
+        return out;
+      }
+
+      case DefectKind::MidBlockTerminator: {
+        std::vector<unsigned> sites;
+        for (const BasicBlock &blk : blocks) {
+            for (unsigned i = blk.firstInstr;
+                 i + 1 < blk.firstInstr + blk.numInstrs; ++i) {
+                sites.push_back(i);
+            }
+        }
+        if (sites.empty())
+            return std::nullopt;
+        const unsigned i = sites[pick(seed, sites.size())];
+        instrs[i].op = Opcode::JMP;
+        instrs[i].targetBlock = 0;
+        instrs[i].dst = -1;
+        instrs[i].srcs = {-1, -1, -1};
+        out.expected = {DiagKind::TerminatorMidBlock};
+        out.detail = describe("JMP planted mid-block", block_of(i), i);
+        return out;
+      }
+
+      case DefectKind::FallThroughOffEnd: {
+        const BasicBlock &last_blk = blocks[n_blocks - 1];
+        const unsigned i = last_blk.firstInstr + last_blk.numInstrs - 1;
+        if (!isControl(instrs[i].op))
+            return std::nullopt;
+        instrs[i].op = Opcode::IADD;
+        instrs[i].dst = 0;
+        instrs[i].srcs = {0, -1, -1};
+        instrs[i].targetBlock = -1;
+        recomputeEdges(mutant);
+        out.expected = {DiagKind::FallThroughOffEnd};
+        out.detail = describe("final terminator replaced by IADD",
+                              n_blocks - 1, i);
+        return out;
+      }
+
+      case DefectKind::NoExit: {
+        bool any = false;
+        for (unsigned i = 0; i < instrs.size(); ++i) {
+            if (instrs[i].op == Opcode::EXIT) {
+                instrs[i].op = Opcode::JMP;
+                instrs[i].targetBlock = mutant.entryBlock();
+                any = true;
+            }
+        }
+        if (!any)
+            return std::nullopt;
+        recomputeEdges(mutant);
+        out.expected = {DiagKind::NoExit};
+        out.detail = "every EXIT replaced by JMP to the entry";
+        return out;
+      }
+
+      case DefectKind::UnreachableBlock: {
+        // A BRA whose fall-through block is entered only via that
+        // fall-through edge: demoting the BRA to JMP orphans it.
+        std::vector<int> sites;
+        for (int b = 0; b + 1 < n_blocks; ++b) {
+            const BasicBlock &blk = blocks[b];
+            const Instruction &term =
+                instrs[blk.firstInstr + blk.numInstrs - 1];
+            if (term.op != Opcode::BRA || term.targetBlock == b + 1)
+                continue;
+            const auto &preds = blocks[b + 1].preds;
+            if (preds.size() == 1 && preds[0] == b)
+                sites.push_back(b);
+        }
+        if (sites.empty())
+            return std::nullopt;
+        const int b = sites[pick(seed, sites.size())];
+        const unsigned i = blocks[b].firstInstr + blocks[b].numInstrs - 1;
+        instrs[i].op = Opcode::JMP;
+        recomputeEdges(mutant);
+        out.expected = {DiagKind::UnreachableBlock};
+        out.detail = describe("BRA demoted to JMP, orphaning the "
+                              "fall-through block", b, i);
+        return out;
+      }
+
+      case DefectKind::SelfLoopTrap: {
+        std::vector<unsigned> sites;
+        for (unsigned i = 0; i < instrs.size(); ++i) {
+            if (instrs[i].op == Opcode::JMP)
+                sites.push_back(i);
+        }
+        if (sites.empty())
+            return std::nullopt;
+        const unsigned i = sites[pick(seed, sites.size())];
+        instrs[i].targetBlock = block_of(i);
+        recomputeEdges(mutant);
+        out.expected = {DiagKind::NoPathToExit, DiagKind::UnreachableBlock};
+        out.detail = describe("JMP retargeted at its own block",
+                              block_of(i), i);
+        return out;
+      }
+
+      case DefectKind::RegisterOutOfRange: {
+        std::vector<unsigned> sites;
+        for (unsigned i = 0; i < instrs.size(); ++i) {
+            if (instrs[i].srcs[0] >= 0)
+                sites.push_back(i);
+        }
+        if (sites.empty())
+            return std::nullopt;
+        const unsigned i = sites[pick(seed, sites.size())];
+        instrs[i].srcs[0] = static_cast<int>(mutant.regsPerThread_);
+        out.expected = {DiagKind::RegisterOutOfRange};
+        out.detail = describe("source operand set past regsPerThread",
+                              block_of(i), i);
+        return out;
+      }
+
+      case DefectKind::DroppedDef: {
+        // Prefer defs whose register is read by a later instruction, so
+        // the dropped write is actually observable.
+        std::vector<unsigned> sites;
+        for (unsigned i = 0; i < instrs.size(); ++i) {
+            if (instrs[i].dst < 0)
+                continue;
+            for (unsigned j = i + 1; j < instrs.size(); ++j) {
+                const auto &srcs = instrs[j].srcs;
+                if (std::find(srcs.begin(), srcs.end(), instrs[i].dst) !=
+                    srcs.end()) {
+                    sites.push_back(i);
+                    break;
+                }
+            }
+        }
+        if (sites.empty())
+            return std::nullopt;
+        const unsigned i = sites[pick(seed, sites.size())];
+        const int reg = instrs[i].dst;
+        instrs[i].dst = -1;
+        out.expected = {DiagKind::UseBeforeDef, DiagKind::UseNeverDefined};
+        out.detail = describe("definition of R" + std::to_string(reg) +
+                              " dropped", block_of(i), i);
+        return out;
+      }
+
+      case DefectKind::OobSharedStore: {
+        if (mutant.shmemPerCta_ == 0) {
+            // Variant A: global access rewritten to shared in a kernel
+            // that declares no shared memory.
+            std::vector<unsigned> sites;
+            for (unsigned i = 0; i < instrs.size(); ++i) {
+                if (isGlobalMemory(instrs[i].op))
+                    sites.push_back(i);
+            }
+            if (sites.empty())
+                return std::nullopt;
+            const unsigned i = sites[pick(seed, sites.size())];
+            instrs[i].op = instrs[i].op == Opcode::LD_GLOBAL
+                               ? Opcode::LD_SHARED
+                               : Opcode::ST_SHARED;
+            out.expected = {DiagKind::SharedOpWithoutShmem};
+            out.detail = describe("global access rewritten to shared with "
+                                  "shmemPerCta == 0", block_of(i), i);
+            return out;
+        }
+        // Variant B: inflate a shared op's footprint past the allocation.
+        std::vector<unsigned> sites;
+        for (unsigned i = 0; i < instrs.size(); ++i) {
+            if (instrs[i].op == Opcode::LD_SHARED ||
+                instrs[i].op == Opcode::ST_SHARED) {
+                sites.push_back(i);
+            }
+        }
+        if (sites.empty())
+            return std::nullopt;
+        const unsigned i = sites[pick(seed, sites.size())];
+        const std::uint32_t region = std::max<std::uint32_t>(
+            (mutant.shmemPerCta_ + 127u) & ~127u, 128u);
+        instrs[i].mem.footprint = std::uint64_t(region) * 4;
+        out.expected = {DiagKind::SharedFootprintExceedsShmem};
+        out.detail = describe("shared footprint inflated past the CTA "
+                              "allocation", block_of(i), i);
+        return out;
+      }
+
+      case DefectKind::CorruptBitvecDrop: {
+        // Dropping a register that some instruction reads guarantees the
+        // vector misses a live-in bit at that use.
+        std::vector<int> regs;
+        for (const Instruction &instr : instrs) {
+            for (const int src : instr.srcs) {
+                if (src >= 0 &&
+                    std::find(regs.begin(), regs.end(), src) == regs.end())
+                    regs.push_back(src);
+            }
+        }
+        if (regs.empty())
+            return std::nullopt;
+        const int reg = regs[pick(seed, regs.size())];
+        out.options.dropLiveReg = reg;
+        out.expected = {DiagKind::LivenessUnsound};
+        out.detail = "R" + std::to_string(reg) +
+                     " dropped from every live-register vector";
+        return out;
+      }
+
+      case DefectKind::CorruptBitvecFull: {
+        out.options.fullLiveMask = true;
+        out.expected = {DiagKind::LivenessOverApprox};
+        out.detail = "live-register vectors replaced by the all-allocated "
+                     "mask";
+        return out;
+      }
+
+      case DefectKind::PhantomEdge: {
+        if (n_blocks < 2)
+            return std::nullopt;
+        const int b = static_cast<int>(pick(seed, n_blocks));
+        const int target = (b + 1 + static_cast<int>(
+                                        pick(seed ^ 0x5bd1e995, n_blocks - 1))) %
+                           n_blocks;
+        if (std::find(blocks[b].succs.begin(), blocks[b].succs.end(),
+                      target) != blocks[b].succs.end())
+            return std::nullopt;
+        blocks[b].succs.push_back(target);
+        blocks[target].preds.push_back(b);
+        out.expected = {DiagKind::CfgEdgesInconsistent};
+        out.detail = describe("stored CFG edge planted with no matching "
+                              "terminator", b, -1);
+        return out;
+      }
+
+      case DefectKind::ShrunkBlock: {
+        std::vector<int> sites;
+        for (int b = 0; b < n_blocks; ++b) {
+            if (blocks[b].numInstrs >= 2)
+                sites.push_back(b);
+        }
+        if (sites.empty())
+            return std::nullopt;
+        const int b = sites[pick(seed, sites.size())];
+        blocks[b].numInstrs -= 1;
+        out.expected = {DiagKind::BlockExtentCorrupt};
+        out.detail = describe("block extent shortened by one instruction",
+                              b, -1);
+        return out;
+      }
+    }
+    return std::nullopt;
+}
+
+} // namespace finereg::analysis

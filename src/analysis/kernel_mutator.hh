@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Defect seeding for the lint self-check: clones a valid kernel and
+ * plants exactly one known defect — a dangling branch, a dropped
+ * definition, a corrupted live-register vector (via the LintOptions
+ * mirror of the RMU's dropLiveReg test hook), an out-of-bounds shared
+ * store, and friends — together with the diagnostic kinds the analysis
+ * pipeline is required to raise for it. finereg_lint --self-check seeds
+ * every defect kind across generated kernels and fails unless each one
+ * produces a *new* diagnostic of an expected kind, proving the passes
+ * detect the corruption classes they claim to.
+ */
+
+#ifndef FINEREG_ANALYSIS_KERNEL_MUTATOR_HH
+#define FINEREG_ANALYSIS_KERNEL_MUTATOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/pass.hh"
+
+namespace finereg::analysis
+{
+
+/** Every defect class the self-check must prove detectable. */
+enum class DefectKind : unsigned char
+{
+    DanglingBranch,    ///< Branch retargeted past the last block.
+    MidBlockTerminator, ///< JMP planted before a block's last slot.
+    FallThroughOffEnd, ///< Final terminator replaced by an ALU op.
+    NoExit,            ///< Every EXIT replaced by a jump to the entry.
+    UnreachableBlock,  ///< BRA demoted to JMP, orphaning the fall-through.
+    SelfLoopTrap,      ///< JMP retargeted at its own block (no exit path).
+    RegisterOutOfRange, ///< Source operand set past regsPerThread.
+    DroppedDef,        ///< A definition's destination cleared.
+    OobSharedStore,    ///< Shared access outside the CTA's allocation.
+    CorruptBitvecDrop, ///< A live register dropped from every vector.
+    CorruptBitvecFull, ///< Vectors replaced by the all-registers mask.
+    PhantomEdge,       ///< Stored CFG edge the terminators do not imply.
+    ShrunkBlock,       ///< Block extent shortened, leaving a gap.
+};
+
+std::string_view defectKindName(DefectKind kind);
+
+/** All defect kinds, for exhaustive self-check iteration. */
+std::vector<DefectKind> allDefectKinds();
+
+/** A seeded-defect kernel plus what the lint pipeline must say about it. */
+struct DefectCandidate
+{
+    std::unique_ptr<Kernel> kernel;
+
+    /** Lint options to analyze under (bit-vector corruption lives here). */
+    LintOptions options;
+
+    /** Detection succeeds when a *new* diagnostic has any of these kinds. */
+    std::vector<DiagKind> expected;
+
+    /** Human description of what was planted where. */
+    std::string detail;
+};
+
+/**
+ * Clones kernels and plants defects. A friend of Kernel so it can edit
+ * the otherwise-immutable instruction stream and block table the way real
+ * toolchain or memory corruption would.
+ */
+class KernelMutator
+{
+  public:
+    /** Deep copy with " !<defect>" appended to the name. */
+    static std::unique_ptr<Kernel> clone(const Kernel &kernel,
+                                         std::string_view tag);
+
+    /**
+     * Plant @p kind into a clone of @p kernel, choosing among applicable
+     * sites with @p seed. Returns nullopt when the kernel offers no site
+     * for this defect (e.g. no shared ops to corrupt).
+     */
+    static std::optional<DefectCandidate>
+    seedDefect(const Kernel &kernel, DefectKind kind, std::uint64_t seed);
+
+  private:
+    /** Rebuild stored succ/pred lists from the terminators, skipping
+     * invalid targets, after a mutation changed control flow. */
+    static void recomputeEdges(Kernel &kernel);
+};
+
+} // namespace finereg::analysis
+
+#endif // FINEREG_ANALYSIS_KERNEL_MUTATOR_HH

@@ -1,0 +1,80 @@
+#include "analysis/lint.hh"
+
+#include <atomic>
+
+#include "analysis/liveness_check.hh"
+#include "analysis/shared_mem_check.hh"
+#include "common/log.hh"
+
+namespace finereg::analysis
+{
+
+LintResult
+lintKernel(AnalysisManager &manager, const Kernel &kernel)
+{
+    LintResult result;
+    for (const std::string_view pass_name : manager.passNames()) {
+        const PassOutcome &outcome = manager.ensure(kernel, pass_name);
+        result.diags.append(outcome.diags);
+    }
+
+    result.stats.staticInstrs = kernel.staticInstrs();
+    result.stats.numBlocks = static_cast<unsigned>(kernel.blocks().size());
+
+    if (const auto *live = manager.resultOf<LivenessCheckResult>(
+            kernel, LivenessCheckResult::kName)) {
+        result.stats.maxLive = live->maxLive;
+        result.stats.meanLive = live->meanLive;
+        result.stats.liveRatio = live->liveRatio;
+        result.stats.deadDefs = live->deadDefCount;
+    }
+    if (const auto *shared = manager.resultOf<SharedMemCheckResult>(
+            kernel, SharedMemCheckResult::kName)) {
+        result.stats.sharedOps = shared->sharedOps;
+        result.stats.maxBankConflict = shared->maxBankConflictDegree;
+    }
+    return result;
+}
+
+LintResult
+lintKernel(const Kernel &kernel, const LintOptions &options)
+{
+    auto manager = AnalysisManager::withDefaultPasses(options);
+    return lintKernel(*manager, kernel);
+}
+
+namespace
+{
+
+std::atomic<bool> lint_enforcement{true};
+
+} // namespace
+
+bool
+setLintEnforcement(bool enabled)
+{
+    return lint_enforcement.exchange(enabled);
+}
+
+bool
+lintEnforcementEnabled()
+{
+    return lint_enforcement.load();
+}
+
+LintResult
+assertLintClean(const Kernel &kernel, std::string_view origin)
+{
+    if (!lint_enforcement.load())
+        return {};
+    LintResult result = lintKernel(kernel);
+    if (result.diags.hasErrors()) {
+        FINEREG_FATAL(origin, " produced kernel '", kernel.name(),
+                      "' with ", result.diags.errors(),
+                      " lint error(s):\n",
+                      result.diags.renderText(16));
+    }
+    return result;
+}
+
+} // namespace finereg::analysis

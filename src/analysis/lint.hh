@@ -1,0 +1,72 @@
+/**
+ * @file
+ * One-call lint facade over the analysis pass pipeline, plus the
+ * enforcement hook every kernel producer (kernel_gen, the workload suite,
+ * the fuzzer's builders) routes its output through: assertLintClean()
+ * fatals the process when a freshly built kernel carries lint errors, so
+ * an ill-formed kernel can never reach the simulator silently. Tools that
+ * want to report rather than die (finereg_lint itself) disable
+ * enforcement and call lintKernel() directly.
+ */
+
+#ifndef FINEREG_ANALYSIS_LINT_HH
+#define FINEREG_ANALYSIS_LINT_HH
+
+#include <string_view>
+
+#include "analysis/pass.hh"
+
+namespace finereg::analysis
+{
+
+/** Per-kernel summary the bench and the lint CLI surface. */
+struct KernelLintStats
+{
+    unsigned staticInstrs = 0;
+    unsigned numBlocks = 0;
+
+    /** Derived-liveness occupancy (0 when liveness was gated off). */
+    unsigned maxLive = 0;
+    double meanLive = 0.0;
+    double liveRatio = 0.0;
+
+    unsigned deadDefs = 0;
+    unsigned sharedOps = 0;
+    unsigned maxBankConflict = 0;
+};
+
+struct LintResult
+{
+    DiagnosticSet diags;
+    KernelLintStats stats;
+
+    bool clean() const { return !diags.hasErrors(); }
+};
+
+/**
+ * Run every registered pass on @p kernel through @p manager (reusing its
+ * cache) and collect all diagnostics plus the stats summary.
+ */
+LintResult lintKernel(AnalysisManager &manager, const Kernel &kernel);
+
+/** Convenience: lint with a fresh default pipeline under @p options. */
+LintResult lintKernel(const Kernel &kernel, const LintOptions &options = {});
+
+/**
+ * Globally enable/disable assertLintClean() (default: enabled). Returns
+ * the previous setting.
+ */
+bool setLintEnforcement(bool enabled);
+bool lintEnforcementEnabled();
+
+/**
+ * Lint @p kernel and fatal with a rendered diagnostic report when it has
+ * errors. @p origin names the producer for the failure message. No-op
+ * when enforcement is disabled. Returns the result for callers that also
+ * want the stats.
+ */
+LintResult assertLintClean(const Kernel &kernel, std::string_view origin);
+
+} // namespace finereg::analysis
+
+#endif // FINEREG_ANALYSIS_LINT_HH

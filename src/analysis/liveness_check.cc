@@ -1,0 +1,203 @@
+#include "analysis/liveness_check.hh"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "analysis/cfg_check.hh"
+#include "common/log.hh"
+#include "compiler/liveness.hh"
+
+namespace finereg::analysis
+{
+
+namespace
+{
+
+RegBitVec
+useSetOf(const Instruction &instr)
+{
+    RegBitVec use;
+    for (const int src : instr.srcs) {
+        if (src >= 0)
+            use.set(static_cast<RegIndex>(src));
+    }
+    return use;
+}
+
+RegBitVec
+allocatedRegs(const Kernel &kernel)
+{
+    RegBitVec regs;
+    const unsigned limit =
+        std::min<unsigned>(kernel.regsPerThread(), kMaxRegsPerThread);
+    for (unsigned r = 0; r < limit; ++r)
+        regs.set(static_cast<RegIndex>(r));
+    return regs;
+}
+
+} // namespace
+
+std::vector<std::string_view>
+LivenessCheckPass::dependsOn() const
+{
+    return {CfgCheckResult::kName};
+}
+
+std::unique_ptr<AnalysisResultBase>
+LivenessCheckPass::run(AnalysisContext &ctx)
+{
+    const Kernel &kernel = ctx.kernel;
+    const auto *cfg =
+        ctx.manager.resultOf<CfgCheckResult>(kernel, CfgCheckResult::kName);
+    if (cfg == nullptr)
+        FINEREG_PANIC("liveness-check scheduled without a cfg-check result");
+
+    const auto &instrs = kernel.instrs();
+    const auto &blocks = kernel.blocks();
+    const unsigned n = static_cast<unsigned>(instrs.size());
+
+    auto result = std::make_unique<LivenessCheckResult>();
+    result->derivedLiveIn.assign(n, RegBitVec{});
+
+    // ---- Instruction-level flow graph ------------------------------------
+    // Successors of instruction i: the next slot inside its block, or the
+    // first instructions of the block's derived CFG successors.
+    std::vector<std::vector<unsigned>> isuccs(n), ipreds(n);
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        const BasicBlock &blk = blocks[b];
+        for (unsigned i = blk.firstInstr; i + 1 < blk.firstInstr + blk.numInstrs;
+             ++i) {
+            isuccs[i].push_back(i + 1);
+            ipreds[i + 1].push_back(i);
+        }
+        const unsigned last = blk.firstInstr + blk.numInstrs - 1;
+        for (const int s : cfg->succs[b]) {
+            const unsigned target = blocks[s].firstInstr;
+            isuccs[last].push_back(target);
+            ipreds[target].push_back(last);
+        }
+    }
+
+    // ---- Backward worklist to the least fixpoint -------------------------
+    std::vector<RegBitVec> need_out(n);
+    std::deque<unsigned> worklist;
+    std::vector<char> queued(n, 1);
+    for (unsigned i = n; i-- > 0;)
+        worklist.push_back(i); // Reverse order converges fastest.
+
+    while (!worklist.empty()) {
+        const unsigned i = worklist.front();
+        worklist.pop_front();
+        queued[i] = 0;
+
+        RegBitVec out;
+        for (const unsigned s : isuccs[i])
+            out |= result->derivedLiveIn[s];
+        need_out[i] = out;
+
+        RegBitVec survivors = out;
+        if (instrs[i].dst >= 0)
+            survivors.reset(static_cast<RegIndex>(instrs[i].dst));
+        const RegBitVec in = useSetOf(instrs[i]) | survivors;
+        if (in != result->derivedLiveIn[i]) {
+            result->derivedLiveIn[i] = in;
+            for (const unsigned p : ipreds[i]) {
+                if (!queued[p]) {
+                    queued[p] = 1;
+                    worklist.push_back(p);
+                }
+            }
+        }
+    }
+
+    // ---- Compiler vectors, with the lint-side corruption hooks -----------
+    const LivenessAnalysis compiler(kernel);
+    const RegBitVec full_mask = allocatedRegs(kernel);
+    auto compiler_vec = [&](unsigned i) {
+        if (ctx.options.fullLiveMask)
+            return full_mask;
+        RegBitVec vec = compiler.liveIn(i);
+        if (ctx.options.dropLiveReg >= 0)
+            vec.reset(static_cast<RegIndex>(ctx.options.dropLiveReg));
+        return vec;
+    };
+
+    // ---- Soundness: every needed register must be in the vector ----------
+    unsigned emitted = 0;
+    bool exact = true;
+    double derived_sum = 0.0, compiler_sum = 0.0, surplus_sum = 0.0;
+    for (unsigned i = 0; i < n; ++i) {
+        const RegBitVec derived = result->derivedLiveIn[i];
+        const RegBitVec vec = compiler_vec(i);
+
+        result->maxLive = std::max(result->maxLive, derived.count());
+        result->compilerMaxLive =
+            std::max(result->compilerMaxLive, vec.count());
+        derived_sum += derived.count();
+        compiler_sum += vec.count();
+        surplus_sum += vec.minus(derived).count();
+        if (vec != derived)
+            exact = false;
+
+        const RegBitVec missing = derived.minus(vec);
+        if (!missing.empty()) {
+            missing.forEach([&](RegIndex reg) {
+                ++result->unsoundCount;
+                if (emitted++ < ctx.options.maxDiagsPerPass) {
+                    std::ostringstream oss;
+                    oss << "live-register vector is missing a register some "
+                           "path still reads; the RMU would skip saving it "
+                           "at a context swap";
+                    ctx.diags.add(DiagKind::LivenessUnsound, kernel.name(),
+                                  kernel.blockOfInstr(i),
+                                  static_cast<int>(i), reg, oss.str());
+                }
+            });
+        }
+
+        // Dead definition: the value written here is never read later.
+        const int dst = instrs[i].dst;
+        if (dst >= 0 && dst < static_cast<int>(kMaxRegsPerThread) &&
+            !need_out[i].test(static_cast<RegIndex>(dst))) {
+            ++result->deadDefCount;
+            if (emitted++ < ctx.options.maxDiagsPerPass) {
+                ctx.diags.add(DiagKind::DeadDef, kernel.name(),
+                              kernel.blockOfInstr(i), static_cast<int>(i),
+                              dst,
+                              "definition is never read on any path (cold "
+                              "register; still occupies RF space)");
+            }
+        }
+    }
+
+    result->exactMatch = exact && result->unsoundCount == 0;
+    result->meanLive = n ? derived_sum / n : 0.0;
+    result->compilerMeanLive = n ? compiler_sum / n : 0.0;
+    result->liveRatio =
+        kernel.regsPerThread()
+            ? result->meanLive / static_cast<double>(kernel.regsPerThread())
+            : 0.0;
+
+    // ---- Over-approximation: sound but wasteful --------------------------
+    const double mean_surplus = n ? surplus_sum / n : 0.0;
+    const double ratio = result->meanLive > 0.0
+                             ? result->compilerMeanLive / result->meanLive
+                             : (result->compilerMeanLive > 0.0 ? 1e9 : 1.0);
+    if (ratio > ctx.options.overApproxMeanRatio &&
+        mean_surplus >= ctx.options.overApproxMeanSlack) {
+        result->overApprox = true;
+        std::ostringstream oss;
+        oss << "live-register vectors carry " << result->compilerMeanLive
+            << " mean live registers where " << result->meanLive
+            << " are provably needed (" << mean_surplus
+            << " surplus/instr); context swaps save far more state than "
+               "necessary, eroding the fine-grained benefit";
+        ctx.diags.add(DiagKind::LivenessOverApprox, kernel.name(), -1, -1, -1,
+                      oss.str());
+    }
+
+    return result;
+}
+
+} // namespace finereg::analysis

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Liveness cross-validator. Re-derives per-instruction live-in sets with
+ * an instruction-level backward worklist over the cfg-check pass's derived
+ * edges — deliberately a different granularity, traversal order, and code
+ * path than src/compiler/liveness.cc's block-level fixpoint — and proves
+ * the compiler's bit vectors are a sound over-approximation: every
+ * register the derived solution needs must be present in the compiler
+ * vector the RMU consumes. A missing register is an error (the RMU would
+ * skip saving a register a resumed warp still reads — silent corruption,
+ * the exact failure RmuConfig::dropLiveReg injects dynamically). Gross
+ * over-approximation is a warning: sound, but it erodes the fine-grained
+ * saving the paper's Fig. 5 (~55% mean occupancy) builds on. The pass
+ * also reports dead definitions and the per-kernel static live ratio.
+ *
+ * Both solvers compute the least fixpoint of the same dataflow equations,
+ * so on a well-formed kernel the vectors must agree exactly; `exactMatch`
+ * records that for the test suite.
+ */
+
+#ifndef FINEREG_ANALYSIS_LIVENESS_CHECK_HH
+#define FINEREG_ANALYSIS_LIVENESS_CHECK_HH
+
+#include <vector>
+
+#include "analysis/pass.hh"
+#include "common/bitvec.hh"
+
+namespace finereg::analysis
+{
+
+struct LivenessCheckResult : AnalysisResultBase
+{
+    static constexpr std::string_view kName = "liveness-check";
+
+    /** Independently derived live-in vector per flat instruction. */
+    std::vector<RegBitVec> derivedLiveIn;
+
+    /** (instr, reg) pairs the compiler vector was missing. */
+    unsigned unsoundCount = 0;
+
+    /** Definitions whose value no path ever reads. */
+    unsigned deadDefCount = 0;
+
+    /** Compiler vectors equal the derived ones at every instruction. */
+    bool exactMatch = false;
+
+    /** True when the over-approximation warning fired. */
+    bool overApprox = false;
+
+    // Static occupancy statistics (derived solution) ------------------------
+
+    unsigned maxLive = 0;
+    double meanLive = 0.0;
+
+    /** meanLive / regsPerThread — the paper's Fig. 5 static story. */
+    double liveRatio = 0.0;
+
+    // Compiler-side statistics (after LintOptions hooks) ---------------------
+
+    unsigned compilerMaxLive = 0;
+    double compilerMeanLive = 0.0;
+};
+
+class LivenessCheckPass : public Pass
+{
+  public:
+    std::string_view name() const override { return LivenessCheckResult::kName; }
+    std::vector<std::string_view> dependsOn() const override;
+    std::unique_ptr<AnalysisResultBase> run(AnalysisContext &ctx) override;
+};
+
+} // namespace finereg::analysis
+
+#endif // FINEREG_ANALYSIS_LIVENESS_CHECK_HH

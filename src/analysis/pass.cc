@@ -1,0 +1,118 @@
+#include "analysis/pass.hh"
+
+#include <algorithm>
+
+#include "analysis/cfg_check.hh"
+#include "analysis/dominators.hh"
+#include "analysis/liveness_check.hh"
+#include "analysis/reaching_defs.hh"
+#include "analysis/reconv_check.hh"
+#include "analysis/shared_mem_check.hh"
+#include "common/log.hh"
+
+namespace finereg::analysis
+{
+
+AnalysisManager::AnalysisManager(LintOptions options) : options_(options) {}
+
+AnalysisManager::~AnalysisManager() = default;
+
+std::unique_ptr<AnalysisManager>
+AnalysisManager::withDefaultPasses(LintOptions options)
+{
+    auto manager = std::make_unique<AnalysisManager>(options);
+    manager->registerPass(std::make_unique<CfgCheckPass>());
+    manager->registerPass(std::make_unique<DomTreePass>());
+    manager->registerPass(std::make_unique<PostDomTreePass>());
+    manager->registerPass(std::make_unique<ReconvCheckPass>());
+    manager->registerPass(std::make_unique<ReachingDefsPass>());
+    manager->registerPass(std::make_unique<LivenessCheckPass>());
+    manager->registerPass(std::make_unique<SharedMemCheckPass>());
+    return manager;
+}
+
+void
+AnalysisManager::registerPass(std::unique_ptr<Pass> pass)
+{
+    if (!pass)
+        FINEREG_PANIC("registering a null pass");
+    if (findPass(pass->name()) != nullptr)
+        FINEREG_PANIC("duplicate pass name '", pass->name(), "'");
+    passes_.push_back(std::move(pass));
+}
+
+std::vector<std::string_view>
+AnalysisManager::passNames() const
+{
+    std::vector<std::string_view> names;
+    names.reserve(passes_.size());
+    for (const auto &pass : passes_)
+        names.push_back(pass->name());
+    return names;
+}
+
+Pass *
+AnalysisManager::findPass(std::string_view name)
+{
+    for (const auto &pass : passes_) {
+        if (pass->name() == name)
+            return pass.get();
+    }
+    return nullptr;
+}
+
+const PassOutcome &
+AnalysisManager::ensure(const Kernel &kernel, std::string_view pass_name)
+{
+    auto &kernel_cache = cache_[&kernel];
+    if (auto it = kernel_cache.find(pass_name); it != kernel_cache.end())
+        return it->second;
+
+    Pass *pass = findPass(pass_name);
+    if (pass == nullptr)
+        FINEREG_PANIC("unknown analysis pass '", pass_name, "'");
+
+    if (std::find(inFlight_.begin(), inFlight_.end(), pass_name) !=
+        inFlight_.end()) {
+        FINEREG_PANIC("dependency cycle through analysis pass '", pass_name,
+                      "'");
+    }
+    inFlight_.emplace_back(pass_name);
+
+    // Run dependencies first; cfg-check is an implicit dependency of every
+    // gated pass.
+    for (std::string_view dep : pass->dependsOn())
+        ensure(kernel, dep);
+
+    bool skip = false;
+    if (pass->requiresSoundCfg()) {
+        const auto &cfg = ensure(kernel, CfgCheckResult::kName);
+        const auto *cfg_result =
+            dynamic_cast<const CfgCheckResult *>(cfg.result.get());
+        skip = cfg_result == nullptr || !cfg_result->structurallySound;
+    }
+
+    PassOutcome outcome;
+    if (skip) {
+        outcome.skipped = true;
+    } else {
+        AnalysisContext ctx{kernel, options_, outcome.diags, *this};
+        outcome.result = pass->run(ctx);
+    }
+
+    inFlight_.pop_back();
+
+    auto [it, inserted] =
+        cache_[&kernel].emplace(std::string(pass_name), std::move(outcome));
+    if (!inserted)
+        FINEREG_PANIC("analysis pass '", pass_name, "' ran twice on a kernel");
+    return it->second;
+}
+
+void
+AnalysisManager::invalidate(const Kernel &kernel)
+{
+    cache_.erase(&kernel);
+}
+
+} // namespace finereg::analysis

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Pass framework for static kernel analysis. Passes are named analyses
+ * over an immutable isa::Kernel CFG; the AnalysisManager schedules them
+ * topologically over their declared dependencies, runs each at most once
+ * per kernel, and caches both the result object and the diagnostics the
+ * pass emitted. Passes that require a structurally sound CFG are gated on
+ * the cfg-check pass so dataflow never walks a malformed graph.
+ */
+
+#ifndef FINEREG_ANALYSIS_PASS_HH
+#define FINEREG_ANALYSIS_PASS_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostics.hh"
+#include "isa/kernel.hh"
+
+namespace finereg::analysis
+{
+
+class AnalysisManager;
+
+/** Knobs for a lint run, shared by every pass through AnalysisContext. */
+struct LintOptions
+{
+    /**
+     * Test hook mirroring RmuConfig::dropLiveReg: remove this register
+     * from every compiler bit vector before cross-validation (-1 = off).
+     * The cross-validator must reject the result as unsound, exactly as
+     * the dynamic oracle catches the RMU-level hook.
+     */
+    int dropLiveReg = -1;
+
+    /**
+     * Test hook mirroring RmuConfig::fullContextBackup: validate against
+     * all-allocated-registers-live vectors. Sound but grossly
+     * over-approximate; the validator must warn.
+     */
+    bool fullLiveMask = false;
+
+    /** Mean (compiler live bits / derived live bits) above which the
+     * over-approximation warning fires. */
+    double overApproxMeanRatio = 1.5;
+
+    /** ... and the mean surplus live registers per instruction it also
+     * requires, so tiny kernels cannot trip the ratio on noise. */
+    double overApproxMeanSlack = 2.0;
+
+    /** Cap on diagnostics emitted per pass per kernel. */
+    unsigned maxDiagsPerPass = 64;
+};
+
+/** Base class for cached per-kernel pass results. */
+class AnalysisResultBase
+{
+  public:
+    virtual ~AnalysisResultBase() = default;
+};
+
+/** Everything a pass sees while running. */
+struct AnalysisContext
+{
+    const Kernel &kernel;
+    const LintOptions &options;
+
+    /** Sink for this pass's findings (cached with the result). */
+    DiagnosticSet &diags;
+
+    /** For fetching dependency results (already scheduled). */
+    AnalysisManager &manager;
+};
+
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    virtual std::string_view name() const = 0;
+
+    /** Pass names that must run (and be cached) before this one. */
+    virtual std::vector<std::string_view> dependsOn() const { return {}; }
+
+    /**
+     * When true (the default), the manager skips this pass on kernels the
+     * cfg-check pass found structurally unsound — dataflow over a corrupt
+     * CFG would be meaningless or out-of-bounds.
+     */
+    virtual bool requiresSoundCfg() const { return true; }
+
+    virtual std::unique_ptr<AnalysisResultBase> run(AnalysisContext &ctx) = 0;
+};
+
+/** Outcome of running (or skipping) one pass on one kernel. */
+struct PassOutcome
+{
+    /** Null when the pass was skipped (gated on an unsound CFG). */
+    std::unique_ptr<AnalysisResultBase> result;
+
+    /** Diagnostics the pass emitted when it ran. */
+    DiagnosticSet diags;
+
+    bool skipped = false;
+};
+
+/**
+ * Owns the registered passes and a per-kernel cache of their outcomes.
+ * One manager is bound to one LintOptions value; results computed under
+ * different options must not share a manager.
+ */
+class AnalysisManager
+{
+  public:
+    explicit AnalysisManager(LintOptions options = {});
+    ~AnalysisManager();
+
+    AnalysisManager(const AnalysisManager &) = delete;
+    AnalysisManager &operator=(const AnalysisManager &) = delete;
+
+    /** A manager pre-loaded with the full default pass pipeline. */
+    static std::unique_ptr<AnalysisManager>
+    withDefaultPasses(LintOptions options = {});
+
+    /** Register @p pass; names must be unique. */
+    void registerPass(std::unique_ptr<Pass> pass);
+
+    /** Registered pass names in registration (= topological-friendly)
+     * order. */
+    std::vector<std::string_view> passNames() const;
+
+    /**
+     * Ensure @p pass_name (and, transitively, its dependencies) has run on
+     * @p kernel, computing and caching on first request. Fatal on unknown
+     * names or dependency cycles.
+     */
+    const PassOutcome &ensure(const Kernel &kernel,
+                              std::string_view pass_name);
+
+    /**
+     * Typed access to a cached-or-computed result; nullptr when the pass
+     * was skipped.
+     */
+    template <typename T>
+    const T *
+    resultOf(const Kernel &kernel, std::string_view pass_name)
+    {
+        return dynamic_cast<const T *>(ensure(kernel, pass_name).result.get());
+    }
+
+    /** Drop all cached outcomes for @p kernel. */
+    void invalidate(const Kernel &kernel);
+
+    const LintOptions &options() const { return options_; }
+
+  private:
+    Pass *findPass(std::string_view name);
+
+    LintOptions options_;
+    std::vector<std::unique_ptr<Pass>> passes_;
+
+    /** kernel -> pass name -> outcome. */
+    std::map<const Kernel *,
+             std::map<std::string, PassOutcome, std::less<>>>
+        cache_;
+
+    /** Pass names currently running on behalf of a kernel (cycle guard). */
+    std::vector<std::string> inFlight_;
+};
+
+} // namespace finereg::analysis
+
+#endif // FINEREG_ANALYSIS_PASS_HH

@@ -1,0 +1,185 @@
+#include "analysis/reaching_defs.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/cfg_check.hh"
+#include "analysis/dominators.hh"
+#include "common/log.hh"
+
+namespace finereg::analysis
+{
+
+namespace
+{
+
+RegBitVec
+allocatedRegs(const Kernel &kernel)
+{
+    RegBitVec regs;
+    const unsigned limit =
+        std::min<unsigned>(kernel.regsPerThread(), kMaxRegsPerThread);
+    for (unsigned r = 0; r < limit; ++r)
+        regs.set(static_cast<RegIndex>(r));
+    return regs;
+}
+
+RegBitVec
+blockDefs(const Kernel &kernel, int b)
+{
+    RegBitVec defs;
+    const BasicBlock &blk = kernel.blocks()[b];
+    for (unsigned i = blk.firstInstr; i < blk.firstInstr + blk.numInstrs; ++i) {
+        const int dst = kernel.instrs()[i].dst;
+        if (dst >= 0)
+            defs.set(static_cast<RegIndex>(dst));
+    }
+    return defs;
+}
+
+} // namespace
+
+std::vector<std::string_view>
+ReachingDefsPass::dependsOn() const
+{
+    return {CfgCheckResult::kName, DomTreeResult::kName};
+}
+
+std::unique_ptr<AnalysisResultBase>
+ReachingDefsPass::run(AnalysisContext &ctx)
+{
+    const Kernel &kernel = ctx.kernel;
+    const auto *cfg =
+        ctx.manager.resultOf<CfgCheckResult>(kernel, CfgCheckResult::kName);
+    const auto *dom =
+        ctx.manager.resultOf<DomTreeResult>(kernel, DomTreeResult::kName);
+    if (cfg == nullptr || dom == nullptr)
+        FINEREG_PANIC("reaching-defs scheduled without its dependencies");
+
+    const auto &instrs = kernel.instrs();
+    const auto &blocks = kernel.blocks();
+    const int n = static_cast<int>(blocks.size());
+    const RegBitVec all_regs = allocatedRegs(kernel);
+
+    auto result = std::make_unique<ReachingDefsResult>();
+
+    // Definition sites per register, for dominance-based message
+    // refinement: pairs of (block, flat instruction index).
+    std::vector<std::vector<std::pair<int, unsigned>>> def_sites(
+        kMaxRegsPerThread);
+    for (unsigned i = 0; i < instrs.size(); ++i) {
+        const int dst = instrs[i].dst;
+        if (dst >= 0 && dst < static_cast<int>(kMaxRegsPerThread)) {
+            result->everDefined.set(static_cast<RegIndex>(dst));
+            def_sites[dst].emplace_back(kernel.blockOfInstr(i), i);
+        }
+    }
+
+    std::vector<RegBitVec> kill(n);
+    for (int b = 0; b < n; ++b)
+        kill[b] = blockDefs(kernel, b);
+
+    // Forward fixpoint. "Maybe undefined" meets with union, "definitely
+    // undefined" with intersection; both start from all-allocated-undefined
+    // at the entry. Unreachable blocks keep empty in-sets — cfg-check
+    // already reported them and nothing executes there.
+    result->maybeUndefIn.assign(n, RegBitVec{});
+    result->definiteUndefIn.assign(n, RegBitVec{});
+    result->maybeUndefIn[kernel.entryBlock()] = all_regs;
+    result->definiteUndefIn[kernel.entryBlock()] = all_regs;
+
+    bool changed = true;
+    unsigned iterations = 0;
+    while (changed) {
+        changed = false;
+        if (++iterations > 10u * n + 64)
+            FINEREG_PANIC("reaching-defs failed to converge on ",
+                          kernel.name());
+        for (int b = 0; b < n; ++b) {
+            if (!cfg->reachable[b])
+                continue;
+            if (b != kernel.entryBlock()) {
+                RegBitVec maybe;
+                RegBitVec definite = all_regs;
+                for (const int p : cfg->preds[b]) {
+                    maybe |= result->maybeUndefIn[p].minus(kill[p]);
+                    definite = definite &
+                               result->definiteUndefIn[p].minus(kill[p]);
+                }
+                if (maybe != result->maybeUndefIn[b] ||
+                    definite != result->definiteUndefIn[b]) {
+                    result->maybeUndefIn[b] = maybe;
+                    result->definiteUndefIn[b] = definite;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Diagnostic walk: thread the in-sets through each reachable block.
+    unsigned emitted = 0;
+    for (int b = 0; b < n; ++b) {
+        if (!cfg->reachable[b])
+            continue;
+        RegBitVec maybe = result->maybeUndefIn[b];
+        RegBitVec definite = result->definiteUndefIn[b];
+        const BasicBlock &blk = blocks[b];
+        for (unsigned i = blk.firstInstr; i < blk.firstInstr + blk.numInstrs;
+             ++i) {
+            const Instruction &instr = instrs[i];
+            for (const int src : instr.srcs) {
+                if (src < 0 || src >= static_cast<int>(kMaxRegsPerThread) ||
+                    !maybe.test(static_cast<RegIndex>(src))) {
+                    continue;
+                }
+                if (!result->everDefined.test(static_cast<RegIndex>(src))) {
+                    ++result->useNeverDefinedCount;
+                    if (emitted++ < ctx.options.maxDiagsPerPass) {
+                        ctx.diags.add(
+                            DiagKind::UseNeverDefined, kernel.name(), b,
+                            static_cast<int>(i), src,
+                            "read of a register no instruction ever writes; "
+                            "the value is whatever CTA launch initialized");
+                    }
+                    // One report per register per block walk is enough.
+                    maybe.reset(static_cast<RegIndex>(src));
+                    definite.reset(static_cast<RegIndex>(src));
+                    continue;
+                }
+                ++result->useBeforeDefCount;
+                if (emitted++ < ctx.options.maxDiagsPerPass) {
+                    std::ostringstream oss;
+                    if (definite.test(static_cast<RegIndex>(src))) {
+                        oss << "read before any definition on every path "
+                               "from the entry";
+                    } else {
+                        oss << "read possibly before its definition on some "
+                               "path from the entry";
+                    }
+                    bool dominated = false;
+                    for (const auto &[db, di] : def_sites[src]) {
+                        if ((db == b && di < i) ||
+                            (db != b && dom->dominates(db, b))) {
+                            dominated = true;
+                            break;
+                        }
+                    }
+                    if (!dominated)
+                        oss << "; no definition dominates this use";
+                    ctx.diags.add(DiagKind::UseBeforeDef, kernel.name(), b,
+                                  static_cast<int>(i), src, oss.str());
+                }
+                maybe.reset(static_cast<RegIndex>(src));
+                definite.reset(static_cast<RegIndex>(src));
+            }
+            if (instr.dst >= 0) {
+                maybe.reset(static_cast<RegIndex>(instr.dst));
+                definite.reset(static_cast<RegIndex>(instr.dst));
+            }
+        }
+    }
+
+    return result;
+}
+
+} // namespace finereg::analysis

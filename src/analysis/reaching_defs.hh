@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Use-before-def analysis: a forward "possibly-undefined" dataflow (union
+ * meet) plus a "definitely-undefined" dataflow (intersection meet) over
+ * the derived CFG. Every register starts undefined at the kernel entry;
+ * a read of a possibly-undefined register is flagged. The runtime does
+ * initialize register files at CTA launch (CtaValues::initRegValue), so
+ * these findings are warnings — the program is legal but is consuming
+ * launch-initialization values rather than computed ones. The dominator
+ * tree refines messages: a use no definition dominates is called out
+ * explicitly.
+ */
+
+#ifndef FINEREG_ANALYSIS_REACHING_DEFS_HH
+#define FINEREG_ANALYSIS_REACHING_DEFS_HH
+
+#include <vector>
+
+#include "analysis/pass.hh"
+#include "common/bitvec.hh"
+
+namespace finereg::analysis
+{
+
+struct ReachingDefsResult : AnalysisResultBase
+{
+    static constexpr std::string_view kName = "reaching-defs";
+
+    /** Registers with at least one definition anywhere in the kernel. */
+    RegBitVec everDefined;
+
+    /** Possibly-undefined registers at each block's entry. */
+    std::vector<RegBitVec> maybeUndefIn;
+
+    /** Definitely-undefined registers at each block's entry. */
+    std::vector<RegBitVec> definiteUndefIn;
+
+    unsigned useBeforeDefCount = 0;
+    unsigned useNeverDefinedCount = 0;
+};
+
+class ReachingDefsPass : public Pass
+{
+  public:
+    std::string_view name() const override { return ReachingDefsResult::kName; }
+    std::vector<std::string_view> dependsOn() const override;
+    std::unique_ptr<AnalysisResultBase> run(AnalysisContext &ctx) override;
+};
+
+} // namespace finereg::analysis
+
+#endif // FINEREG_ANALYSIS_REACHING_DEFS_HH

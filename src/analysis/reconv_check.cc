@@ -1,0 +1,68 @@
+#include "analysis/reconv_check.hh"
+
+#include <sstream>
+
+#include "analysis/cfg_check.hh"
+#include "analysis/dominators.hh"
+#include "common/log.hh"
+#include "compiler/cfg_analysis.hh"
+
+namespace finereg::analysis
+{
+
+std::vector<std::string_view>
+ReconvCheckPass::dependsOn() const
+{
+    return {CfgCheckResult::kName, PostDomTreeResult::kName};
+}
+
+std::unique_ptr<AnalysisResultBase>
+ReconvCheckPass::run(AnalysisContext &ctx)
+{
+    const auto *cfg =
+        ctx.manager.resultOf<CfgCheckResult>(ctx.kernel,
+                                             CfgCheckResult::kName);
+    const auto *pdom =
+        ctx.manager.resultOf<PostDomTreeResult>(ctx.kernel,
+                                                PostDomTreeResult::kName);
+    if (cfg == nullptr || pdom == nullptr)
+        FINEREG_PANIC("reconv-check scheduled without its dependencies");
+
+    auto result = std::make_unique<ReconvCheckResult>();
+
+    // CfgAnalysis fatals on unreachable blocks and assumes every block
+    // reaches an EXIT, so the comparison only makes sense on CFGs that
+    // already satisfy both; cfg-check reported the structural findings.
+    if (!cfg->allReachable || !cfg->hasExit || !cfg->exitReachableEverywhere)
+        return result;
+
+    result->compared = true;
+    const CfgAnalysis compiler(ctx.kernel);
+
+    const int n = static_cast<int>(ctx.kernel.blocks().size());
+    unsigned emitted = 0;
+    for (int b = 0; b < n; ++b) {
+        // CfgAnalysis encodes "post-dominated only by exit" as -1; the
+        // postdomtree pass encodes it as kVirtualExit.
+        const int derived = pdom->ipdom[b] == PostDomTreeResult::kVirtualExit
+                                ? -1
+                                : pdom->ipdom[b];
+        if (derived == compiler.ipdom(b)) {
+            ++result->matches;
+            continue;
+        }
+        ++result->mismatches;
+        if (emitted++ < ctx.options.maxDiagsPerPass) {
+            std::ostringstream oss;
+            oss << "compiler ipdom is B" << compiler.ipdom(b)
+                << " but the independent post-dominator tree derives B"
+                << derived
+                << "; diverged warps would reconverge at the wrong PC";
+            ctx.diags.add(DiagKind::ReconvergenceMismatch, ctx.kernel.name(),
+                          b, -1, -1, oss.str());
+        }
+    }
+    return result;
+}
+
+} // namespace finereg::analysis

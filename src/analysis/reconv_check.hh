@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Reconvergence cross-check: re-derives immediate post-dominators
+ * independently (postdomtree pass, CHK over the reversed derived-edge
+ * graph) and compares them against the compiler's CfgAnalysis ipdoms —
+ * the values the SIMT stack actually uses for reconvergence PCs. Any
+ * disagreement is an error: a wrong reconvergence point silently corrupts
+ * divergent execution. Only runs on kernels where every block is
+ * reachable, because CfgAnalysis itself fatals on unreachable blocks.
+ */
+
+#ifndef FINEREG_ANALYSIS_RECONV_CHECK_HH
+#define FINEREG_ANALYSIS_RECONV_CHECK_HH
+
+#include "analysis/pass.hh"
+
+namespace finereg::analysis
+{
+
+struct ReconvCheckResult : AnalysisResultBase
+{
+    static constexpr std::string_view kName = "reconv-check";
+
+    /** True when the comparison ran (all blocks reachable). */
+    bool compared = false;
+
+    /** Blocks whose ipdom matched (when compared). */
+    unsigned matches = 0;
+    unsigned mismatches = 0;
+};
+
+class ReconvCheckPass : public Pass
+{
+  public:
+    std::string_view name() const override { return ReconvCheckResult::kName; }
+    std::vector<std::string_view> dependsOn() const override;
+    std::unique_ptr<AnalysisResultBase> run(AnalysisContext &ctx) override;
+};
+
+} // namespace finereg::analysis
+
+#endif // FINEREG_ANALYSIS_RECONV_CHECK_HH

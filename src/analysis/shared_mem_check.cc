@@ -1,0 +1,115 @@
+#include "analysis/shared_mem_check.hh"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace finereg::analysis
+{
+
+namespace
+{
+
+constexpr unsigned kNumBanks = 32;
+constexpr unsigned kBankWidth = 4;
+
+/** The region size the executor wraps shared addresses into. */
+std::uint32_t
+sharedRegion(const Kernel &kernel)
+{
+    return std::max<std::uint32_t>((kernel.shmemPerCta() + 127u) & ~127u,
+                                   128u);
+}
+
+/**
+ * Worst lanes-per-bank degree over every 4-aligned base offset. Lane l
+ * touches word (base + 4*l) mod region; bank = word / 4 mod 32. When
+ * region/4 is a multiple of 32 the mapping is offset-invariant and the
+ * full scan collapses to one offset.
+ */
+unsigned
+worstBankDegree(std::uint32_t region)
+{
+    const std::uint32_t words = region / kBankWidth;
+    const std::uint32_t offsets = words % kNumBanks == 0 ? 1 : words;
+    unsigned worst = 0;
+    for (std::uint32_t o = 0; o < offsets; ++o) {
+        std::array<unsigned, kNumBanks> lanes_per_bank{};
+        for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+            const std::uint32_t word = (o + lane) % words;
+            ++lanes_per_bank[word % kNumBanks];
+        }
+        worst = std::max(worst,
+                         *std::max_element(lanes_per_bank.begin(),
+                                           lanes_per_bank.end()));
+    }
+    return worst;
+}
+
+} // namespace
+
+std::unique_ptr<AnalysisResultBase>
+SharedMemCheckPass::run(AnalysisContext &ctx)
+{
+    const Kernel &kernel = ctx.kernel;
+    auto result = std::make_unique<SharedMemCheckResult>();
+
+    const std::uint32_t region = sharedRegion(kernel);
+    const unsigned degree = worstBankDegree(region);
+
+    unsigned emitted = 0;
+    auto report = [&](DiagKind kind, unsigned i, std::string message) {
+        if (emitted++ < ctx.options.maxDiagsPerPass) {
+            ctx.diags.add(kind, kernel.name(),
+                          kernel.blockOfInstr(i), static_cast<int>(i), -1,
+                          std::move(message));
+        }
+    };
+
+    const auto &instrs = kernel.instrs();
+    for (unsigned i = 0; i < instrs.size(); ++i) {
+        const Instruction &instr = instrs[i];
+        if (instr.op != Opcode::LD_SHARED && instr.op != Opcode::ST_SHARED)
+            continue;
+        ++result->sharedOps;
+        result->maxBankConflictDegree =
+            std::max(result->maxBankConflictDegree, degree);
+
+        if (kernel.shmemPerCta() == 0) {
+            ++result->opsWithoutShmem;
+            report(DiagKind::SharedOpWithoutShmem, i,
+                   "shared access in a kernel declaring no shared memory; "
+                   "the executor wraps it into the minimum 128-byte region");
+        } else if (instr.mem.footprint > region) {
+            ++result->footprintViolations;
+            std::ostringstream oss;
+            oss << "declared footprint of " << instr.mem.footprint
+                << " bytes exceeds the CTA's " << region
+                << "-byte shared region; the address walk silently wraps";
+            report(DiagKind::SharedFootprintExceedsShmem, i, oss.str());
+        }
+
+        if (instr.mem.transactions > 1) {
+            ++result->ignoredTransactionOps;
+            std::ostringstream oss;
+            oss << "declares " << instr.mem.transactions
+                << " transactions, but the shared path models one fixed "
+                   "latency regardless; the extra transactions cost nothing";
+            report(DiagKind::SharedTransactionsIgnored, i, oss.str());
+        }
+
+        if (degree > 1) {
+            std::ostringstream oss;
+            oss << "lane addresses statically collide " << degree
+                << "-way in a bank; the timing model does not serialize "
+                   "shared conflicts";
+            report(DiagKind::SharedBankConflict, i, oss.str());
+        }
+    }
+
+    return result;
+}
+
+} // namespace finereg::analysis

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared-memory static checks, mirroring the executor's address model
+ * (CtaValues::sharedBaseOffset/execShared): accesses walk a region of
+ * max(roundup(shmemPerCta, 128), 128) bytes, each lane touching the
+ * 4-byte word (base + 4*lane) mod region. The pass flags shared ops in
+ * kernels that declare no shared memory, declared footprints larger than
+ * the CTA's allocation (the walk silently wraps), per-warp transaction
+ * counts the fixed-latency shared path ignores, and computes the worst
+ * static bank-conflict degree over the 32 four-byte banks — proving the
+ * common case conflict-free rather than assuming it.
+ */
+
+#ifndef FINEREG_ANALYSIS_SHARED_MEM_CHECK_HH
+#define FINEREG_ANALYSIS_SHARED_MEM_CHECK_HH
+
+#include "analysis/pass.hh"
+
+namespace finereg::analysis
+{
+
+struct SharedMemCheckResult : AnalysisResultBase
+{
+    static constexpr std::string_view kName = "shared-mem";
+
+    unsigned sharedOps = 0;
+
+    /**
+     * Worst-case lanes mapped to one bank across all shared ops and
+     * 4-aligned base offsets; 1 = provably conflict-free, 0 = no shared
+     * ops.
+     */
+    unsigned maxBankConflictDegree = 0;
+
+    unsigned footprintViolations = 0;
+    unsigned opsWithoutShmem = 0;
+    unsigned ignoredTransactionOps = 0;
+};
+
+class SharedMemCheckPass : public Pass
+{
+  public:
+    std::string_view name() const override { return SharedMemCheckResult::kName; }
+    std::unique_ptr<AnalysisResultBase> run(AnalysisContext &ctx) override;
+};
+
+} // namespace finereg::analysis
+
+#endif // FINEREG_ANALYSIS_SHARED_MEM_CHECK_HH

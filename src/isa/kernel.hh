@@ -18,6 +18,11 @@
 namespace finereg
 {
 
+namespace analysis
+{
+class KernelMutator;
+} // namespace analysis
+
 /** A straight-line sequence of instructions ending in a terminator. */
 struct BasicBlock
 {
@@ -97,6 +102,11 @@ class Kernel
 
   private:
     friend class KernelBuilder;
+
+    /** Test-only: seeds known defects into cloned kernels for lint
+     * self-checks (analysis/kernel_mutator.hh). */
+    friend class analysis::KernelMutator;
+
     Kernel() = default;
 
     std::string name_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "analysis/lint.hh"
 #include "isa/kernel_builder.hh"
 
 namespace finereg
@@ -126,21 +127,28 @@ randomOps(GenRng &rng, unsigned count, unsigned regs, bool allow_shared)
 
 /** Emit one GenOp (and a load's dependent consumer) into the builder. */
 void
-emitOp(KernelBuilder &b, const GenOp &op, unsigned regs)
+emitOp(KernelBuilder &b, const GenOp &op, unsigned regs, unsigned shmem)
 {
+    // Shared accesses wrap inside the CTA's allocation, and the executor
+    // and timing model both ignore the footprint for them — clamp it so
+    // the declared pattern matches what actually happens.
+    MemPattern mem = op.mem;
+    if (op.op == Opcode::LD_SHARED || op.op == Opcode::ST_SHARED)
+        mem.footprint = std::min<std::uint64_t>(mem.footprint,
+                                                std::max(shmem, 1u));
     switch (op.kind) {
       case GenOp::Kind::Alu:
         b.alu(op.op, op.dst, op.srcA, op.srcB, op.srcC);
         break;
       case GenOp::Kind::Load:
-        b.load(op.op, op.dst, op.srcA, op.mem);
+        b.load(op.op, op.dst, op.srcA, mem);
         if (op.dependentUse) {
             const int consumer = (op.dst + 1) % static_cast<int>(regs);
             b.alu(Opcode::IADD, consumer, op.dst, op.dst);
         }
         break;
       case GenOp::Kind::Store:
-        b.store(op.op, op.srcA, op.srcB, op.mem);
+        b.store(op.op, op.srcA, op.srcB, mem);
         break;
     }
 }
@@ -181,7 +189,7 @@ KernelSpec::build() const
             // Thin diamonds degrade to straight code: a one-op diamond
             // would leave an arm block empty, which finalize() rejects.
             for (const GenOp &op : seg.ops)
-                emitOp(b, op, regs);
+                emitOp(b, op, regs, shmem);
             cur_empty = cur_empty && seg.ops.empty();
             continue;
         }
@@ -193,7 +201,7 @@ KernelSpec::build() const
             if (seg.ops.empty())
                 b.mov(0, 0); // blocks may not be empty
             for (const GenOp &op : seg.ops)
-                emitOp(b, op, regs);
+                emitOp(b, op, regs, shmem);
             b.loopBranch(body, /*cond_src=*/0, std::max(seg.trips, 1u),
                          seg.divergeProb);
             cur = b.newBlock(); // loop exit falls through here
@@ -210,11 +218,11 @@ KernelSpec::build() const
         b.branch(then_blk, /*cond_src=*/0, seg.takenProb, seg.divergeProb);
         b.newBlock(); // else arm == cur + 1
         for (std::size_t i = 0; i < split; ++i)
-            emitOp(b, seg.ops[i], regs);
+            emitOp(b, seg.ops[i], regs, shmem);
         b.jump(join_blk);
         b.newBlock(); // then arm == cur + 2
         for (std::size_t i = split; i < seg.ops.size(); ++i)
-            emitOp(b, seg.ops[i], regs);
+            emitOp(b, seg.ops[i], regs, shmem);
         cur = b.newBlock(); // join == cur + 3
         cur_empty = true;
     }
@@ -237,10 +245,13 @@ KernelSpec::build() const
     if (shmem > 0) {
         MemPattern shout;
         shout.shared = true;
+        shout.footprint = shmem;
         b.store(Opcode::ST_SHARED, 0, 0, shout);
     }
     b.exit();
-    return b.finalize();
+    auto kernel = b.finalize();
+    analysis::assertLintClean(*kernel, "kernel_gen");
+    return kernel;
 }
 
 unsigned

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/lint.hh"
 #include "common/log.hh"
 #include "isa/kernel_builder.hh"
 
@@ -186,7 +187,9 @@ buildWorkloadKernel(const WorkloadParams &params)
     builder.exit();
 
     (void)b_epi;
-    return builder.finalize();
+    auto kernel = builder.finalize();
+    analysis::assertLintClean(*kernel, "workload suite");
+    return kernel;
 }
 
 } // namespace finereg

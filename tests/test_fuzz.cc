@@ -17,6 +17,8 @@
 
 #include <cstdio>
 
+#include "analysis/lint.hh"
+#include "analysis/liveness_check.hh"
 #include "common/rng.hh"
 #include "compiler/cfg_analysis.hh"
 #include "compiler/liveness.hh"
@@ -133,7 +135,11 @@ randomKernel(std::uint64_t seed)
     b.newBlock();
     emit_body(1);
     b.exit();
-    return b.finalize();
+    auto kernel = b.finalize();
+    // Every fuzz kernel goes through the static analyzer; a lint error
+    // here means the generator (or a pass) is broken.
+    analysis::assertLintClean(*kernel, "test_fuzz randomKernel");
+    return kernel;
 }
 
 RegBitVec
@@ -292,6 +298,22 @@ TEST_P(FuzzKernel, FineRegLeavesNoResidue)
     }
     EXPECT_EQ(gpu.stats().counterValue("pcrf.stored_ctas"),
               gpu.stats().counterValue("pcrf.restored_ctas"));
+}
+
+TEST_P(FuzzKernel, LintIsCleanAndCrossValidatorAgreesExactly)
+{
+    const auto kernel = randomKernel(GetParam());
+    const auto result = analysis::lintKernel(*kernel);
+    EXPECT_FALSE(result.diags.hasErrors()) << result.diags.renderText(16);
+
+    // Both liveness solvers compute the least fixpoint of the same
+    // equations, so on a valid kernel they must agree bit for bit.
+    auto manager = analysis::AnalysisManager::withDefaultPasses();
+    const auto *live = manager->resultOf<analysis::LivenessCheckResult>(
+        *kernel, analysis::LivenessCheckResult::kName);
+    ASSERT_NE(live, nullptr);
+    EXPECT_TRUE(live->exactMatch) << kernel->name();
+    EXPECT_EQ(live->unsoundCount, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzKernel,

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/lint.hh"
 #include "ref/kernel_gen.hh"
 
 namespace finereg
@@ -43,6 +44,24 @@ TEST(KernelGen, EverySpecBuildsAValidKernel)
         for (const auto &instr : instrs)
             has_store = has_store || instr.op == Opcode::ST_GLOBAL;
         EXPECT_TRUE(has_store) << spec.describe();
+    }
+}
+
+TEST(KernelGen, EveryGeneratedKernelLintsClean)
+{
+    // build() already routes through assertLintClean (fatal on errors);
+    // this re-checks with the library API so a regression produces a
+    // readable test failure instead of a process abort, and covers the
+    // shared-footprint clamp: generated shared ops must never declare a
+    // footprint past the CTA allocation.
+    for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+        const auto kernel = generateKernelSpec(seed).build();
+        const auto result = analysis::lintKernel(*kernel);
+        EXPECT_FALSE(result.diags.hasErrors())
+            << kernel->name() << "\n" << result.diags.renderText(16);
+        EXPECT_FALSE(
+            result.diags.has(analysis::DiagKind::SharedFootprintExceedsShmem))
+            << kernel->name();
     }
 }
 

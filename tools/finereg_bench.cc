@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/lint.hh"
 #include "core/cli_options.hh"
 #include "core/experiment.hh"
 #include "core/parallel_runner.hh"
@@ -187,7 +188,7 @@ runBench(const BenchOptions &options)
     json.key("schema");
     json.str("finereg-bench-suite");
     json.key("schema_version");
-    json.u64(1);
+    json.u64(2);
 
     json.key("host");
     json.open('{');
@@ -264,6 +265,42 @@ runBench(const BenchOptions &options)
                                       : "hit the cycle cap");
             }
         }
+        json.close('}');
+    }
+    json.close('}');
+
+    // Static per-app analysis (schema v2). Kept as a sibling of "apps"
+    // rather than inside each app object so bench_diff.py, which treats
+    // every key of an app object as a policy name, never sees it. These
+    // stats are grid-scale invariant, so no scale is applied.
+    json.key("static");
+    json.open('{');
+    auto manager = analysis::AnalysisManager::withDefaultPasses();
+    // The manager caches by kernel address: keep every kernel alive for
+    // the whole loop so a reallocation can never alias a cache entry.
+    std::vector<std::unique_ptr<Kernel>> static_kernels;
+    for (const auto &app : apps) {
+        static_kernels.push_back(Suite::makeKernel(app));
+        const Kernel &kernel = *static_kernels.back();
+        const analysis::LintResult lint = analysis::lintKernel(*manager, kernel);
+        json.key(app.abbrev);
+        json.open('{');
+        json.key("static_instrs");
+        json.u64(lint.stats.staticInstrs);
+        json.key("blocks");
+        json.u64(lint.stats.numBlocks);
+        json.key("max_live");
+        json.u64(lint.stats.maxLive);
+        json.key("mean_live");
+        json.num(lint.stats.meanLive, 3);
+        json.key("live_ratio");
+        json.num(lint.stats.liveRatio, 4);
+        json.key("dead_defs");
+        json.u64(lint.stats.deadDefs);
+        json.key("lint_errors");
+        json.u64(lint.diags.errors());
+        json.key("lint_warnings");
+        json.u64(lint.diags.warnings());
         json.close('}');
     }
     json.close('}');

@@ -1,0 +1,386 @@
+/**
+ * @file
+ * finereg_lint — static analysis driver. Runs the full analysis pipeline
+ * (CFG well-formedness, dominators, reconvergence cross-check, reaching
+ * definitions, the liveness cross-validator, shared-memory checks) over
+ * the 18-workload suite and any number of seeded generated kernels, and
+ * exits non-zero if any kernel carries a lint error. --json emits the
+ * diagnostics and per-kernel occupancy statistics for CI artifacts.
+ *
+ * --self-check seeds every known defect class (dangling branches, dropped
+ * definitions, corrupted live-register bit vectors, out-of-bounds shared
+ * stores, ...) into otherwise-clean generated kernels and fails unless
+ * each defect raises a new diagnostic of the required kind — proving the
+ * analyses detect the corruption classes they claim to, the static twin
+ * of finereg_diff --self-check.
+ */
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "analysis/kernel_mutator.hh"
+#include "analysis/lint.hh"
+#include "common/log.hh"
+#include "ref/kernel_gen.hh"
+#include "workloads/suite.hh"
+
+using namespace finereg;
+using namespace finereg::analysis;
+
+namespace
+{
+
+struct LintCliOptions
+{
+    std::vector<std::string> apps; ///< empty = whole suite
+    unsigned gen = 0;
+    std::uint64_t seed = 1;
+    std::string jsonPath;
+    unsigned maxDiags = 64;
+    bool selfCheck = false;
+    bool verbose = false;
+    bool help = false;
+};
+
+const char *kUsage =
+    "usage: finereg_lint [options]\n"
+    "\n"
+    "Statically analyzes kernels: CFG well-formedness, use-before-def,\n"
+    "an independent cross-validation of the compiler's live-register bit\n"
+    "vectors, reconvergence points, and shared-memory bounds/banking.\n"
+    "Exits 1 if any kernel has a lint error.\n"
+    "\n"
+    "  --app LIST       comma-separated suite abbreviations (default: all\n"
+    "                   18 workloads)\n"
+    "  --gen N          also lint N seeded generated kernels (default 0)\n"
+    "  --seed S         base seed for --gen: a number, or any string\n"
+    "                   (hashed), so CI can pass the git SHA directly\n"
+    "  --json FILE      write diagnostics + per-kernel stats as JSON\n"
+    "  --max-diags N    diagnostics printed per kernel (default 64)\n"
+    "  --self-check     seed every known defect class into generated\n"
+    "                   kernels and require each to be flagged with the\n"
+    "                   right diagnostic kind\n"
+    "  --verbose        per-kernel statistics even when clean\n"
+    "  --help           this text\n";
+
+/** Parse a seed: plain/hex number, else FNV-1a of the string (git SHAs). */
+std::uint64_t
+parseSeed(const std::string &text)
+{
+    char *end = nullptr;
+    const std::uint64_t value = std::strtoull(text.c_str(), &end, 0);
+    if (end && *end == '\0' && end != text.c_str())
+        return value;
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+bool
+parseArgs(const std::vector<std::string> &args, LintCliOptions &opts,
+          std::string &error)
+{
+    auto need_value = [&](std::size_t i) {
+        if (i + 1 >= args.size()) {
+            error = args[i] + " requires a value";
+            return false;
+        }
+        return true;
+    };
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--help") {
+            opts.help = true;
+        } else if (arg == "--verbose") {
+            opts.verbose = true;
+        } else if (arg == "--self-check") {
+            opts.selfCheck = true;
+        } else if (arg == "--app") {
+            if (!need_value(i))
+                return false;
+            std::string list = args[++i];
+            std::size_t pos = 0;
+            while (pos != std::string::npos) {
+                const std::size_t comma = list.find(',', pos);
+                opts.apps.push_back(
+                    list.substr(pos, comma == std::string::npos
+                                         ? std::string::npos
+                                         : comma - pos));
+                pos = comma == std::string::npos ? comma : comma + 1;
+            }
+        } else if (arg == "--gen") {
+            if (!need_value(i))
+                return false;
+            opts.gen = static_cast<unsigned>(
+                std::strtoul(args[++i].c_str(), nullptr, 0));
+        } else if (arg == "--seed") {
+            if (!need_value(i))
+                return false;
+            opts.seed = parseSeed(args[++i]);
+        } else if (arg == "--json") {
+            if (!need_value(i))
+                return false;
+            opts.jsonPath = args[++i];
+        } else if (arg == "--max-diags") {
+            if (!need_value(i))
+                return false;
+            opts.maxDiags = static_cast<unsigned>(
+                std::strtoul(args[++i].c_str(), nullptr, 0));
+        } else {
+            error = "unknown flag '" + arg + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+struct KernelReport
+{
+    std::string name;
+    LintResult result;
+};
+
+void
+writeJson(const std::string &path, const std::vector<KernelReport> &reports)
+{
+    std::ofstream os(path);
+    if (!os) {
+        FINEREG_WARN("cannot write JSON report to ", path);
+        return;
+    }
+    os << "{\n  \"schema_version\": 1,\n  \"kernels\": [\n";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        const KernelReport &report = reports[i];
+        const KernelLintStats &stats = report.result.stats;
+        os << "    {\"name\": \"" << report.name << "\""
+           << ", \"errors\": " << report.result.diags.errors()
+           << ", \"warnings\": " << report.result.diags.warnings()
+           << ", \"notes\": " << report.result.diags.notes()
+           << ", \"static_instrs\": " << stats.staticInstrs
+           << ", \"blocks\": " << stats.numBlocks
+           << ", \"max_live\": " << stats.maxLive
+           << ", \"mean_live\": " << stats.meanLive
+           << ", \"live_ratio\": " << stats.liveRatio
+           << ", \"dead_defs\": " << stats.deadDefs
+           << ", \"shared_ops\": " << stats.sharedOps
+           << ", \"max_bank_conflict\": " << stats.maxBankConflict
+           << ", \"diagnostics\": ";
+        report.result.diags.renderJson(os);
+        os << '}' << (i + 1 < reports.size() ? "," : "") << '\n';
+    }
+    os << "  ]\n}\n";
+}
+
+int
+runLint(const LintCliOptions &opts)
+{
+    // One manager across every kernel: exercises the per-kernel cache and
+    // keeps the pipeline allocation out of the per-kernel loop.
+    LintOptions lint_options;
+    lint_options.maxDiagsPerPass = opts.maxDiags;
+    auto manager = AnalysisManager::withDefaultPasses(lint_options);
+
+    // Kernels must outlive the manager's result cache.
+    std::vector<std::unique_ptr<Kernel>> kernels;
+    std::vector<KernelReport> reports;
+
+    const std::vector<SuiteEntry> &suite = Suite::all();
+    if (opts.apps.empty()) {
+        for (const SuiteEntry &entry : suite)
+            kernels.push_back(Suite::makeKernel(entry));
+    } else {
+        for (const std::string &name : opts.apps)
+            kernels.push_back(Suite::makeKernel(Suite::byName(name)));
+    }
+    for (unsigned i = 0; i < opts.gen; ++i) {
+        const std::uint64_t case_seed =
+            opts.seed + 0x9e3779b97f4a7c15ull * i;
+        kernels.push_back(generateKernelSpec(case_seed).build());
+    }
+
+    unsigned total_errors = 0, total_warnings = 0;
+    double suite_ratio_sum = 0.0;
+    unsigned suite_count = 0;
+    for (const auto &kernel : kernels) {
+        KernelReport report;
+        report.name = kernel->name();
+        report.result = lintKernel(*manager, *kernel);
+        total_errors += report.result.diags.errors();
+        total_warnings += report.result.diags.warnings();
+
+        const KernelLintStats &stats = report.result.stats;
+        const bool is_suite = suite_count < (opts.apps.empty()
+                                                 ? suite.size()
+                                                 : opts.apps.size());
+        if (is_suite) {
+            suite_ratio_sum += stats.liveRatio;
+            ++suite_count;
+        }
+
+        if (opts.verbose || report.result.diags.errors() > 0) {
+            std::printf("%-28s %4u instrs %2u blocks  live max %2u mean "
+                        "%5.2f ratio %4.1f%%  %u error(s) %u warning(s)\n",
+                        report.name.c_str(), stats.staticInstrs,
+                        stats.numBlocks, stats.maxLive, stats.meanLive,
+                        stats.liveRatio * 100.0,
+                        report.result.diags.errors(),
+                        report.result.diags.warnings());
+        }
+        if (!report.result.diags.empty() &&
+            (opts.verbose || report.result.diags.hasErrors())) {
+            std::printf("%s",
+                        report.result.diags.renderText(opts.maxDiags)
+                            .c_str());
+        }
+        reports.push_back(std::move(report));
+    }
+
+    if (!opts.jsonPath.empty())
+        writeJson(opts.jsonPath, reports);
+
+    std::printf("finereg_lint: %zu kernel(s): %u error(s), %u warning(s)",
+                kernels.size(), total_errors, total_warnings);
+    if (suite_count > 0) {
+        std::printf("; suite mean static live ratio %.1f%%",
+                    100.0 * suite_ratio_sum / suite_count);
+    }
+    std::printf("\n");
+    return total_errors > 0 ? 1 : 0;
+}
+
+// ---- Self-check ----------------------------------------------------------
+
+/** Location key for "is this diagnostic new vs. the clean kernel". */
+using DiagKey = std::tuple<DiagKind, int, int, int>;
+
+std::set<DiagKey>
+keysOf(const DiagnosticSet &diags)
+{
+    std::set<DiagKey> keys;
+    for (const Diagnostic &diag : diags.all())
+        keys.emplace(diag.kind, diag.block, diag.instr, diag.reg);
+    return keys;
+}
+
+int
+runSelfCheck(const LintCliOptions &opts)
+{
+    constexpr unsigned kKernelBudget = 48;
+
+    unsigned failures = 0;
+    for (const DefectKind kind : allDefectKinds()) {
+        bool caught = false;
+        std::string how;
+
+        for (unsigned i = 0; i < kKernelBudget && !caught; ++i) {
+            const std::uint64_t case_seed =
+                opts.seed + 0x9e3779b97f4a7c15ull * i;
+            GenOptions gen;
+            gen.observeAllRegs = true;
+            const auto kernel =
+                generateKernelSpec(case_seed, gen).build();
+
+            auto candidate =
+                KernelMutator::seedDefect(*kernel, kind, case_seed);
+            if (!candidate)
+                continue;
+
+            const LintResult clean = lintKernel(*kernel);
+            if (clean.diags.hasErrors())
+                continue; // Never seed into an already-broken kernel.
+            const std::set<DiagKey> clean_keys = keysOf(clean.diags);
+
+            const LintResult mutated =
+                lintKernel(*candidate->kernel, candidate->options);
+            for (const Diagnostic &diag : mutated.diags.all()) {
+                const bool expected_kind =
+                    std::find(candidate->expected.begin(),
+                              candidate->expected.end(),
+                              diag.kind) != candidate->expected.end();
+                if (!expected_kind)
+                    continue;
+                if (clean_keys.count(
+                        {diag.kind, diag.block, diag.instr, diag.reg}))
+                    continue; // Pre-existing finding, not the defect.
+                caught = true;
+                how = "caught as [" + std::string(diagKindName(diag.kind)) +
+                      "] at " + diag.location() + " (seed 0x";
+                char buf[32];
+                std::snprintf(buf, sizeof buf, "%" PRIx64, case_seed);
+                how += buf;
+                how += "): " + candidate->detail;
+                break;
+            }
+            if (!caught && opts.verbose) {
+                std::fprintf(stderr,
+                             "  seed 0x%" PRIx64 ": %s planted but not "
+                             "flagged\n",
+                             case_seed,
+                             std::string(defectKindName(kind)).c_str());
+            }
+        }
+
+        if (caught) {
+            std::printf("PASS %-22s %s\n",
+                        std::string(defectKindName(kind)).c_str(),
+                        how.c_str());
+        } else {
+            ++failures;
+            std::printf("FAIL %-22s no generated kernel produced a new "
+                        "diagnostic of the expected kind in %u attempts\n",
+                        std::string(defectKindName(kind)).c_str(),
+                        kKernelBudget);
+        }
+    }
+
+    const std::size_t total = allDefectKinds().size();
+    if (failures > 0) {
+        std::fprintf(stderr,
+                     "finereg_lint --self-check: %u/%zu defect classes "
+                     "escaped detection\n",
+                     failures, total);
+        return 1;
+    }
+    std::printf("finereg_lint --self-check: all %zu defect classes "
+                "detected\n",
+                total);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    LintCliOptions opts;
+    std::string error;
+    if (!parseArgs({argv + 1, argv + argc}, opts, error)) {
+        std::fprintf(stderr, "error: %s\n\n%s", error.c_str(), kUsage);
+        return 2;
+    }
+    if (opts.help) {
+        std::printf("%s", kUsage);
+        return 0;
+    }
+    setVerbose(opts.verbose);
+
+    // The lint tool reports; it must not die inside the build hooks the
+    // rest of the toolchain uses to refuse broken kernels.
+    setLintEnforcement(false);
+
+    if (opts.selfCheck)
+        return runSelfCheck(opts);
+    return runLint(opts);
+}
