@@ -236,6 +236,51 @@ parseCliOptions(const std::vector<std::string> &args)
                 options.config.verify.fault.pcrfFullProb = prob;
             else
                 options.config.verify.fault.bitvecMissProb = prob;
+        } else if (arg == "--fault-worker" || arg == "--fault-hang") {
+            const auto value = need_value(i, arg);
+            if (!value)
+                return fail(arg + " needs a probability");
+            ++i;
+            const double prob = std::atof(value->c_str());
+            if (prob < 0.0 || prob > 1.0)
+                return fail(arg + " must be in [0, 1]");
+            if (arg == "--fault-worker")
+                options.config.verify.fault.workerExceptionProb = prob;
+            else
+                options.config.verify.fault.jobHangProb = prob;
+        } else if (arg == "--job-timeout-ms") {
+            const auto value = need_value(i, arg);
+            if (!value)
+                return fail("--job-timeout-ms needs a value");
+            ++i;
+            const double ms = std::atof(value->c_str());
+            if (ms < 0.0)
+                return fail("--job-timeout-ms must be >= 0");
+            options.jobTimeoutMs = ms;
+        } else if (arg == "--retries") {
+            const auto value = need_value(i, arg);
+            if (!value)
+                return fail("--retries needs a value");
+            ++i;
+            const int retries = std::atoi(value->c_str());
+            if (retries < 0)
+                return fail("--retries must be >= 0");
+            options.retries = static_cast<unsigned>(retries);
+        } else if (arg == "--retry-backoff-ms") {
+            const auto value = need_value(i, arg);
+            if (!value)
+                return fail("--retry-backoff-ms needs a value");
+            ++i;
+            const double ms = std::atof(value->c_str());
+            if (ms <= 0.0)
+                return fail("--retry-backoff-ms must be positive");
+            options.retryBackoffMs = ms;
+        } else if (arg == "--resume") {
+            const auto value = need_value(i, arg);
+            if (!value)
+                return fail("--resume needs a journal path");
+            ++i;
+            options.resumePath = *value;
         } else {
             return fail("unknown flag '" + arg + "' (see --help)");
         }
@@ -287,6 +332,19 @@ cliUsage()
            "  --fault-dram P      injected DRAM-delay probability\n"
            "  --fault-pcrf P      injected PCRF-full probability\n"
            "  --fault-bitvec P    injected bit-vector-cache-miss probability\n"
+           "  --fault-worker P    injected dispatch-exception probability\n"
+           "                      (host-level; never changes sim results)\n"
+           "  --fault-hang P      injected dispatch-hang probability\n"
+           "                      (host-level; never changes sim results)\n"
+           "  --job-timeout-ms MS per-attempt wall-clock deadline enforced\n"
+           "                      by the job guard (0 = off, default)\n"
+           "  --retries N         retry budget for transient job failures\n"
+           "                      (timeouts, worker exceptions; default 0)\n"
+           "  --retry-backoff-ms MS  base of the seeded exponential retry\n"
+           "                      backoff (default 5)\n"
+           "  --resume FILE       journal completed jobs to FILE (created\n"
+           "                      if missing) and replay jobs already\n"
+           "                      recorded there instead of re-running\n"
            "  --csv               CSV output (one row per run)\n"
            "  --diff-check        diff every run's architectural end state\n"
            "                      against the reference executor\n"

@@ -60,19 +60,20 @@ struct WorkQueue
 };
 
 SimResult
-cancelledResult()
+cancelledResult(const char *why)
 {
     SimResult out;
     out.failed = true;
     out.error.kind = SimErrorKind::Cancelled;
-    out.error.message = "cancelled by fail-fast after an earlier failure";
+    out.error.message = why;
     out.failureReason = out.error.toString();
     return out;
 }
 
-/** Run one job, converting any escaping exception into a failed result. */
+} // namespace
+
 SimResult
-executeJob(ParallelRunner::Job &job)
+ParallelRunner::runCaptured(const Job &job)
 {
     try {
         return job();
@@ -98,8 +99,6 @@ executeJob(ParallelRunner::Job &job)
         return out;
     }
 }
-
-} // namespace
 
 ParallelRunner::ParallelRunner(ParallelOptions options) : options_(options)
 {
@@ -137,14 +136,21 @@ ParallelRunner::runAll(std::vector<Job> jobs)
 
     std::atomic<bool> cancel{false};
     const bool fail_fast = options_.failFast;
+    const std::shared_ptr<const std::atomic<bool>> stop = options_.stop;
 
     auto run_at = [&](std::size_t index) {
         if (fail_fast && cancel.load(std::memory_order_acquire)) {
-            outcome.results[index] = cancelledResult();
+            outcome.results[index] = cancelledResult(
+                "cancelled by fail-fast after an earlier failure");
+            return;
+        }
+        if (stop && stop->load(std::memory_order_acquire)) {
+            outcome.results[index] =
+                cancelledResult("cancelled by an external stop request");
             return;
         }
         const auto start = Clock::now();
-        SimResult result = executeJob(jobs[index]);
+        SimResult result = runCaptured(jobs[index]);
         outcome.wallMs[index] = elapsedMs(start);
         if (fail_fast && result.failed)
             cancel.store(true, std::memory_order_release);
@@ -184,7 +190,9 @@ ParallelRunner::runAll(std::vector<Job> jobs)
             thread.join();
     }
 
-    outcome.cancelled = fail_fast && cancel.load(std::memory_order_acquire);
+    outcome.cancelled =
+        (fail_fast && cancel.load(std::memory_order_acquire)) ||
+        (stop && stop->load(std::memory_order_acquire));
     outcome.totalWallMs = elapsedMs(batch_start);
     return outcome;
 }

@@ -71,6 +71,14 @@ struct SimResult
     /** Scheme storage overhead (Sec. V-F), bits. */
     std::uint64_t policyStorageBits = 0;
 
+    /** Attempts it took to produce this result (JobGuard retries; 1 for
+     * unguarded runs and first-try successes). */
+    unsigned attempts = 1;
+
+    /** True when this result was replayed from a sweep journal instead of
+     * being re-simulated (--resume). */
+    bool fromJournal = false;
+
     /** True when the run aborted with a typed SimError (see error). */
     bool failed = false;
 

@@ -22,6 +22,12 @@ simErrorKindName(SimErrorKind kind)
         return "worker-exception";
       case SimErrorKind::Cancelled:
         return "cancelled";
+      case SimErrorKind::Timeout:
+        return "timeout";
+      case SimErrorKind::RetriesExhausted:
+        return "retries-exhausted";
+      case SimErrorKind::Quarantined:
+        return "quarantined";
     }
     return "unknown";
 }
@@ -85,6 +91,27 @@ raiseDeadlock(std::string message, Cycle cycle, std::string diagnostic)
     error.message = std::move(message);
     error.cycle = cycle;
     error.diagnostic = std::move(diagnostic);
+    throw SimException(std::move(error));
+}
+
+void
+raiseTimeout(std::string message, Cycle cycle, std::string diagnostic)
+{
+    SimError error;
+    error.kind = SimErrorKind::Timeout;
+    error.message = std::move(message);
+    error.cycle = cycle;
+    error.diagnostic = std::move(diagnostic);
+    throw SimException(std::move(error));
+}
+
+void
+raiseCancelled(std::string message, Cycle cycle)
+{
+    SimError error;
+    error.kind = SimErrorKind::Cancelled;
+    error.message = std::move(message);
+    error.cycle = cycle;
     throw SimException(std::move(error));
 }
 

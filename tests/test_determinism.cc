@@ -95,8 +95,8 @@ TEST(Determinism, SerialAndParallelRunsAreIdentical)
         return jobs;
     };
 
-    ParallelRunner serial({.jobs = 1});
-    ParallelRunner pooled({.jobs = 4});
+    ParallelRunner serial({.jobs = 1, .failFast = false, .stop = {}});
+    ParallelRunner pooled({.jobs = 4, .failFast = false, .stop = {}});
     const std::vector<SimResult> a = serial.run(make_jobs());
     const std::vector<SimResult> b = pooled.run(make_jobs());
 

@@ -31,6 +31,24 @@ def rel_drift(new, old):
     return (new - old) / old
 
 
+def load_suite(path):
+    """Load one BENCH_suite.json, failing loudly (not with a KeyError or
+    a traceback) on truncated/partial artifacts: an interrupted bench run
+    can leave valid-but-incomplete JSON behind."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: {path}: unreadable bench artifact: {e}")
+        return None
+    if not isinstance(data, dict) or not isinstance(data.get("apps"), dict):
+        print(f"FAIL: {path}: no 'apps' object — truncated or partial "
+              f"bench output? Re-run finereg_bench (a killed sweep can be "
+              f"finished with --resume).")
+        return None
+    return data
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("golden")
@@ -43,30 +61,47 @@ def main():
                         help="skip the wall-clock comparison")
     args = parser.parse_args()
 
-    with open(args.golden) as f:
-        golden = json.load(f)
-    with open(args.new) as f:
-        new = json.load(f)
+    golden = load_suite(args.golden)
+    new = load_suite(args.new)
+    if golden is None or new is None:
+        return 1
 
     failures = []
     infos = []
 
+    # A partial new run (killed sweep, truncated artifact) fails with the
+    # full roster of what is missing, so the log says exactly which cells
+    # never ran rather than dying on the first absent key.
+    missing_apps = sorted(set(golden["apps"]) - set(new["apps"]))
+    if missing_apps:
+        failures.append(
+            f"new run is missing {len(missing_apps)} of "
+            f"{len(golden['apps'])} golden apps: {', '.join(missing_apps)}")
+
     for app, policies in sorted(golden["apps"].items()):
         new_app = new["apps"].get(app)
         if new_app is None:
-            failures.append(f"{app}: missing from new run")
-            continue
+            continue  # already reported in the missing-apps roster
         for policy, gold in sorted(policies.items()):
             cur = new_app.get(policy)
+            tag = f"{app}/{policy}"
             if cur is None:
-                failures.append(f"{app}/{policy}: missing from new run")
+                failures.append(f"{tag}: missing from new run")
                 continue
             if cur.get("failed"):
-                failures.append(f"{app}/{policy}: run failed")
+                failures.append(f"{tag}: run failed")
+                continue
+            absent = [m for m in ("ipc", "cycles", "instructions",
+                                  "dram_bytes_data", "dram_bytes_cta",
+                                  "dram_bytes_bitvec")
+                      if m not in cur or m not in gold]
+            if absent:
+                failures.append(
+                    f"{tag}: metrics missing ({', '.join(absent)}) — "
+                    f"partial or stale bench artifact")
                 continue
 
             drift = rel_drift(cur["ipc"], gold["ipc"])
-            tag = f"{app}/{policy}"
             if abs(drift) > args.ipc_tol:
                 failures.append(
                     f"{tag}: IPC drift {drift:+.2%} exceeds "

@@ -37,6 +37,11 @@ struct BenchOptions
     bool failFast = false;
     std::vector<PolicyKind> policies{PolicyKind::Baseline,
                                      PolicyKind::FineReg};
+
+    // Resilience knobs (JobGuard + SweepJournal).
+    double jobTimeoutMs = 0.0;
+    unsigned retries = 0;
+    std::string resumePath;
 };
 
 const char *kUsage =
@@ -51,6 +56,11 @@ const char *kUsage =
     "  --jobs N          parallel jobs (default: FINEREG_JOBS env, then\n"
     "                    hardware threads)\n"
     "  --fail-fast       cancel pending runs after the first failure\n"
+    "  --job-timeout-ms MS  per-run wall-clock deadline (0 = off)\n"
+    "  --retries N       retry budget for transient run failures\n"
+    "  --resume FILE     journal completed runs to FILE and replay runs\n"
+    "                    already recorded there (wall_ms excepted, the\n"
+    "                    resumed JSON is bit-identical)\n"
     "  --help            this text\n";
 
 double
@@ -157,20 +167,45 @@ runBench(const BenchOptions &options)
                  "jobs\n",
                  apps.size(), options.policies.size(), scale, jobs);
 
+    std::unique_ptr<SweepJournal> journal;
+    if (!options.resumePath.empty()) {
+        std::string error;
+        journal = SweepJournal::open(options.resumePath, error);
+        if (!journal) {
+            std::fprintf(stderr, "error: %s\n", error.c_str());
+            return 2;
+        }
+        std::fprintf(stderr, "bench: journal %s: %zu entries (%zu ok)\n",
+                     journal->path().c_str(), journal->size(),
+                     journal->completedCount());
+    }
+    GuardOptions guard_options;
+    guard_options.jobTimeoutMs = options.jobTimeoutMs;
+    guard_options.retries = options.retries;
+    JobGuard guard(guard_options);
+
     // Policy-major matrix so results[p * napps + a] = (policy p, app a).
+    // Kernels are built once per app and shared across policies.
+    std::vector<std::shared_ptr<const Kernel>> kernels;
+    kernels.reserve(apps.size());
+    for (const auto &app : apps)
+        kernels.push_back(Suite::makeKernel(app, scale));
+
     std::vector<ParallelRunner::Job> matrix;
     matrix.reserve(options.policies.size() * apps.size());
     for (const PolicyKind kind : options.policies) {
         const GpuConfig config = Experiment::configFor(kind);
-        for (const auto &app : apps) {
-            matrix.push_back([config, abbrev = app.abbrev, scale] {
-                return Experiment::runApp(abbrev, config, scale);
-            });
+        for (std::size_t a = 0; a < apps.size(); ++a) {
+            matrix.push_back(Experiment::makeGuardedJob(
+                kernels[a], config, apps[a].abbrev,
+                makeSweepJobKey(*kernels[a], config).toString(), guard,
+                journal.get()));
         }
     }
 
     ParallelRunner runner({.jobs = options.jobs,
-                           .failFast = options.failFast});
+                           .failFast = options.failFast,
+                           .stop = {}});
     const ParallelRunner::Outcome outcome = runner.runAll(std::move(matrix));
 
     // Baseline IPC per app for speedup_vs_baseline (0 when the baseline
@@ -360,6 +395,30 @@ main(int argc, char **argv)
             options.jobs = static_cast<unsigned>(std::atoi(v));
         } else if (arg == "--fail-fast") {
             options.failFast = true;
+        } else if (arg == "--job-timeout-ms") {
+            const char *v = value();
+            if (!v || std::atof(v) < 0.0) {
+                std::fprintf(stderr,
+                             "error: --job-timeout-ms needs a value >= 0\n");
+                return 2;
+            }
+            options.jobTimeoutMs = std::atof(v);
+        } else if (arg == "--retries") {
+            const char *v = value();
+            if (!v || std::atoi(v) < 0) {
+                std::fprintf(stderr,
+                             "error: --retries needs a value >= 0\n");
+                return 2;
+            }
+            options.retries = static_cast<unsigned>(std::atoi(v));
+        } else if (arg == "--resume") {
+            const char *v = value();
+            if (!v) {
+                std::fprintf(stderr,
+                             "error: --resume needs a journal path\n");
+                return 2;
+            }
+            options.resumePath = v;
         } else if (arg == "--policy") {
             const char *v = value();
             if (!v) {

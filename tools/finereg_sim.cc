@@ -5,7 +5,9 @@
  * overrides, printing a comparison table or CSV.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -84,7 +86,7 @@ runDiffCheck(const CliOptions &options)
         }
     }
 
-    ParallelRunner runner({.jobs = options.jobs, .failFast = false});
+    ParallelRunner runner({.jobs = options.jobs, .failFast = false, .stop = {}});
     std::fprintf(stderr, "info: diff-checking %zu runs with %u jobs\n",
                  matrix.size(), ParallelRunner::resolveJobs(options.jobs));
     runner.run(std::move(matrix));
@@ -111,14 +113,82 @@ runDiffCheck(const CliOptions &options)
     return any_diverged ? 1 : 0;
 }
 
+/** CLI spelling of a policy for reconstructed repro commands. */
+const char *
+policyCliName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Baseline: return "baseline";
+      case PolicyKind::VirtualThread: return "vt";
+      case PolicyKind::RegDram: return "regdram";
+      case PolicyKind::RegMutex: return "regmutex";
+      case PolicyKind::FineReg: return "finereg";
+    }
+    return "baseline";
+}
+
+/**
+ * The exact command that re-runs one failed (app, policy) cell alone:
+ * the original argv minus the selection/parallelism/resume flags, plus
+ * the cell pinned down and forced serial.
+ */
+std::string
+reproCommand(const std::vector<std::string> &args, const std::string &app,
+             PolicyKind kind)
+{
+    std::string cmd = "finereg_sim";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--app" || arg == "--policy" || arg == "--jobs" ||
+            arg == "--resume") {
+            ++i; // skip the flag's value too
+            continue;
+        }
+        cmd += " " + arg;
+    }
+    cmd += " --app " + app + " --policy " + policyCliName(kind) +
+           " --jobs 1";
+    return cmd;
+}
+
+/** Failure classes in exit-code precedence order. */
+enum FailClass : int
+{
+    kFailNone = 0,
+    kFailQuarantined, ///< Only quarantine skips: partial success.
+    kFailTimeout,     ///< Deadline expiries but no harder errors.
+    kFailSimError,    ///< Typed simulation error or cycle-cap overrun.
+};
+
 int
-run(const CliOptions &options)
+run(const CliOptions &options, const std::vector<std::string> &args)
 {
     std::vector<std::string> apps = options.apps;
     if (apps.empty()) {
         for (const auto &app : Suite::all())
             apps.push_back(app.abbrev);
     }
+
+    std::unique_ptr<SweepJournal> journal;
+    if (!options.resumePath.empty()) {
+        std::string error;
+        journal = SweepJournal::open(options.resumePath, error);
+        if (!journal) {
+            std::fprintf(stderr, "error: %s\n", error.c_str());
+            return 2;
+        }
+        std::fprintf(stderr, "info: journal %s: %zu entries (%zu ok)\n",
+                     journal->path().c_str(), journal->size(),
+                     journal->completedCount());
+    }
+
+    GuardOptions guard_options;
+    guard_options.jobTimeoutMs = options.jobTimeoutMs;
+    guard_options.retries = options.retries;
+    guard_options.backoffBaseMs = options.retryBackoffMs;
+    guard_options.backoffMaxMs =
+        std::max(guard_options.backoffMaxMs, options.retryBackoffMs);
+    JobGuard guard(guard_options);
 
     if (options.csv) {
         std::printf("app,policy,cycles,instructions,ipc,resident_ctas,"
@@ -130,31 +200,51 @@ run(const CliOptions &options)
 
     // Fan the (app, policy) matrix across the parallel runner; results come
     // back in submission order, so the report below is identical to the
-    // old serial loop.
+    // old serial loop. Every job runs under the guard (a passthrough with
+    // the default knobs) and through the journal when --resume was given.
     std::vector<ParallelRunner::Job> matrix;
     matrix.reserve(apps.size() * options.policies.size());
     for (const std::string &app : apps) {
+        std::shared_ptr<const Kernel> kernel =
+            Suite::makeKernel(Suite::byName(app), options.gridScale);
         for (const PolicyKind kind : options.policies) {
             GpuConfig config = options.config;
             config.policy.kind = kind;
-            matrix.push_back([app, config, scale = options.gridScale] {
-                return Experiment::runApp(app, config, scale);
-            });
+            const std::string key =
+                makeSweepJobKey(*kernel, config).toString();
+            matrix.push_back(Experiment::makeGuardedJob(
+                kernel, config, app, key, guard, journal.get()));
         }
     }
 
-    ParallelRunner runner({.jobs = options.jobs, .failFast = false});
+    ParallelRunner runner({.jobs = options.jobs, .failFast = false, .stop = {}});
     std::fprintf(stderr, "info: running %zu simulations with %u jobs\n",
                  matrix.size(), ParallelRunner::resolveJobs(options.jobs));
     const std::vector<SimResult> results = runner.run(std::move(matrix));
 
-    bool any_failed = false;
+    struct FailedCell
+    {
+        std::string app;
+        PolicyKind kind;
+        FailClass cls;
+    };
+    std::vector<FailedCell> failures;
+    FailClass worst = kFailNone;
+    unsigned replayed = 0;
     std::size_t job = 0;
     for (const std::string &app : apps) {
         for (const PolicyKind kind : options.policies) {
             const SimResult &r = results[job++];
+            if (r.fromJournal)
+                ++replayed;
             if (r.failed) {
-                any_failed = true;
+                FailClass cls = kFailSimError;
+                if (r.error.kind == SimErrorKind::Timeout)
+                    cls = kFailTimeout;
+                else if (r.error.kind == SimErrorKind::Quarantined)
+                    cls = kFailQuarantined;
+                failures.push_back({app, kind, cls});
+                worst = std::max(worst, cls);
                 std::fprintf(stderr, "error: %s/%s failed: %s\n",
                              app.c_str(), policyKindName(kind),
                              r.failureReason.c_str());
@@ -165,7 +255,8 @@ run(const CliOptions &options)
                 continue;
             }
             if (r.hitCycleLimit) {
-                any_failed = true;
+                failures.push_back({app, kind, kFailSimError});
+                worst = std::max(worst, kFailSimError);
                 std::fprintf(stderr,
                              "error: %s/%s hit the cycle cap at %llu "
                              "with %u CTAs done; results are partial\n",
@@ -203,7 +294,40 @@ run(const CliOptions &options)
 
     if (!options.csv)
         std::printf("%s", table.render().c_str());
-    return any_failed ? 1 : 0;
+    if (replayed > 0)
+        std::fprintf(stderr,
+                     "info: %u of %zu runs replayed from the journal\n",
+                     replayed, results.size());
+
+    // Failure summary: where the partial results live and the exact
+    // command that reproduces each failed cell on its own.
+    if (!failures.empty()) {
+        std::fprintf(stderr, "\nsummary: %zu of %zu runs failed\n",
+                     failures.size(), results.size());
+        if (journal) {
+            std::fprintf(stderr,
+                         "summary: partial results journaled to %s; "
+                         "finish the sweep with --resume %s\n",
+                         journal->path().c_str(),
+                         journal->path().c_str());
+        }
+        for (const FailedCell &f : failures) {
+            std::fprintf(stderr, "summary: repro %s/%s: %s\n",
+                         f.app.c_str(), policyKindName(f.kind),
+                         reproCommand(args, f.app, f.kind).c_str());
+        }
+    }
+
+    // Exit codes (most severe failure wins): 0 all good, 1 simulation
+    // error or cycle-cap overrun, 3 wall-clock timeout, 4 quarantined
+    // cells only (partial success). 2 is reserved for usage errors.
+    switch (worst) {
+      case kFailNone: return 0;
+      case kFailQuarantined: return 4;
+      case kFailTimeout: return 3;
+      case kFailSimError: return 1;
+    }
+    return 1;
 }
 
 } // namespace
@@ -231,5 +355,5 @@ main(int argc, char **argv)
     setVerbose(options.verbose);
     if (options.diffCheck)
         return runDiffCheck(options);
-    return run(options);
+    return run(options, args);
 }
