@@ -1,0 +1,109 @@
+#include "analysis/abstract_interp.hh"
+
+#include <sstream>
+
+#include "ref/value_semantics.hh"
+
+namespace finereg::analysis
+{
+
+namespace
+{
+
+constexpr std::uint64_t kMax32 = 0xffffffffull;
+
+/**
+ * Interval image of (b | 1), the IMUL/FFMA multiplier normalization:
+ * x|1 >= max(x, 1) and x|1 <= hi|1 for every x <= hi.
+ */
+Interval
+orOne(const Interval &b)
+{
+    if (b.isBottom())
+        return b;
+    return Interval::range(b.lo > 1u ? b.lo : 1u, b.hi | 1u);
+}
+
+/** Sound interval product a * orOne(b); top when the bound can wrap. */
+Interval
+mulInterval(const Interval &a, const Interval &b)
+{
+    const Interval m = orOne(b);
+    const std::uint64_t hi = std::uint64_t(a.hi) * m.hi;
+    if (hi > kMax32)
+        return Interval::top();
+    return Interval::range(
+        static_cast<std::uint32_t>(std::uint64_t(a.lo) * m.lo),
+        static_cast<std::uint32_t>(hi));
+}
+
+/** Sound interval sum, tracking the single-wrap case precisely. */
+Interval
+addInterval(const Interval &a, const Interval &b)
+{
+    const std::uint64_t lo = std::uint64_t(a.lo) + b.lo;
+    const std::uint64_t hi = std::uint64_t(a.hi) + b.hi;
+    if (hi <= kMax32)
+        return Interval::range(std::uint32_t(lo), std::uint32_t(hi));
+    if (lo > kMax32) {
+        // Every concrete sum wraps exactly once (lo, hi < 2^33).
+        return Interval::range(std::uint32_t(lo - (kMax32 + 1)),
+                               std::uint32_t(hi - (kMax32 + 1)));
+    }
+    return Interval::top();
+}
+
+} // namespace
+
+Interval
+evalInterval(Opcode op, const Interval &a, const Interval &b,
+             const Interval &c)
+{
+    if (a.isBottom() || b.isBottom() || c.isBottom())
+        return Interval::bottom();
+
+    // Exactness guarantee: constants fold through the real semantics, so
+    // the abstraction can never disagree with aluEval on known values.
+    if (a.isSingleton() && b.isSingleton() && c.isSingleton())
+        return Interval::constant(aluEval(op, a.lo, b.lo, c.lo));
+
+    switch (op) {
+      case Opcode::IADD:
+        return addInterval(a, b);
+      case Opcode::IMUL:
+        return mulInterval(a, b);
+      case Opcode::FFMA:
+        return addInterval(mulInterval(a, b), c);
+      case Opcode::MOV:
+        return a;
+      default:
+        // FADD/FMUL/SFU are avalanche mixers: any non-singleton operand
+        // spreads over the full word.
+        return Interval::top();
+    }
+}
+
+bool
+provenAddWrap(const Interval &a, const Interval &b)
+{
+    if (a.isBottom() || b.isBottom())
+        return false;
+    return std::uint64_t(a.lo) + b.lo > kMax32;
+}
+
+std::string
+Interval::toString() const
+{
+    if (bot)
+        return "_|_";
+    if (isTop())
+        return "T";
+    std::ostringstream oss;
+    oss << "[0x" << std::hex << lo;
+    if (lo != hi)
+        oss << ", 0x" << hi;
+    oss << "]";
+    return oss.str();
+}
+
+} // namespace finereg::analysis

@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Abstract-interpretation core for the semantic analysis passes: an
+ * unsigned interval domain abstracting the architectural value semantics
+ * (ref/value_semantics.hh aluEval), affine lane-address forms abstracting
+ * the executors' address generators, and a worklist fixpoint engine over
+ * the cfg-check-derived CFG with widening and bounded narrowing for
+ * loops. The domain contract every client relies on:
+ *
+ *  - evalInterval is EXACT on all-singleton operands (it delegates to
+ *    aluEval), so constant chains fold to constants;
+ *  - on wider operands it returns a sound superset of the concrete
+ *    results, degrading to top where the mixing semantics destroy
+ *    interval structure (FADD/FMUL/SFU on non-constants);
+ *  - every static claim derived from these abstractions is checked
+ *    against observed execution by ref/value_validator.hh, so an unsound
+ *    transfer function cannot survive CI.
+ */
+
+#ifndef FINEREG_ANALYSIS_ABSTRACT_INTERP_HH
+#define FINEREG_ANALYSIS_ABSTRACT_INTERP_HH
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg_check.hh"
+#include "common/log.hh"
+#include "isa/kernel.hh"
+
+namespace finereg::analysis
+{
+
+/**
+ * Unsigned 32-bit interval [lo, hi], plus an explicit bottom (no value —
+ * unreachable code or a register before any def we track). Top is
+ * [0, 0xffffffff].
+ */
+struct Interval
+{
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0xffffffffu;
+    bool bot = false;
+
+    static constexpr Interval
+    top()
+    {
+        return Interval{0, 0xffffffffu, false};
+    }
+
+    static constexpr Interval
+    bottom()
+    {
+        return Interval{0, 0, true};
+    }
+
+    static constexpr Interval
+    constant(std::uint32_t v)
+    {
+        return Interval{v, v, false};
+    }
+
+    /** [lo, hi]; callers must pass lo <= hi. */
+    static constexpr Interval
+    range(std::uint32_t lo, std::uint32_t hi)
+    {
+        return Interval{lo, hi, false};
+    }
+
+    constexpr bool isBottom() const { return bot; }
+    constexpr bool isTop() const { return !bot && lo == 0 && hi == 0xffffffffu; }
+    constexpr bool isSingleton() const { return !bot && lo == hi; }
+
+    constexpr bool
+    contains(std::uint32_t v) const
+    {
+        return !bot && lo <= v && v <= hi;
+    }
+
+    /** Superset-or-equal (bottom is a subset of everything). */
+    constexpr bool
+    covers(const Interval &other) const
+    {
+        if (other.bot)
+            return true;
+        return !bot && lo <= other.lo && other.hi <= hi;
+    }
+
+    constexpr Interval
+    join(const Interval &other) const
+    {
+        if (bot)
+            return other;
+        if (other.bot)
+            return *this;
+        return Interval{lo < other.lo ? lo : other.lo,
+                        hi > other.hi ? hi : other.hi, false};
+    }
+
+    /**
+     * Classic interval widening of @p next relative to this (the previous
+     * iterate): any bound still moving jumps straight to its extreme, which
+     * bounds every ascending chain at two steps per register.
+     */
+    constexpr Interval
+    widen(const Interval &next) const
+    {
+        if (bot)
+            return next;
+        if (next.bot)
+            return *this;
+        return Interval{next.lo < lo ? 0u : lo,
+                        next.hi > hi ? 0xffffffffu : hi, false};
+    }
+
+    /**
+     * Bits needed to represent every member value (the Angerd static-
+     * compression width): bit_width(hi). Bottom needs none; the singleton
+     * zero also needs none (the all-zero compression class).
+     */
+    constexpr unsigned
+    bitsNeeded() const
+    {
+        return bot ? 0u : unsigned(std::bit_width(hi));
+    }
+
+    constexpr bool operator==(const Interval &) const = default;
+
+    std::string toString() const;
+};
+
+/**
+ * Per-register abstract value: an interval plus a warp-uniformity claim.
+ * "uniform" asserts that in any single dynamic execution, every active
+ * lane of the writing warp holds the same value — true only for values
+ * derived purely from constants. Launch values and loads are per-lane
+ * hashes, so they are never uniform; divergence can interleave per-lane
+ * writes from different paths, so a join only preserves uniformity when
+ * both sides are provably the same single value.
+ */
+struct ValueAbs
+{
+    Interval iv = Interval::bottom();
+    bool uniform = true;
+
+    static constexpr ValueAbs
+    bottom()
+    {
+        return ValueAbs{Interval::bottom(), true};
+    }
+
+    constexpr ValueAbs
+    join(const ValueAbs &other) const
+    {
+        ValueAbs out;
+        out.iv = iv.join(other.iv);
+        if (iv.isBottom())
+            out.uniform = other.uniform;
+        else if (other.iv.isBottom())
+            out.uniform = uniform;
+        else
+            out.uniform = uniform && other.uniform && iv == other.iv &&
+                          iv.isSingleton();
+        return out;
+    }
+
+    constexpr ValueAbs
+    widen(const ValueAbs &next) const
+    {
+        ValueAbs out = join(next); // resolves the uniformity claim soundly
+        out.iv = iv.widen(next.iv);
+        return out;
+    }
+
+    constexpr bool operator==(const ValueAbs &) const = default;
+};
+
+/**
+ * Interval transfer function for one ALU/SFU opcode. Exact (delegates to
+ * aluEval) when every operand is a singleton; otherwise sound interval
+ * arithmetic for IADD/IMUL/FFMA/MOV and top for the hash-mixing opcodes.
+ * Unused operand slots must be passed as Interval::constant(0), mirroring
+ * the executor's readSrc contract.
+ */
+Interval evalInterval(Opcode op, const Interval &a, const Interval &b,
+                      const Interval &c);
+
+/**
+ * True when an IADD/FFMA over these operand intervals provably wraps
+ * around 2^32 on every concrete instance (the value-range pass's
+ * provable-overflow diagnostic; for FFMA pass the product interval as
+ * @p a).
+ */
+bool provenAddWrap(const Interval &a, const Interval &b);
+
+/**
+ * Abstract lane-address set of one memory instruction: the warp-base
+ * byte-address interval [baseLo, baseHi], a per-lane stride, and an
+ * optional wrap modulus (shared ops wrap into the CTA region; 0 = no
+ * wrap). Lane l touches [base + stride*l] (mod wrap when wrapping), so
+ * without wrap the touched bytes lie in [baseLo, laneMax()].
+ */
+struct AffineForm
+{
+    std::uint64_t baseLo = 0;
+    std::uint64_t baseHi = 0;
+    std::uint32_t laneStride = 4;
+    std::uint64_t wrap = 0;
+
+    std::uint64_t
+    laneMax() const
+    {
+        const std::uint64_t top =
+            baseHi + std::uint64_t(laneStride) * (kWarpSize - 1);
+        return wrap ? wrap - 1 : top;
+    }
+
+    bool
+    containsLaneAddr(std::uint64_t addr) const
+    {
+        if (wrap)
+            return addr < wrap;
+        return addr >= baseLo && addr <= laneMax();
+    }
+};
+
+/**
+ * Worklist fixpoint engine, forward over the cfg-check-derived edges.
+ * The Domain supplies:
+ *
+ *   using State = ...;                       // block-entry abstract state
+ *   State boundary() const;                  // entry-block input
+ *   State bottomState() const;               // everything-unreached
+ *   State transfer(int block, State) const;  // block-exit from block-entry
+ *   static State join(const State &, const State &);
+ *   static State widen(const State &prev, const State &next);
+ *
+ * States must be equality-comparable. Blocks cfg-check found unreachable
+ * keep bottomState() and are never transferred. Widening applies once a
+ * block's entry has been refined more than @p widen_threshold times;
+ * after the ascending phase converges, @p narrowing_sweeps descending
+ * recomputations (exact joins, no widening) claw back precision widening
+ * overshot. The iteration cap turns a non-terminating domain bug into a
+ * loud FINEREG_PANIC instead of a hang.
+ */
+template <typename Domain>
+struct FixpointResult
+{
+    std::vector<typename Domain::State> in;
+    unsigned iterations = 0;
+};
+
+template <typename Domain>
+FixpointResult<Domain>
+runFixpoint(const Domain &dom, const CfgCheckResult &cfg,
+            unsigned widen_threshold = 3, unsigned narrowing_sweeps = 2)
+{
+    const std::size_t n = cfg.succs.size();
+    FixpointResult<Domain> out;
+    out.in.assign(n, dom.bottomState());
+    if (n == 0)
+        return out;
+    out.in[0] = dom.boundary();
+
+    std::vector<unsigned> refinements(n, 0);
+    std::vector<char> queued(n, 0);
+    std::vector<int> worklist{0};
+    queued[0] = 1;
+
+    // Every (block, register) bound moves at most a few times under
+    // widening; anything past this cap is a broken transfer function.
+    const std::uint64_t cap =
+        std::uint64_t(n) * (3 * widen_threshold + 8) * 8 + 64;
+    while (!worklist.empty()) {
+        if (++out.iterations > cap) {
+            FINEREG_PANIC("abstract-interp fixpoint exceeded ", cap,
+                          " iterations over ", n,
+                          " blocks: non-monotone or non-widening domain");
+        }
+        const int b = worklist.back();
+        worklist.pop_back();
+        queued[b] = 0;
+
+        const typename Domain::State exit = dom.transfer(b, out.in[b]);
+        for (const int s : cfg.succs[b]) {
+            if (!cfg.reachable[s])
+                continue;
+            typename Domain::State next = Domain::join(out.in[s], exit);
+            if (refinements[s] > widen_threshold)
+                next = Domain::widen(out.in[s], next);
+            if (next == out.in[s])
+                continue;
+            out.in[s] = std::move(next);
+            ++refinements[s];
+            if (!queued[s]) {
+                queued[s] = 1;
+                worklist.push_back(s);
+            }
+        }
+    }
+
+    // Descending sweeps: recompute every reachable non-entry block's entry
+    // as the exact join of its predecessors' exits. Transfer monotonicity
+    // keeps each sweep's result a sound post-fixpoint.
+    for (unsigned sweep = 0; sweep < narrowing_sweeps; ++sweep) {
+        bool changed = false;
+        std::vector<typename Domain::State> exits;
+        exits.reserve(n);
+        for (std::size_t b = 0; b < n; ++b)
+            exits.push_back(cfg.reachable[b] ? dom.transfer(int(b), out.in[b])
+                                             : dom.bottomState());
+        for (std::size_t b = 1; b < n; ++b) {
+            if (!cfg.reachable[b])
+                continue;
+            typename Domain::State next = dom.bottomState();
+            for (const int p : cfg.preds[b]) {
+                if (cfg.reachable[p])
+                    next = Domain::join(next, exits[p]);
+            }
+            if (!(next == out.in[b])) {
+                out.in[b] = std::move(next);
+                changed = true;
+            }
+        }
+        ++out.iterations;
+        if (!changed)
+            break;
+    }
+    return out;
+}
+
+} // namespace finereg::analysis
+
+#endif // FINEREG_ANALYSIS_ABSTRACT_INTERP_HH

@@ -1,0 +1,79 @@
+#include "analysis/compressibility.hh"
+
+#include <sstream>
+
+#include "compiler/reg_width.hh"
+
+namespace finereg::analysis
+{
+
+std::unique_ptr<AnalysisResultBase>
+CompressibilityPass::run(AnalysisContext &ctx)
+{
+    const Kernel &kernel = ctx.kernel;
+    const auto *vr = ctx.manager.resultOf<ValueRangeResult>(
+        kernel, ValueRangeResult::kName);
+    auto result = std::make_unique<CompressibilityResult>();
+    const unsigned nregs = kernel.regsPerThread();
+    result->derivedBits.assign(nregs, 32);
+    result->claimedBits.assign(nregs, 32);
+    result->uniformRegs.assign(nregs, 0);
+    if (vr == nullptr)
+        return result;
+
+    const RegWidthTable claims(kernel);
+    for (unsigned r = 0; r < nregs; ++r) {
+        result->derivedBits[r] = vr->regJoin[r].isBottom()
+                                     ? 32
+                                     : vr->regJoin[r].bitsNeeded();
+        result->claimedBits[r] = claims.claimedBits(r);
+        result->uniformRegs[r] = vr->regUniform[r];
+    }
+
+    // The narrow-claim corruption hook, mirroring how dropLiveReg corrupts
+    // the liveness vectors before cross-validation.
+    if (ctx.options.narrowClaimReg >= 0 &&
+        unsigned(ctx.options.narrowClaimReg) < nregs) {
+        result->claimedBits[unsigned(ctx.options.narrowClaimReg)] =
+            ctx.options.narrowClaimBits;
+    }
+
+    unsigned emitted = 0;
+    for (unsigned r = 0; r < nregs; ++r) {
+        if (result->derivedBits[r] < 32)
+            ++result->narrowRegs;
+        if (result->uniformRegs[r])
+            ++result->uniformRegCount;
+        if (result->claimedBits[r] < result->derivedBits[r] &&
+            emitted++ < ctx.options.maxDiagsPerPass) {
+            std::ostringstream oss;
+            oss << "compiler claims " << result->claimedBits[r]
+                << "-bit values but the derived interval needs "
+                << result->derivedBits[r]
+                << " bits; a static-compression RF would truncate";
+            ctx.diags.add(DiagKind::CompressionClaimTooNarrow, kernel.name(),
+                          -1, -1, static_cast<int>(r), oss.str());
+        }
+    }
+
+    // Cost of the def stream under an Angerd-style encoder: width class
+    // per value, one copy per warp for proven-uniform values.
+    double cost = 0.0;
+    double bits_sum = 0.0;
+    for (unsigned i = 0; i < kernel.staticInstrs(); ++i) {
+        const Interval &iv = vr->defInterval[i];
+        if (iv.isBottom())
+            continue;
+        ++result->defCount;
+        const double bits = iv.bitsNeeded();
+        bits_sum += bits;
+        cost += (bits / 32.0) * (vr->defUniform[i] ? 1.0 / kWarpSize : 1.0);
+    }
+    if (result->defCount > 0) {
+        result->meanBitsPerDef = bits_sum / result->defCount;
+        result->predictedRatio = cost / result->defCount;
+    }
+    return result;
+}
+
+} // namespace finereg::analysis

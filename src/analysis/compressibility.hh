@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Compressibility pass: turns the value-range pass's per-register
+ * intervals into the static profile an Angerd-style compressed register
+ * file would encode against — bits needed per register, warp-uniform
+ * registers (one copy per warp instead of 32), and a predicted
+ * compression ratio over the kernel's def stream. Cross-validates the
+ * compiler's RegWidthTable claim (compiler/reg_width.hh) against the
+ * derived widths: a claim narrower than the derivation is flagged
+ * statically, and ref/value_validator.hh proves observed values fit the
+ * claim dynamically. Registers never defined by the kernel hold
+ * full-width launch hashes and are excluded from the ratio (they occupy
+ * the uncompressed class by definition).
+ */
+
+#ifndef FINEREG_ANALYSIS_COMPRESSIBILITY_HH
+#define FINEREG_ANALYSIS_COMPRESSIBILITY_HH
+
+#include "analysis/pass.hh"
+#include "analysis/value_range.hh"
+
+namespace finereg::analysis
+{
+
+struct CompressibilityResult : AnalysisResultBase
+{
+    static constexpr std::string_view kName = "compressibility";
+
+    /** Derived bits per register (32 for never-defined registers). */
+    std::vector<unsigned> derivedBits;
+
+    /** Compiler-claimed bits per register (RegWidthTable, after the
+     * LintOptions narrow-claim corruption hook). */
+    std::vector<unsigned> claimedBits;
+
+    /** Registers whose every def is warp-uniform. */
+    std::vector<char> uniformRegs;
+
+    unsigned narrowRegs = 0;
+    unsigned uniformRegCount = 0;
+    unsigned defCount = 0;
+    double meanBitsPerDef = 32.0;
+
+    /**
+     * Predicted compressed-size / native-size ratio over the def stream:
+     * each def costs bits/32, scaled by 1/warpSize when its value is
+     * proven warp-uniform. 1.0 = incompressible.
+     */
+    double predictedRatio = 1.0;
+};
+
+class CompressibilityPass : public Pass
+{
+  public:
+    std::string_view
+    name() const override
+    {
+        return CompressibilityResult::kName;
+    }
+
+    std::vector<std::string_view>
+    dependsOn() const override
+    {
+        return {ValueRangeResult::kName};
+    }
+
+    std::unique_ptr<AnalysisResultBase> run(AnalysisContext &ctx) override;
+};
+
+} // namespace finereg::analysis
+
+#endif // FINEREG_ANALYSIS_COMPRESSIBILITY_HH

@@ -45,6 +45,18 @@ diagKindName(DiagKind kind)
       case DiagKind::SharedBankConflict: return "shared-bank-conflict";
       case DiagKind::SharedTransactionsIgnored:
         return "shared-transactions-ignored";
+      case DiagKind::ValueOverflow: return "value-overflow";
+      case DiagKind::ConstantFoldableDef: return "constant-foldable-def";
+      case DiagKind::LoopBudgetExceeded: return "loop-budget-exceeded";
+      case DiagKind::SharedStrideAliasesWarps:
+        return "shared-stride-aliases-warps";
+      case DiagKind::SharedMemRace: return "shared-mem-race";
+      case DiagKind::CompressionClaimTooNarrow:
+        return "compression-claim-too-narrow";
+      case DiagKind::CompressionWidthUnsound:
+        return "compression-width-unsound";
+      case DiagKind::ValueRangeUnsound: return "value-range-unsound";
+      case DiagKind::AddressBoundUnsound: return "address-bound-unsound";
     }
     return "?";
 }
@@ -60,8 +72,14 @@ defaultSeverity(DiagKind kind)
       case DiagKind::SharedFootprintExceedsShmem:
       case DiagKind::SharedBankConflict:
       case DiagKind::SharedTransactionsIgnored:
+      case DiagKind::ValueOverflow:
+      case DiagKind::LoopBudgetExceeded:
+      case DiagKind::SharedStrideAliasesWarps:
+      case DiagKind::SharedMemRace:
+      case DiagKind::CompressionClaimTooNarrow:
         return Severity::Warning;
       case DiagKind::DeadDef:
+      case DiagKind::ConstantFoldableDef:
         return Severity::Note;
       default:
         return Severity::Error;

@@ -67,6 +67,32 @@ enum class DiagKind : unsigned char
                                  ///< collide in a bank.
     SharedTransactionsIgnored,   ///< Shared op declares >1 transactions;
                                  ///< the shared path models fixed latency.
+
+    // Value-range abstract interpretation ----------------------------------
+    ValueOverflow,      ///< IADD/FFMA sum provably wraps around 2^32.
+    ConstantFoldableDef, ///< ALU/SFU def proven to produce one value.
+
+    // Memory-access abstract interpretation --------------------------------
+    LoopBudgetExceeded,       ///< Proven per-warp dynamic instruction count
+                              ///< exceeds the executor's runaway budget.
+    SharedStrideAliasesWarps, ///< Shared stride breaks the 128-byte warp
+                              ///< phase; warps alias each other's slots.
+
+    // Shared-memory race check ---------------------------------------------
+    SharedMemRace, ///< Two shared ops in one barrier interval with
+                   ///< overlapping affine address sets (>= 1 store).
+
+    // Compressibility cross-validation --------------------------------------
+    CompressionClaimTooNarrow, ///< Compiler width claim below the derived
+                               ///< interval width (static comparison).
+    CompressionWidthUnsound,   ///< Observed value exceeds the claimed
+                               ///< register width (dynamic proof).
+
+    // Dynamic soundness cross-validation ------------------------------------
+    ValueRangeUnsound,  ///< Observed value/uniformity outside the static
+                        ///< value abstraction.
+    AddressBoundUnsound, ///< Observed address or execution count outside
+                         ///< the static memory-access abstraction.
 };
 
 std::string_view severityName(Severity severity);

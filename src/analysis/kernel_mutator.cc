@@ -25,6 +25,10 @@ defectKindName(DefectKind kind)
       case DefectKind::CorruptBitvecFull: return "corrupt-bitvec-full";
       case DefectKind::PhantomEdge: return "phantom-edge";
       case DefectKind::ShrunkBlock: return "shrunk-block";
+      case DefectKind::LoopBoundCorrupt: return "loop-bound-corrupt";
+      case DefectKind::SharedStrideCorrupt: return "shared-stride-corrupt";
+      case DefectKind::BarrierRemoved: return "barrier-removed";
+      case DefectKind::NarrowClaimCorrupt: return "narrow-claim-corrupt";
     }
     return "?";
 }
@@ -39,7 +43,9 @@ allDefectKinds()
         DefectKind::RegisterOutOfRange, DefectKind::DroppedDef,
         DefectKind::OobSharedStore,     DefectKind::CorruptBitvecDrop,
         DefectKind::CorruptBitvecFull,  DefectKind::PhantomEdge,
-        DefectKind::ShrunkBlock,
+        DefectKind::ShrunkBlock,        DefectKind::LoopBoundCorrupt,
+        DefectKind::SharedStrideCorrupt, DefectKind::BarrierRemoved,
+        DefectKind::NarrowClaimCorrupt,
     };
 }
 
@@ -389,6 +395,118 @@ KernelMutator::seedDefect(const Kernel &kernel, DefectKind kind,
         out.expected = {DiagKind::BlockExtentCorrupt};
         out.detail = describe("block extent shortened by one instruction",
                               b, -1);
+        return out;
+      }
+
+      case DefectKind::LoopBoundCorrupt: {
+        std::vector<unsigned> sites;
+        for (unsigned i = 0; i < instrs.size(); ++i) {
+            if (instrs[i].isLoopBranch())
+                sites.push_back(i);
+        }
+        if (sites.empty())
+            return std::nullopt;
+        const unsigned i = sites[pick(seed, sites.size())];
+        // One loop alone (8M trips) blows the 4M-instruction budget the
+        // mem-access pass proves per-warp dynamic counts against.
+        instrs[i].tripCount = 1u << 23;
+        out.expected = {DiagKind::LoopBudgetExceeded};
+        out.detail = describe("loop trip count inflated to 2^23",
+                              block_of(i), i);
+        return out;
+      }
+
+      case DefectKind::SharedStrideCorrupt: {
+        std::vector<unsigned> sites;
+        for (unsigned i = 0; i < instrs.size(); ++i) {
+            if (instrs[i].op == Opcode::LD_SHARED ||
+                instrs[i].op == Opcode::ST_SHARED) {
+                sites.push_back(i);
+            }
+        }
+        if (sites.empty() || mutant.shmemPerCta_ == 0)
+            return std::nullopt;
+        const unsigned i = sites[pick(seed, sites.size())];
+        // Valid strides are multiples of 128 (the per-warp phase); 36
+        // walks one warp's accesses through every other warp's slots.
+        instrs[i].mem.stride = 36;
+        out.expected = {DiagKind::SharedStrideAliasesWarps};
+        out.detail = describe("shared stride corrupted off the 128-byte "
+                              "warp phase", block_of(i), i);
+        return out;
+      }
+
+      case DefectKind::BarrierRemoved: {
+        // A removable BAR needs a shared op before it and a first shared
+        // op after it (within the adjacent sync intervals) such that the
+        // merged pair contains a store: the race check must then flag the
+        // later op, which carried no race diagnostic while the barrier
+        // still separated them.
+        std::vector<unsigned> bars;
+        for (unsigned i = 0; i < instrs.size(); ++i) {
+            if (instrs[i].op == Opcode::BAR)
+                bars.push_back(i);
+        }
+        const auto is_shared = [&](unsigned i) {
+            return instrs[i].op == Opcode::LD_SHARED ||
+                   instrs[i].op == Opcode::ST_SHARED;
+        };
+        std::vector<unsigned> sites;
+        for (std::size_t j = 0; j < bars.size(); ++j) {
+            const unsigned prev_start = j > 0 ? bars[j - 1] + 1 : 0;
+            const unsigned next_end = j + 1 < bars.size()
+                                          ? bars[j + 1]
+                                          : unsigned(instrs.size());
+            bool prev_shared = false, prev_store = false;
+            for (unsigned i = prev_start; i < bars[j]; ++i) {
+                if (!is_shared(i))
+                    continue;
+                prev_shared = true;
+                prev_store =
+                    prev_store || instrs[i].op == Opcode::ST_SHARED;
+            }
+            int next_first = -1;
+            for (unsigned i = bars[j] + 1; i < next_end; ++i) {
+                if (is_shared(i)) {
+                    next_first = int(i);
+                    break;
+                }
+            }
+            if (!prev_shared || next_first < 0)
+                continue;
+            if (instrs[unsigned(next_first)].op == Opcode::ST_SHARED ||
+                prev_store)
+                sites.push_back(bars[j]);
+        }
+        if (sites.empty())
+            return std::nullopt;
+        const unsigned i = sites[pick(seed, sites.size())];
+        // Replace (not delete) so block extents stay intact; a MOV of R0
+        // onto itself has no architectural effect.
+        instrs[i].op = Opcode::MOV;
+        instrs[i].dst = 0;
+        instrs[i].srcs = {0, -1, -1};
+        out.expected = {DiagKind::SharedMemRace};
+        out.detail = describe("BAR replaced by MOV, merging two sync "
+                              "intervals", block_of(i), i);
+        return out;
+      }
+
+      case DefectKind::NarrowClaimCorrupt: {
+        std::vector<unsigned> sites;
+        for (unsigned i = 0; i < instrs.size(); ++i) {
+            if (instrs[i].dst >= 0)
+                sites.push_back(i);
+        }
+        if (sites.empty())
+            return std::nullopt;
+        const unsigned i = sites[pick(seed, sites.size())];
+        const int reg = instrs[i].dst;
+        out.options.narrowClaimReg = reg;
+        out.options.narrowClaimBits = 0;
+        out.expected = {DiagKind::CompressionClaimTooNarrow};
+        out.detail = "compiler width claim for R" + std::to_string(reg) +
+                     " forced to 0 bits";
         return out;
       }
     }

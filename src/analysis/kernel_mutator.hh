@@ -41,6 +41,14 @@ enum class DefectKind : unsigned char
     CorruptBitvecFull, ///< Vectors replaced by the all-registers mask.
     PhantomEdge,       ///< Stored CFG edge the terminators do not imply.
     ShrunkBlock,       ///< Block extent shortened, leaving a gap.
+    LoopBoundCorrupt,  ///< Loop trip count inflated past the instruction
+                       ///< budget the mem-access pass proves against.
+    SharedStrideCorrupt, ///< Shared stride broken off the 128-byte warp
+                         ///< phase, aliasing warps into each other's slots.
+    BarrierRemoved,    ///< BAR replaced by a no-op, merging two sync
+                       ///< intervals into a shared-memory race.
+    NarrowClaimCorrupt, ///< Compiler width claim forced below the derived
+                        ///< register width.
 };
 
 std::string_view defectKindName(DefectKind kind);

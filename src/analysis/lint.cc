@@ -2,8 +2,12 @@
 
 #include <atomic>
 
+#include "analysis/compressibility.hh"
 #include "analysis/liveness_check.hh"
+#include "analysis/mem_access.hh"
 #include "analysis/shared_mem_check.hh"
+#include "analysis/shmem_race.hh"
+#include "analysis/value_range.hh"
 #include "common/log.hh"
 
 namespace finereg::analysis
@@ -32,6 +36,28 @@ lintKernel(AnalysisManager &manager, const Kernel &kernel)
             kernel, SharedMemCheckResult::kName)) {
         result.stats.sharedOps = shared->sharedOps;
         result.stats.maxBankConflict = shared->maxBankConflictDegree;
+    }
+    if (const auto *vr = manager.resultOf<ValueRangeResult>(
+            kernel, ValueRangeResult::kName)) {
+        result.stats.constFoldableDefs = vr->constFoldableDefs;
+        result.stats.overflowDefs = vr->overflowDefs;
+    }
+    if (const auto *mem = manager.resultOf<MemAccessResult>(
+            kernel, MemAccessResult::kName)) {
+        result.stats.coalescing = mem->coalescing;
+        result.stats.dramTransactionBound = mem->dramTransactionBound;
+        result.stats.dramBoundKnown = mem->dramBoundKnown;
+    }
+    if (const auto *comp = manager.resultOf<CompressibilityResult>(
+            kernel, CompressibilityResult::kName)) {
+        result.stats.narrowRegs = comp->narrowRegs;
+        result.stats.uniformRegs = comp->uniformRegCount;
+        result.stats.meanBitsPerDef = comp->meanBitsPerDef;
+        result.stats.predictedCompressionRatio = comp->predictedRatio;
+    }
+    if (const auto *race = manager.resultOf<ShmemRaceCheckResult>(
+            kernel, ShmemRaceCheckResult::kName)) {
+        result.stats.raceVerdict = race->verdict;
     }
     return result;
 }

@@ -33,6 +33,25 @@ struct KernelLintStats
     unsigned deadDefs = 0;
     unsigned sharedOps = 0;
     unsigned maxBankConflict = 0;
+
+    // Abstract-interpretation summary (value-range / mem-access /
+    // compressibility / shmem-race-check) ---------------------------------
+    unsigned constFoldableDefs = 0;
+    unsigned overflowDefs = 0;
+
+    /** "none" | "coalesced" | "strided" | "scattered". */
+    std::string coalescing = "none";
+
+    std::uint64_t dramTransactionBound = 0;
+    bool dramBoundKnown = false;
+
+    unsigned narrowRegs = 0;
+    unsigned uniformRegs = 0;
+    double meanBitsPerDef = 32.0;
+    double predictedCompressionRatio = 1.0;
+
+    /** "race-free" | "sync-protected" | "possibly-racy". */
+    std::string raceVerdict = "race-free";
 };
 
 struct LintResult

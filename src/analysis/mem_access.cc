@@ -1,0 +1,229 @@
+#include "analysis/mem_access.hh"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+#include "isa/opcode.hh"
+
+namespace finereg::analysis
+{
+
+namespace
+{
+
+constexpr unsigned kNumBanks = 32;
+constexpr std::uint64_t kUnbounded = MemAccessResult::kUnboundedExecs;
+
+std::uint64_t
+satMul(std::uint64_t a, std::uint64_t b)
+{
+    if (a == kUnbounded || b == kUnbounded)
+        return kUnbounded;
+    if (b != 0 && a > kUnbounded / b)
+        return kUnbounded;
+    return a * b;
+}
+
+std::uint64_t
+satAdd(std::uint64_t a, std::uint64_t b)
+{
+    if (a == kUnbounded || b == kUnbounded || a + b < a)
+        return kUnbounded;
+    return a + b;
+}
+
+/**
+ * Per-block per-warp execution bound: the product of the trip counts of
+ * every enclosing structured loop (a backward loop-branch at block s
+ * targeting block t <= s encloses blocks [t, s]). Probabilistic backward
+ * edges (backward JMP or non-loop BRA) make every block in their span
+ * unbounded; unreachable blocks execute zero times.
+ */
+std::vector<std::uint64_t>
+blockBounds(const Kernel &kernel, const CfgCheckResult &cfg)
+{
+    std::vector<std::uint64_t> bound(kernel.blocks().size(), 1);
+    for (std::size_t b = 0; b < kernel.blocks().size(); ++b) {
+        if (!cfg.reachable[b])
+            bound[b] = 0;
+    }
+    for (std::size_t b = 0; b < kernel.blocks().size(); ++b) {
+        if (!cfg.reachable[b])
+            continue;
+        const BasicBlock &bb = kernel.blocks()[b];
+        if (bb.numInstrs == 0)
+            continue;
+        const Instruction &term =
+            kernel.instrs()[bb.firstInstr + bb.numInstrs - 1];
+        const bool backward =
+            (term.op == Opcode::BRA || term.op == Opcode::JMP) &&
+            term.targetBlock >= 0 &&
+            std::size_t(term.targetBlock) <= b;
+        if (!backward)
+            continue;
+        for (std::size_t body = std::size_t(term.targetBlock); body <= b;
+             ++body) {
+            if (bound[body] == 0)
+                continue;
+            bound[body] = term.isLoopBranch()
+                              ? satMul(bound[body], term.tripCount)
+                              : kUnbounded;
+        }
+    }
+    return bound;
+}
+
+unsigned
+worstBankDegree(std::uint32_t region)
+{
+    // Lane l touches word (base/4 + l) mod W with W = region/4 words.
+    // W a multiple of 32 maps 32 consecutive words onto 32 distinct
+    // banks for every base; otherwise the wraparound phase matters and
+    // the worst case is scanned explicitly.
+    const std::uint32_t words = std::max<std::uint32_t>(region / 4, 1);
+    if (words % kNumBanks == 0)
+        return 1;
+    unsigned worst = 0;
+    for (std::uint32_t o = 0; o < words; ++o) {
+        std::array<unsigned, kNumBanks> lanes_per_bank{};
+        for (unsigned lane = 0; lane < kWarpSize; ++lane)
+            ++lanes_per_bank[(o + lane) % words % kNumBanks];
+        worst = std::max(worst,
+                         *std::max_element(lanes_per_bank.begin(),
+                                           lanes_per_bank.end()));
+    }
+    return worst;
+}
+
+} // namespace
+
+std::uint32_t
+sharedRegionBytes(const Kernel &kernel)
+{
+    return std::max<std::uint32_t>((kernel.shmemPerCta() + 127u) & ~127u,
+                                   128u);
+}
+
+std::unique_ptr<AnalysisResultBase>
+MemAccessPass::run(AnalysisContext &ctx)
+{
+    const Kernel &kernel = ctx.kernel;
+    const auto *cfg =
+        ctx.manager.resultOf<CfgCheckResult>(kernel, CfgCheckResult::kName);
+    auto result = std::make_unique<MemAccessResult>();
+    if (cfg == nullptr)
+        return result;
+
+    result->blockExecBound = blockBounds(kernel, *cfg);
+
+    unsigned emitted = 0;
+    auto report = [&](DiagKind kind, int block, int instr,
+                      std::string message) {
+        if (emitted++ < ctx.options.maxDiagsPerPass) {
+            ctx.diags.add(kind, kernel.name(), block, instr, -1,
+                          std::move(message));
+        }
+    };
+
+    // Per-warp instruction bound: every instruction in a block executes at
+    // most once per block visit (divergent diamonds serialize arms, but
+    // each arm instruction still runs once per visit).
+    result->warpInstrBound = 0;
+    for (std::size_t b = 0; b < kernel.blocks().size(); ++b) {
+        result->warpInstrBound = satAdd(
+            result->warpInstrBound,
+            satMul(result->blockExecBound[b], kernel.blocks()[b].numInstrs));
+    }
+    result->warpInstrBoundKnown = result->warpInstrBound != kUnbounded;
+    if (result->warpInstrBoundKnown &&
+        result->warpInstrBound > ctx.options.warpInstrBudget) {
+        std::ostringstream oss;
+        oss << "proven per-warp dynamic instruction bound of "
+            << result->warpInstrBound << " exceeds the executor budget of "
+            << ctx.options.warpInstrBudget
+            << "; the reference executor would abort this kernel";
+        report(DiagKind::LoopBudgetExceeded, -1, -1, oss.str());
+    }
+
+    const std::uint32_t region = sharedRegionBytes(kernel);
+    const unsigned shared_degree = worstBankDegree(region);
+    const std::uint64_t total_warps =
+        std::uint64_t(kernel.gridCtas()) * kernel.warpsPerCta();
+
+    unsigned worst_transactions = 0;
+    const auto &instrs = kernel.instrs();
+    for (unsigned i = 0; i < instrs.size(); ++i) {
+        const Instruction &instr = instrs[i];
+        if (funcUnitOf(instr.op) != FuncUnit::MEM)
+            continue;
+        const int block = kernel.blockOfInstr(i);
+
+        MemAccessResult::OpInfo op;
+        op.instr = i;
+        op.load = isLoad(instr.op);
+        op.shared = !isGlobalMemory(instr.op);
+        op.transactions = instr.mem.transactions;
+        op.execBound = block >= 0 ? result->blockExecBound[std::size_t(block)]
+                                  : kUnbounded;
+
+        if (op.shared) {
+            // sharedBaseOffset: off = (warp*128 + k*stride) % region & ~3;
+            // lane word = (off + 4*lane) % region.
+            op.lanes.baseLo = 0;
+            op.lanes.baseHi = region - 4;
+            op.lanes.laneStride = 4;
+            op.lanes.wrap = region;
+            op.bankDegree = shared_degree;
+            if (shared_degree == 1)
+                ++result->provenConflictFreeOps;
+            else
+                ++result->possiblyConflictingOps;
+
+            const std::uint64_t stride =
+                std::max<std::uint64_t>(instr.mem.stride, 4);
+            op.strideAligned = stride % 128 == 0;
+            if (!op.strideAligned) {
+                std::ostringstream oss;
+                oss << "shared stride of " << stride
+                    << " bytes breaks the 128-byte warp phase; warps can "
+                       "alias each other's slots within one interval";
+                report(DiagKind::SharedStrideAliasesWarps, block,
+                       static_cast<int>(i), oss.str());
+            }
+        } else {
+            // warpGenerateAddress: base = (region << 40) + offset with
+            // offset = (warp_index*slice + k*stride) % footprint & ~127;
+            // lane word = base + 4*lane. The reuse path replays an earlier
+            // base, which obeys the same bound.
+            const Addr region_base = static_cast<Addr>(instr.mem.region)
+                                     << 40;
+            const std::uint64_t fp = std::max<std::uint64_t>(
+                instr.mem.footprint, 1);
+            op.lanes.baseLo = region_base;
+            op.lanes.baseHi = region_base + ((fp - 1) & ~std::uint64_t(127));
+            op.lanes.laneStride = 4;
+            op.lanes.wrap = 0;
+            worst_transactions =
+                std::max(worst_transactions, instr.mem.transactions);
+            result->dramTransactionBound = satAdd(
+                result->dramTransactionBound,
+                satMul(satMul(op.execBound, instr.mem.transactions),
+                       total_warps));
+        }
+        result->ops.push_back(op);
+    }
+
+    result->dramBoundKnown = result->dramTransactionBound != kUnbounded;
+    if (worst_transactions == 0)
+        result->coalescing = "none";
+    else if (worst_transactions == 1)
+        result->coalescing = "coalesced";
+    else if (worst_transactions <= 3)
+        result->coalescing = "strided";
+    else
+        result->coalescing = "scattered";
+    return result;
+}
+
+} // namespace finereg::analysis

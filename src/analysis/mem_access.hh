@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Memory-access pass: abstract-evaluates the executors' deterministic
+ * address generators (sm/warp_exec.hh warpGenerateAddress and
+ * ref/cta_values.cc sharedBaseOffset) into affine lane-address forms,
+ * proves per-warp dynamic execution bounds from structured loop trip
+ * counts, and derives from them:
+ *
+ *  - a static coalescing classification per kernel (worst declared
+ *    transactions over the global ops),
+ *  - a whole-grid DRAM-transaction upper bound,
+ *  - a proven shared-memory bank-conflict degree per op (replacing the
+ *    region-scan heuristic shared_mem_check used before this pass),
+ *  - a proven per-warp instruction bound checked against the executor's
+ *    runaway budget (LintOptions::warpInstrBudget).
+ *
+ * Bounds degrade to "unbounded" (kUnboundedExecs) on probabilistic
+ * backward edges, never silently wrong: the dynamic cross-validator
+ * asserts every observed address and execution count against these
+ * abstractions.
+ */
+
+#ifndef FINEREG_ANALYSIS_MEM_ACCESS_HH
+#define FINEREG_ANALYSIS_MEM_ACCESS_HH
+
+#include "analysis/abstract_interp.hh"
+#include "analysis/pass.hh"
+
+namespace finereg::analysis
+{
+
+struct MemAccessResult : AnalysisResultBase
+{
+    static constexpr std::string_view kName = "mem-access";
+
+    /** Execution-bound value meaning "no static bound provable". */
+    static constexpr std::uint64_t kUnboundedExecs = ~0ull;
+
+    struct OpInfo
+    {
+        unsigned instr = 0;
+        bool shared = false;
+        bool load = false;
+
+        /** Abstract lane-address set (byte addresses; shared ops are
+         * region-relative offsets with wrap = region). */
+        AffineForm lanes;
+
+        /** Per-warp dynamic executions upper bound. */
+        std::uint64_t execBound = 0;
+
+        unsigned transactions = 1;
+
+        /** Shared ops: proven worst lanes-per-bank (1 = conflict-free). */
+        unsigned bankDegree = 0;
+
+        /** Shared ops: stride preserves the 128-byte warp phase. */
+        bool strideAligned = true;
+    };
+
+    std::vector<OpInfo> ops;
+
+    /** Per-block per-warp execution upper bound (kUnboundedExecs when a
+     * probabilistic backward edge makes the block's trip unprovable). */
+    std::vector<std::uint64_t> blockExecBound;
+
+    /** Proven per-warp dynamic instruction bound over the whole kernel. */
+    std::uint64_t warpInstrBound = 0;
+    bool warpInstrBoundKnown = true;
+
+    /** Whole-grid 128-byte DRAM transaction upper bound (global ops). */
+    std::uint64_t dramTransactionBound = 0;
+    bool dramBoundKnown = true;
+
+    /** "none" | "coalesced" | "strided" | "scattered". */
+    std::string coalescing = "none";
+
+    unsigned provenConflictFreeOps = 0;
+    unsigned possiblyConflictingOps = 0;
+
+    /** Lookup by flat instruction index; nullptr for non-mem instrs. */
+    const OpInfo *
+    opAt(unsigned instr_index) const
+    {
+        for (const OpInfo &op : ops) {
+            if (op.instr == instr_index)
+                return &op;
+        }
+        return nullptr;
+    }
+};
+
+/** The region size the executors wrap shared addresses into. */
+std::uint32_t sharedRegionBytes(const Kernel &kernel);
+
+class MemAccessPass : public Pass
+{
+  public:
+    std::string_view name() const override { return MemAccessResult::kName; }
+
+    std::vector<std::string_view>
+    dependsOn() const override
+    {
+        return {CfgCheckResult::kName};
+    }
+
+    std::unique_ptr<AnalysisResultBase> run(AnalysisContext &ctx) override;
+};
+
+} // namespace finereg::analysis
+
+#endif // FINEREG_ANALYSIS_MEM_ACCESS_HH

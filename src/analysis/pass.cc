@@ -3,11 +3,15 @@
 #include <algorithm>
 
 #include "analysis/cfg_check.hh"
+#include "analysis/compressibility.hh"
 #include "analysis/dominators.hh"
 #include "analysis/liveness_check.hh"
+#include "analysis/mem_access.hh"
 #include "analysis/reaching_defs.hh"
 #include "analysis/reconv_check.hh"
 #include "analysis/shared_mem_check.hh"
+#include "analysis/shmem_race.hh"
+#include "analysis/value_range.hh"
 #include "common/log.hh"
 
 namespace finereg::analysis
@@ -27,7 +31,11 @@ AnalysisManager::withDefaultPasses(LintOptions options)
     manager->registerPass(std::make_unique<ReconvCheckPass>());
     manager->registerPass(std::make_unique<ReachingDefsPass>());
     manager->registerPass(std::make_unique<LivenessCheckPass>());
+    manager->registerPass(std::make_unique<ValueRangePass>());
+    manager->registerPass(std::make_unique<MemAccessPass>());
     manager->registerPass(std::make_unique<SharedMemCheckPass>());
+    manager->registerPass(std::make_unique<CompressibilityPass>());
+    manager->registerPass(std::make_unique<ShmemRaceCheckPass>());
     return manager;
 }
 

@@ -53,6 +53,23 @@ struct LintOptions
 
     /** Cap on diagnostics emitted per pass per kernel. */
     unsigned maxDiagsPerPass = 64;
+
+    /**
+     * Per-warp dynamic instruction budget the mem-access pass proves
+     * against; matches RefExecutor's default runaway guard. A kernel whose
+     * provable loop-trip product exceeds it draws a LoopBudgetExceeded
+     * warning before it can hang an executor.
+     */
+    std::uint64_t warpInstrBudget = 4'000'000;
+
+    /**
+     * Test hook mirroring dropLiveReg for the compressibility claim: force
+     * the compiler's claimed width for this register down to
+     * narrowClaimBits (-1 = off). The static comparison must warn and the
+     * dynamic cross-validator must reject the claim as unsound.
+     */
+    int narrowClaimReg = -1;
+    unsigned narrowClaimBits = 0;
 };
 
 /** Base class for cached per-kernel pass results. */

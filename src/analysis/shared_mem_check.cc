@@ -1,54 +1,18 @@
 #include "analysis/shared_mem_check.hh"
 
-#include <algorithm>
-#include <array>
 #include <sstream>
 
+#include "analysis/mem_access.hh"
 #include "common/log.hh"
 
 namespace finereg::analysis
 {
 
-namespace
+std::vector<std::string_view>
+SharedMemCheckPass::dependsOn() const
 {
-
-constexpr unsigned kNumBanks = 32;
-constexpr unsigned kBankWidth = 4;
-
-/** The region size the executor wraps shared addresses into. */
-std::uint32_t
-sharedRegion(const Kernel &kernel)
-{
-    return std::max<std::uint32_t>((kernel.shmemPerCta() + 127u) & ~127u,
-                                   128u);
+    return {MemAccessResult::kName};
 }
-
-/**
- * Worst lanes-per-bank degree over every 4-aligned base offset. Lane l
- * touches word (base + 4*l) mod region; bank = word / 4 mod 32. When
- * region/4 is a multiple of 32 the mapping is offset-invariant and the
- * full scan collapses to one offset.
- */
-unsigned
-worstBankDegree(std::uint32_t region)
-{
-    const std::uint32_t words = region / kBankWidth;
-    const std::uint32_t offsets = words % kNumBanks == 0 ? 1 : words;
-    unsigned worst = 0;
-    for (std::uint32_t o = 0; o < offsets; ++o) {
-        std::array<unsigned, kNumBanks> lanes_per_bank{};
-        for (unsigned lane = 0; lane < kWarpSize; ++lane) {
-            const std::uint32_t word = (o + lane) % words;
-            ++lanes_per_bank[word % kNumBanks];
-        }
-        worst = std::max(worst,
-                         *std::max_element(lanes_per_bank.begin(),
-                                           lanes_per_bank.end()));
-    }
-    return worst;
-}
-
-} // namespace
 
 std::unique_ptr<AnalysisResultBase>
 SharedMemCheckPass::run(AnalysisContext &ctx)
@@ -56,8 +20,12 @@ SharedMemCheckPass::run(AnalysisContext &ctx)
     const Kernel &kernel = ctx.kernel;
     auto result = std::make_unique<SharedMemCheckResult>();
 
-    const std::uint32_t region = sharedRegion(kernel);
-    const unsigned degree = worstBankDegree(region);
+    // The bank-conflict verdict comes from the mem-access pass's affine
+    // lane-address forms: a proof per op, not a region heuristic.
+    const auto *mem = ctx.manager.resultOf<MemAccessResult>(
+        kernel, MemAccessResult::kName);
+
+    const std::uint32_t region = sharedRegionBytes(kernel);
 
     unsigned emitted = 0;
     auto report = [&](DiagKind kind, unsigned i, std::string message) {
@@ -74,6 +42,10 @@ SharedMemCheckPass::run(AnalysisContext &ctx)
         if (instr.op != Opcode::LD_SHARED && instr.op != Opcode::ST_SHARED)
             continue;
         ++result->sharedOps;
+
+        const MemAccessResult::OpInfo *op =
+            mem != nullptr ? mem->opAt(i) : nullptr;
+        const unsigned degree = op != nullptr ? op->bankDegree : kWarpSize;
         result->maxBankConflictDegree =
             std::max(result->maxBankConflictDegree, degree);
 

@@ -5,10 +5,11 @@
  * max(roundup(shmemPerCta, 128), 128) bytes, each lane touching the
  * 4-byte word (base + 4*lane) mod region. The pass flags shared ops in
  * kernels that declare no shared memory, declared footprints larger than
- * the CTA's allocation (the walk silently wraps), per-warp transaction
- * counts the fixed-latency shared path ignores, and computes the worst
- * static bank-conflict degree over the 32 four-byte banks — proving the
- * common case conflict-free rather than assuming it.
+ * the CTA's allocation (the walk silently wraps), and per-warp
+ * transaction counts the fixed-latency shared path ignores. The
+ * bank-conflict verdict is consumed from the mem-access pass's affine
+ * lane-address forms, which prove the common case conflict-free per op
+ * rather than scanning the region heuristically.
  */
 
 #ifndef FINEREG_ANALYSIS_SHARED_MEM_CHECK_HH
@@ -41,6 +42,9 @@ class SharedMemCheckPass : public Pass
 {
   public:
     std::string_view name() const override { return SharedMemCheckResult::kName; }
+
+    std::vector<std::string_view> dependsOn() const override;
+
     std::unique_ptr<AnalysisResultBase> run(AnalysisContext &ctx) override;
 };
 

@@ -1,0 +1,166 @@
+#include "analysis/shmem_race.hh"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "analysis/mem_access.hh"
+#include "isa/opcode.hh"
+
+namespace finereg::analysis
+{
+
+namespace
+{
+
+/** Enumeration budget for an op's reachable warp-base offset set. */
+constexpr std::uint64_t kEnumCap = 4096;
+
+/**
+ * The 128-byte-window start offsets one shared op can reach:
+ * (warp*128 + k*stride) % region & ~3 over every warp and execution
+ * k < execBound. Empty optional = unbounded or too many to enumerate
+ * (treated as "could be anywhere").
+ */
+std::optional<std::set<std::uint32_t>>
+reachableBases(const Kernel &kernel, const Instruction &instr,
+               std::uint64_t exec_bound, std::uint32_t region)
+{
+    if (exec_bound == MemAccessResult::kUnboundedExecs ||
+        std::uint64_t(kernel.warpsPerCta()) * exec_bound > kEnumCap)
+        return std::nullopt;
+    const std::uint64_t stride = std::max<std::uint64_t>(instr.mem.stride, 4);
+    std::set<std::uint32_t> bases;
+    for (unsigned warp = 0; warp < kernel.warpsPerCta(); ++warp) {
+        for (std::uint64_t k = 0; k < exec_bound; ++k) {
+            bases.insert(static_cast<std::uint32_t>(
+                (std::uint64_t(warp) * 128 + k * stride) % region & ~3ull));
+        }
+    }
+    return bases;
+}
+
+/** Two base sets overlap when any two 128-byte lane windows intersect
+ * (lane words span [base, base + 124] mod region). */
+bool
+windowsOverlap(const std::set<std::uint32_t> &a,
+               const std::set<std::uint32_t> &b, std::uint32_t region)
+{
+    for (const std::uint32_t x : a) {
+        for (const std::uint32_t y : b) {
+            const std::uint32_t dxy = (x + region - y) % region;
+            const std::uint32_t dyx = (region - dxy) % region;
+            if (dxy <= 124 || dyx <= 124)
+                return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<std::string_view>
+ShmemRaceCheckPass::dependsOn() const
+{
+    return {CfgCheckResult::kName, MemAccessResult::kName};
+}
+
+std::unique_ptr<AnalysisResultBase>
+ShmemRaceCheckPass::run(AnalysisContext &ctx)
+{
+    const Kernel &kernel = ctx.kernel;
+    const auto *cfg =
+        ctx.manager.resultOf<CfgCheckResult>(kernel, CfgCheckResult::kName);
+    const auto *mem = ctx.manager.resultOf<MemAccessResult>(
+        kernel, MemAccessResult::kName);
+    auto result = std::make_unique<ShmemRaceCheckResult>();
+    if (cfg == nullptr || mem == nullptr)
+        return result;
+
+    const std::uint32_t region = sharedRegionBytes(kernel);
+
+    struct SharedOp
+    {
+        unsigned instr;
+        unsigned interval;
+        bool store;
+        std::optional<std::set<std::uint32_t>> bases;
+    };
+    std::vector<SharedOp> ops;
+
+    unsigned interval = 0;
+    const auto &instrs = kernel.instrs();
+    for (unsigned i = 0; i < instrs.size(); ++i) {
+        const Instruction &instr = instrs[i];
+        if (instr.op == Opcode::BAR) {
+            const int b = kernel.blockOfInstr(i);
+            if (b >= 0 && cfg->reachable[std::size_t(b)]) {
+                ++result->barriers;
+                ++interval;
+            }
+            continue;
+        }
+        if (instr.op != Opcode::LD_SHARED && instr.op != Opcode::ST_SHARED)
+            continue;
+        const int b = kernel.blockOfInstr(i);
+        if (b < 0 || !cfg->reachable[std::size_t(b)])
+            continue;
+        const MemAccessResult::OpInfo *info = mem->opAt(i);
+        ops.push_back(SharedOp{
+            i, interval, instr.op == Opcode::ST_SHARED,
+            reachableBases(kernel, instr,
+                           info != nullptr
+                               ? info->execBound
+                               : MemAccessResult::kUnboundedExecs,
+                           region)});
+    }
+    result->intervals = interval + 1;
+    result->sharedOps = static_cast<unsigned>(ops.size());
+
+    unsigned emitted = 0;
+    for (std::size_t j = 0; j < ops.size(); ++j) {
+        for (std::size_t k = 0; k < j; ++k) {
+            const SharedOp &later = ops[j];
+            const SharedOp &earlier = ops[k];
+            if (!later.store && !earlier.store)
+                continue;
+            if (later.interval != earlier.interval) {
+                ++result->orderedPairs;
+                continue;
+            }
+            const bool overlap =
+                !later.bases.has_value() || !earlier.bases.has_value() ||
+                windowsOverlap(*later.bases, *earlier.bases, region);
+            if (!overlap) {
+                ++result->orderedPairs;
+                continue;
+            }
+            ++result->racyPairs;
+            if (emitted++ < ctx.options.maxDiagsPerPass) {
+                std::ostringstream oss;
+                oss << "shared "
+                    << (later.store ? "store" : "load") << " overlaps the "
+                    << (earlier.store ? "store" : "load") << " at I"
+                    << earlier.instr
+                    << " in the same barrier interval; no synchronization "
+                       "orders the warps between them";
+                ctx.diags.add(DiagKind::SharedMemRace, kernel.name(),
+                              kernel.blockOfInstr(later.instr),
+                              static_cast<int>(later.instr), -1, oss.str());
+            }
+            break; // one diagnostic per anchoring op
+        }
+    }
+
+    if (result->racyPairs > 0)
+        result->verdict = "possibly-racy";
+    else if (result->orderedPairs > 0)
+        result->verdict = "sync-protected";
+    else
+        result->verdict = "race-free";
+    return result;
+}
+
+} // namespace finereg::analysis

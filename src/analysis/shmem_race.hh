@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Barrier-interval shared-memory race check. Partitions the instruction
+ * stream at BAR instructions into synchronization intervals and flags
+ * pairs of shared ops (at least one a store) that land in the same
+ * interval with overlapping affine address sets — two warps could touch
+ * the same word with no barrier ordering them. Disjointness is proven
+ * from the mem-access pass's forms: the reachable warp-base offsets of an
+ * op with a proven execution bound enumerate to a finite set of 128-byte
+ * windows, and non-intersecting window sets cannot race.
+ *
+ * The verdict is advisory (warnings, never errors): the architectural
+ * value semantics make shared state order-independent by construction
+ * (loads hash addresses, stores accumulate commutatively), so a "race"
+ * here is a model-level hazard the timing side ignores — exactly the
+ * class of construct a real kernel with these access patterns would have
+ * to synchronize. Cross-iteration pairs inside loops are treated as
+ * same-interval (the flat partition is execution-order-agnostic), which
+ * over-approximates toward reporting.
+ */
+
+#ifndef FINEREG_ANALYSIS_SHMEM_RACE_HH
+#define FINEREG_ANALYSIS_SHMEM_RACE_HH
+
+#include "analysis/pass.hh"
+
+namespace finereg::analysis
+{
+
+struct ShmemRaceCheckResult : AnalysisResultBase
+{
+    static constexpr std::string_view kName = "shmem-race-check";
+
+    unsigned barriers = 0;
+    unsigned intervals = 1;
+    unsigned sharedOps = 0;
+
+    /** Same-interval overlapping pairs with at least one store. */
+    unsigned racyPairs = 0;
+
+    /** Pairs separated by a barrier (or proven address-disjoint). */
+    unsigned orderedPairs = 0;
+
+    /** "race-free" | "sync-protected" | "possibly-racy". */
+    std::string verdict = "race-free";
+};
+
+class ShmemRaceCheckPass : public Pass
+{
+  public:
+    std::string_view
+    name() const override
+    {
+        return ShmemRaceCheckResult::kName;
+    }
+
+    std::vector<std::string_view> dependsOn() const override;
+
+    std::unique_ptr<AnalysisResultBase> run(AnalysisContext &ctx) override;
+};
+
+} // namespace finereg::analysis
+
+#endif // FINEREG_ANALYSIS_SHMEM_RACE_HH

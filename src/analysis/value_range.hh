@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Value-range pass: per-register intervals at every program point via the
+ * abstract-interpretation engine (abstract_interp.hh), with the interval
+ * transfer of the architectural value semantics. Launch values and loads
+ * are hashes (top); constant chains fold exactly; loop-carried growth is
+ * widened. The pass publishes one def interval per static instruction and
+ * the per-register join over all reachable defs, flags provably-wrapping
+ * IADD/FFMA defs and constant-foldable defs, and claims per-def warp
+ * uniformity for purely constant-derived values. Every claim is checked
+ * dynamically by ref/value_validator.hh.
+ */
+
+#ifndef FINEREG_ANALYSIS_VALUE_RANGE_HH
+#define FINEREG_ANALYSIS_VALUE_RANGE_HH
+
+#include "analysis/abstract_interp.hh"
+#include "analysis/pass.hh"
+
+namespace finereg::analysis
+{
+
+struct ValueRangeResult : AnalysisResultBase
+{
+    static constexpr std::string_view kName = "value-range";
+
+    /**
+     * Interval the def at each static instruction writes; bottom for
+     * non-defs and statically unreachable instructions.
+     */
+    std::vector<Interval> defInterval;
+
+    /** Per-def uniformity claim: all active lanes write the same value. */
+    std::vector<char> defUniform;
+
+    /**
+     * Per-register join over every reachable def's interval — the value
+     * set a register can ever hold *after some def* (launch values are
+     * separate and always full-width). Bottom = never defined.
+     */
+    std::vector<Interval> regJoin;
+
+    /** Every reachable def of the register carries the uniformity claim. */
+    std::vector<char> regUniform;
+
+    unsigned constFoldableDefs = 0;
+    unsigned overflowDefs = 0;
+    unsigned fixpointIterations = 0;
+};
+
+class ValueRangePass : public Pass
+{
+  public:
+    std::string_view name() const override { return ValueRangeResult::kName; }
+
+    std::vector<std::string_view>
+    dependsOn() const override
+    {
+        return {CfgCheckResult::kName};
+    }
+
+    std::unique_ptr<AnalysisResultBase> run(AnalysisContext &ctx) override;
+};
+
+} // namespace finereg::analysis
+
+#endif // FINEREG_ANALYSIS_VALUE_RANGE_HH

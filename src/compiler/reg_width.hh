@@ -1,0 +1,59 @@
+/**
+ * @file
+ * RegWidthTable: the per-register value-width claim the paper-style
+ * compiler would ship alongside the live-register table — the input a
+ * static-compression PCRF (Angerd et al., PAPERS.md) encodes against.
+ * Computed with a deliberately simple flow-INSENSITIVE interval fixpoint
+ * (one abstract value per register for the whole kernel, every def joined
+ * in), which is sound but coarser than the analysis subsystem's
+ * flow-sensitive value-range pass. The compressibility pass compares the
+ * two statically (claim narrower than derived is suspicious), and
+ * ref/value_validator.hh proves every observed written value fits the
+ * claimed width — the same two-sided discipline liveness.cc lives under.
+ */
+
+#ifndef FINEREG_COMPILER_REG_WIDTH_HH
+#define FINEREG_COMPILER_REG_WIDTH_HH
+
+#include <vector>
+
+#include "isa/kernel.hh"
+
+namespace finereg
+{
+
+class RegWidthTable
+{
+  public:
+    /** Run the flow-insensitive width analysis on @p kernel. */
+    explicit RegWidthTable(const Kernel &kernel);
+
+    /**
+     * Claimed bits needed for any value a def ever writes into @p reg.
+     * 32 for never-defined registers (they hold full-width launch
+     * hashes); 0 means every def writes zero.
+     */
+    unsigned claimedBits(unsigned reg) const { return bits_[reg]; }
+
+    unsigned numRegs() const { return static_cast<unsigned>(bits_.size()); }
+
+    /** Registers claimed narrower than the native 32-bit word. */
+    unsigned narrowRegs() const;
+
+    /**
+     * Off-chip bytes the claim table occupies: one byte per register,
+     * rounded to the 4 B table-entry granule the RMU metadata uses.
+     */
+    std::uint64_t
+    storageBytes() const
+    {
+        return (std::uint64_t(bits_.size()) + 3) & ~3ull;
+    }
+
+  private:
+    std::vector<unsigned> bits_;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_COMPILER_REG_WIDTH_HH

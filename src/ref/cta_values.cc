@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ref/value_observe.hh"
 #include "ref/value_semantics.hh"
 
 namespace finereg
@@ -47,6 +48,9 @@ CtaValues::execAlu(WarpId warp, std::uint32_t mask, const Instruction &instr)
     if (instr.dst < 0)
         return;
     const unsigned base = warp * kWarpSize;
+    std::uint32_t vmin = 0xffffffffu, vmax = 0;
+    bool differ = false, first = true;
+    std::uint32_t first_v = 0;
     for (unsigned lane = 0; lane < kWarpSize; ++lane) {
         if (!(mask >> lane & 1))
             continue;
@@ -56,6 +60,17 @@ CtaValues::execAlu(WarpId warp, std::uint32_t mask, const Instruction &instr)
                     readSrc(t, instr.srcs[1]), readSrc(t, instr.srcs[2]));
         regs_[std::size_t(t) * regsPerThread_ + instr.dst] = v;
         poison_[t] &= ~(1ull << instr.dst);
+        vmin = v < vmin ? v : vmin;
+        vmax = v > vmax ? v : vmax;
+        differ = differ || (!first && v != first_v);
+        first_v = first ? v : first_v;
+        first = false;
+    }
+    if (observer_ != nullptr) {
+        observer_->noteExec(instr.index);
+        if (!first)
+            observer_->noteWrite(instr.index, unsigned(instr.dst), vmin,
+                                 vmax, differ);
     }
 }
 
@@ -65,17 +80,24 @@ CtaValues::execGlobal(WarpId warp, std::uint32_t mask,
 {
     const unsigned base = warp * kWarpSize;
     const bool load = isLoad(instr.op);
+    if (observer_ != nullptr)
+        observer_->noteExec(instr.index);
     for (unsigned lane = 0; lane < kWarpSize; ++lane) {
         if (!(mask >> lane & 1))
             continue;
         const unsigned t = base + lane;
         const Addr word = addr + 4ull * lane;
+        if (observer_ != nullptr)
+            observer_->noteGlobalLane(instr.index, word);
         if (load) {
             if (instr.dst < 0)
                 continue;
-            regs_[std::size_t(t) * regsPerThread_ + instr.dst] =
-                loadGlobalValue(word);
+            const std::uint32_t v = loadGlobalValue(word);
+            regs_[std::size_t(t) * regsPerThread_ + instr.dst] = v;
             poison_[t] &= ~(1ull << instr.dst);
+            if (observer_ != nullptr)
+                observer_->noteWrite(instr.index, unsigned(instr.dst), v, v,
+                                     false);
         } else {
             // srcs[1] is the data operand of a store (srcs[0] addresses).
             globalStores_[word] += readSrc(t, instr.srcs[1]);
@@ -108,17 +130,24 @@ CtaValues::execShared(WarpId warp, std::uint32_t mask,
     const std::uint32_t off = sharedBaseOffset(warp, instr);
     const unsigned base = warp * kWarpSize;
     const bool load = isLoad(instr.op);
+    if (observer_ != nullptr)
+        observer_->noteExec(instr.index);
     for (unsigned lane = 0; lane < kWarpSize; ++lane) {
         if (!(mask >> lane & 1))
             continue;
         const unsigned t = base + lane;
         const std::uint32_t word = (off + 4u * lane) % region;
+        if (observer_ != nullptr)
+            observer_->noteSharedLane(instr.index, word);
         if (load) {
             if (instr.dst < 0)
                 continue;
-            regs_[std::size_t(t) * regsPerThread_ + instr.dst] =
-                loadSharedValue(gridId_, word);
+            const std::uint32_t v = loadSharedValue(gridId_, word);
+            regs_[std::size_t(t) * regsPerThread_ + instr.dst] = v;
             poison_[t] &= ~(1ull << instr.dst);
+            if (observer_ != nullptr)
+                observer_->noteWrite(instr.index, unsigned(instr.dst), v, v,
+                                     false);
         } else {
             sharedStores_[word] += readSrc(t, instr.srcs[1]);
         }

@@ -26,12 +26,21 @@
 namespace finereg
 {
 
+class ValueObservation;
+
 class CtaValues
 {
   public:
     CtaValues(GridCtaId grid_id, const KernelContext &context);
 
     GridCtaId gridId() const { return gridId_; }
+
+    /**
+     * Stream written values/addresses into @p obs (shared across CTAs by
+     * the reference executor's cross-validation mode; null = off).
+     * Observation-only: never touches RNG streams or value state.
+     */
+    void setObserver(ValueObservation *obs) { observer_ = obs; }
 
     /** Count one retired instruction for every lane in @p mask. */
     void noteRetire(WarpId warp, std::uint32_t mask);
@@ -87,6 +96,8 @@ class CtaValues
 
     std::map<std::uint32_t, std::uint32_t> sharedStores_;
     std::map<Addr, std::uint32_t> globalStores_;
+
+    ValueObservation *observer_ = nullptr;
 };
 
 } // namespace finereg

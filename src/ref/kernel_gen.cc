@@ -181,8 +181,15 @@ KernelSpec::build() const
     // its branch targets before the target blocks exist.
     int cur = b.newBlock();
     bool cur_empty = true;
+    const bool bar = barriers && shmem > 0;
 
+    bool first_seg = true;
     for (const GenSegment &seg : segments) {
+        if (!first_seg && bar) {
+            b.barrier();
+            cur_empty = false;
+        }
+        first_seg = false;
         const bool thin = seg.ops.size() < 2;
         if (seg.kind == GenSegment::Kind::Straight ||
             (seg.kind == GenSegment::Kind::Diamond && thin)) {
@@ -226,6 +233,9 @@ KernelSpec::build() const
         cur = b.newBlock(); // join == cur + 3
         cur_empty = true;
     }
+
+    if (bar)
+        b.barrier();
 
     // Observability epilogue: fold the observed registers into R0 and
     // store it, so no tracked register can be corrupted silently.
@@ -303,6 +313,7 @@ generateKernelSpec(std::uint64_t seed, const GenOptions &options)
     spec.threads = rng.pick(kThreads);
     spec.grid = rng.range(8, 24);
     spec.shmem = rng.pick(kShmem);
+    spec.barriers = options.emitBarriers;
 
     const unsigned nsegs = rng.range(2, 5);
     for (unsigned i = 0; i < nsegs; ++i) {
@@ -418,6 +429,11 @@ shrinkCandidates(const KernelSpec &spec)
             c.segments[i].trips /= 2;
             out.push_back(std::move(c));
         }
+    }
+    if (spec.barriers) {
+        KernelSpec c = spec;
+        c.barriers = false;
+        out.push_back(std::move(c));
     }
     if (spec.shmem > 0) {
         KernelSpec c = spec;

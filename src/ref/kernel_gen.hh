@@ -68,6 +68,13 @@ struct KernelSpec
     unsigned threads = 128;
     unsigned grid = 8;
     unsigned shmem = 0;
+
+    /** Emit a BAR between top-level segments (and before the epilogue)
+     * when the kernel uses shared memory. Barriers at segment boundaries
+     * are safe for the timed simulator — every warp passes every boundary
+     * — and give the shmem-race-check real sync intervals to partition. */
+    bool barriers = false;
+
     std::vector<GenSegment> segments;
 
     /** Epilogue observability: which registers fold into the final store.
@@ -89,6 +96,11 @@ struct GenOptions
     /** Fold every register in the epilogue (guarantees any dropped live
      * register is observed; used by the broken-liveness self check). */
     bool observeAllRegs = false;
+
+    /** Set KernelSpec::barriers (used by the self-check paths so the
+     * barrier-removal defect class has barriers to remove; default off to
+     * keep the golden end-state snapshots stable). */
+    bool emitBarriers = false;
 };
 
 /** Deterministically generate a kernel recipe from @p seed. */

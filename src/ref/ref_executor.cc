@@ -82,9 +82,12 @@ runWarp(Warp &warp, CtaValues &values, std::uint64_t max_instrs)
 
 } // namespace
 
+namespace
+{
+
 ArchState
-RefExecutor::execute(const Kernel &kernel, std::uint64_t seed,
-                     std::uint64_t max_instrs_per_warp)
+executeImpl(const Kernel &kernel, std::uint64_t seed, ValueObservation *obs,
+            std::uint64_t max_instrs_per_warp)
 {
     const KernelContext context(kernel);
 
@@ -102,6 +105,7 @@ RefExecutor::execute(const Kernel &kernel, std::uint64_t seed,
         Cta cta(grid_id, 0, context, cta_seed);
         cta.enableValueTracking();
         CtaValues &values = *cta.values();
+        values.setObserver(obs);
 
         for (auto &warp : cta.warps())
             runWarp(*warp, values, max_instrs_per_warp);
@@ -110,6 +114,23 @@ RefExecutor::execute(const Kernel &kernel, std::uint64_t seed,
         out.ctas[grid_id] = values.takeEndState();
     }
     return out;
+}
+
+} // namespace
+
+ArchState
+RefExecutor::execute(const Kernel &kernel, std::uint64_t seed,
+                     std::uint64_t max_instrs_per_warp)
+{
+    return executeImpl(kernel, seed, nullptr, max_instrs_per_warp);
+}
+
+ArchState
+RefExecutor::execute(const Kernel &kernel, std::uint64_t seed,
+                     ValueObservation &obs,
+                     std::uint64_t max_instrs_per_warp)
+{
+    return executeImpl(kernel, seed, &obs, max_instrs_per_warp);
 }
 
 } // namespace finereg

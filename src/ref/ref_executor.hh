@@ -27,6 +27,8 @@
 namespace finereg
 {
 
+class ValueObservation;
+
 class RefExecutor
 {
   public:
@@ -39,6 +41,16 @@ class RefExecutor
      *        loop forever, so this only fires on ISA/CFG bugs).
      */
     static ArchState execute(const Kernel &kernel, std::uint64_t seed,
+                             std::uint64_t max_instrs_per_warp = 4'000'000);
+
+    /**
+     * As above, additionally streaming every written value and generated
+     * address into @p obs (shared across all CTAs) for static-analysis
+     * cross-validation. Observation never perturbs the executed paths, so
+     * the returned ArchState is identical to the plain overload's.
+     */
+    static ArchState execute(const Kernel &kernel, std::uint64_t seed,
+                             ValueObservation &obs,
                              std::uint64_t max_instrs_per_warp = 4'000'000);
 };
 

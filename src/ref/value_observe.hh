@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Observed-execution record for the static-analysis soundness contract:
+ * while the reference executor runs a kernel, CtaValues streams every
+ * written register value, generated memory address, and warp-level
+ * execution into one ValueObservation keyed by static instruction. The
+ * cross-validator (ref/value_validator.hh) then asserts each observation
+ * lies inside its static abstraction — the dynamic half of the same
+ * discipline that lets liveness-check police compiler/liveness.cc.
+ * Recording is observation-only: it never draws from the warps' RNG
+ * streams, so enabling it cannot perturb executed paths.
+ */
+
+#ifndef FINEREG_REF_VALUE_OBSERVE_HH
+#define FINEREG_REF_VALUE_OBSERVE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/kernel.hh"
+
+namespace finereg
+{
+
+struct InstrObservation
+{
+    /** Warp-level executions across every warp of every CTA. */
+    std::uint64_t execs = 0;
+
+    // Written register values (defs: ALU/SFU and loads) ---------------------
+    bool wroteValue = false;
+    std::uint32_t valueMin = 0xffffffffu;
+    std::uint32_t valueMax = 0;
+
+    /** Some execution wrote different values to different active lanes. */
+    bool sawNonUniform = false;
+
+    // Generated addresses ---------------------------------------------------
+    bool sawGlobal = false;
+    Addr globalMin = ~Addr(0);
+    Addr globalMax = 0;
+
+    bool sawShared = false;
+    std::uint32_t sharedWordMin = 0xffffffffu;
+    std::uint32_t sharedWordMax = 0;
+};
+
+struct RegObservation
+{
+    bool wrote = false;
+    std::uint32_t valueMin = 0xffffffffu;
+    std::uint32_t valueMax = 0;
+};
+
+class ValueObservation
+{
+  public:
+    explicit ValueObservation(const Kernel &kernel)
+        : instrs_(kernel.staticInstrs()), regs_(kernel.regsPerThread())
+    {}
+
+    void
+    noteExec(unsigned instr)
+    {
+        ++instrs_[instr].execs;
+    }
+
+    /** One warp execution wrote @p dst: lane-value envelope and whether
+     * the active lanes disagreed. */
+    void
+    noteWrite(unsigned instr, unsigned dst, std::uint32_t lane_min,
+              std::uint32_t lane_max, bool lanes_differ)
+    {
+        InstrObservation &io = instrs_[instr];
+        io.wroteValue = true;
+        io.valueMin = lane_min < io.valueMin ? lane_min : io.valueMin;
+        io.valueMax = lane_max > io.valueMax ? lane_max : io.valueMax;
+        io.sawNonUniform = io.sawNonUniform || lanes_differ;
+
+        RegObservation &ro = regs_[dst];
+        ro.wrote = true;
+        ro.valueMin = lane_min < ro.valueMin ? lane_min : ro.valueMin;
+        ro.valueMax = lane_max > ro.valueMax ? lane_max : ro.valueMax;
+    }
+
+    void
+    noteGlobalLane(unsigned instr, Addr word_addr)
+    {
+        InstrObservation &io = instrs_[instr];
+        io.sawGlobal = true;
+        io.globalMin = word_addr < io.globalMin ? word_addr : io.globalMin;
+        io.globalMax = word_addr > io.globalMax ? word_addr : io.globalMax;
+    }
+
+    void
+    noteSharedLane(unsigned instr, std::uint32_t word_off)
+    {
+        InstrObservation &io = instrs_[instr];
+        io.sawShared = true;
+        io.sharedWordMin =
+            word_off < io.sharedWordMin ? word_off : io.sharedWordMin;
+        io.sharedWordMax =
+            word_off > io.sharedWordMax ? word_off : io.sharedWordMax;
+    }
+
+    const std::vector<InstrObservation> &instrs() const { return instrs_; }
+    const std::vector<RegObservation> &regs() const { return regs_; }
+
+  private:
+    std::vector<InstrObservation> instrs_;
+    std::vector<RegObservation> regs_;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_REF_VALUE_OBSERVE_HH

@@ -1,0 +1,186 @@
+#include "ref/value_validator.hh"
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/compressibility.hh"
+#include "analysis/mem_access.hh"
+#include "analysis/value_range.hh"
+#include "ref/ref_executor.hh"
+#include "ref/value_observe.hh"
+
+namespace finereg
+{
+
+namespace
+{
+
+using analysis::DiagKind;
+
+std::string
+hex(std::uint64_t v)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** Saturating @p bound * @p warps (the per-warp bound is grid-wide). */
+std::uint64_t
+gridBound(std::uint64_t bound, std::uint64_t warps)
+{
+    if (warps != 0 && bound > ~0ull / warps)
+        return ~0ull;
+    return bound * warps;
+}
+
+} // namespace
+
+XCheckReport
+crossValidate(analysis::AnalysisManager &manager, const Kernel &kernel,
+              std::uint64_t seed)
+{
+    XCheckReport report;
+
+    const auto *vr = manager.resultOf<analysis::ValueRangeResult>(
+        kernel, analysis::ValueRangeResult::kName);
+    const auto *mem = manager.resultOf<analysis::MemAccessResult>(
+        kernel, analysis::MemAccessResult::kName);
+    const auto *comp = manager.resultOf<analysis::CompressibilityResult>(
+        kernel, analysis::CompressibilityResult::kName);
+    if (vr == nullptr || mem == nullptr || comp == nullptr) {
+        // Passes gated on an unsound CFG made no claims to validate (and
+        // executing a malformed kernel would be meaningless anyway).
+        report.skipped = true;
+        return report;
+    }
+
+    ValueObservation obs(kernel);
+    RefExecutor::execute(kernel, seed, obs);
+
+    const unsigned max_diags = manager.options().maxDiagsPerPass;
+    const auto capped = [&report, max_diags] {
+        return report.diags.size() >= max_diags;
+    };
+
+    // Per-instruction: written values and uniformity vs the def intervals.
+    for (unsigned i = 0; i < kernel.staticInstrs(); ++i) {
+        const InstrObservation &io = obs.instrs()[i];
+        if (!io.wroteValue)
+            continue;
+        ++report.checkedDefs;
+        const int block = kernel.blockOfInstr(i);
+        const int dst = kernel.instrs()[i].dst;
+        const analysis::Interval &iv = vr->defInterval[i];
+        if (!capped() &&
+            (!iv.contains(io.valueMin) || !iv.contains(io.valueMax))) {
+            report.diags.add(
+                DiagKind::ValueRangeUnsound, kernel.name(), block, int(i),
+                dst,
+                "observed def values [" + hex(io.valueMin) + ", " +
+                    hex(io.valueMax) + "] escape the static interval " +
+                    iv.toString());
+        }
+        if (!capped() && io.sawNonUniform && vr->defUniform[i]) {
+            report.diags.add(
+                DiagKind::ValueRangeUnsound, kernel.name(), block, int(i),
+                dst,
+                "def claimed warp-uniform but active lanes observed "
+                "different values");
+        }
+    }
+
+    // Per-register: the join over all defs, and the compiler width claim.
+    for (unsigned r = 0; r < kernel.regsPerThread(); ++r) {
+        const RegObservation &ro = obs.regs()[r];
+        if (!ro.wrote)
+            continue;
+        const analysis::Interval &join = vr->regJoin[r];
+        if (!capped() &&
+            (!join.contains(ro.valueMin) || !join.contains(ro.valueMax))) {
+            report.diags.add(
+                DiagKind::ValueRangeUnsound, kernel.name(), -1, -1, int(r),
+                "observed register values [" + hex(ro.valueMin) + ", " +
+                    hex(ro.valueMax) + "] escape the per-register join " +
+                    join.toString());
+        }
+        const unsigned observed_bits =
+            analysis::Interval::constant(ro.valueMax).bitsNeeded();
+        if (!capped() && observed_bits > comp->claimedBits[r]) {
+            report.diags.add(
+                DiagKind::CompressionWidthUnsound, kernel.name(), -1, -1,
+                int(r),
+                "observed value " + hex(ro.valueMax) + " needs " +
+                    std::to_string(observed_bits) +
+                    " bits but the compiler claims " +
+                    std::to_string(comp->claimedBits[r]));
+        }
+    }
+
+    // Per-memory-op: addresses vs affine forms, executions vs bounds.
+    const std::uint64_t total_warps =
+        std::uint64_t(kernel.warpsPerCta()) * kernel.gridCtas();
+    for (const auto &op : mem->ops) {
+        const InstrObservation &io = obs.instrs()[op.instr];
+        const int block = kernel.blockOfInstr(op.instr);
+        ++report.checkedOps;
+        if (io.sawGlobal && !capped() &&
+            (!op.lanes.containsLaneAddr(io.globalMin) ||
+             !op.lanes.containsLaneAddr(io.globalMax))) {
+            report.diags.add(
+                DiagKind::AddressBoundUnsound, kernel.name(), block,
+                int(op.instr), -1,
+                "observed global words [" + hex(io.globalMin) + ", " +
+                    hex(io.globalMax) + "] escape the affine form [" +
+                    hex(op.lanes.baseLo) + ", " + hex(op.lanes.laneMax()) +
+                    "]");
+        }
+        if (io.sawShared && !capped() &&
+            (!op.lanes.containsLaneAddr(io.sharedWordMin) ||
+             !op.lanes.containsLaneAddr(io.sharedWordMax) ||
+             io.sharedWordMin % 4 != 0 || io.sharedWordMax % 4 != 0)) {
+            report.diags.add(
+                DiagKind::AddressBoundUnsound, kernel.name(), block,
+                int(op.instr), -1,
+                "observed shared words [" + hex(io.sharedWordMin) + ", " +
+                    hex(io.sharedWordMax) +
+                    "] escape the region wrap (or misalign) " +
+                    hex(op.lanes.wrap));
+        }
+        if (op.execBound != analysis::MemAccessResult::kUnboundedExecs &&
+            !capped() && io.execs > gridBound(op.execBound, total_warps)) {
+            report.diags.add(
+                DiagKind::AddressBoundUnsound, kernel.name(), block,
+                int(op.instr), -1,
+                "observed " + std::to_string(io.execs) +
+                    " warp executions but the static bound allows " +
+                    std::to_string(op.execBound) + " per warp x " +
+                    std::to_string(total_warps) + " warps");
+        }
+    }
+
+    // Every observed instruction must respect its block's proven bound
+    // (noteExec covers ALU/SFU and memory ops; control flow is untracked).
+    for (unsigned i = 0; i < kernel.staticInstrs(); ++i) {
+        const InstrObservation &io = obs.instrs()[i];
+        if (io.execs == 0 || capped())
+            continue;
+        const int block = kernel.blockOfInstr(i);
+        const std::uint64_t bound = mem->blockExecBound[block];
+        if (bound != analysis::MemAccessResult::kUnboundedExecs &&
+            io.execs > gridBound(bound, total_warps)) {
+            report.diags.add(
+                DiagKind::AddressBoundUnsound, kernel.name(), block, int(i),
+                -1,
+                "observed " + std::to_string(io.execs) +
+                    " warp executions but the block bound allows " +
+                    std::to_string(bound) + " per warp x " +
+                    std::to_string(total_warps) + " warps");
+        }
+    }
+
+    return report;
+}
+
+} // namespace finereg

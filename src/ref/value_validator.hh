@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Dynamic soundness cross-validation for the abstract-interpretation
+ * passes: execute a kernel under the reference executor with value
+ * observation enabled, then assert every observed fact lies inside its
+ * static abstraction — written values inside the value-range pass's def
+ * intervals and per-register joins, uniformity claims never contradicted
+ * by divergent lane values, generated addresses inside the mem-access
+ * pass's affine forms, dynamic execution counts within the proven bounds,
+ * and observed register widths within the compressibility claim. Any
+ * violation is an Error-severity diagnostic: either a transfer function
+ * is unsound or the executor changed underneath the analyses, and both
+ * must fail CI. The mirror of the liveness-check contract, for values.
+ */
+
+#ifndef FINEREG_REF_VALUE_VALIDATOR_HH
+#define FINEREG_REF_VALUE_VALIDATOR_HH
+
+#include <cstdint>
+
+#include "analysis/pass.hh"
+#include "isa/kernel.hh"
+
+namespace finereg
+{
+
+struct XCheckReport
+{
+    analysis::DiagnosticSet diags;
+
+    /** Instruction-level def observations checked against intervals. */
+    std::uint64_t checkedDefs = 0;
+
+    /** Memory-op observations checked against affine forms/bounds. */
+    std::uint64_t checkedOps = 0;
+
+    /** Static passes were gated on an unsound CFG; nothing to check. */
+    bool skipped = false;
+
+    bool clean() const { return !diags.hasErrors(); }
+};
+
+/**
+ * Run @p kernel under grid seed @p seed with observation and validate
+ * the observations against the (cached-or-computed) static results in
+ * @p manager. The manager's options apply — including the narrow-claim
+ * corruption hooks, which this validator must catch.
+ */
+XCheckReport crossValidate(analysis::AnalysisManager &manager,
+                           const Kernel &kernel, std::uint64_t seed);
+
+} // namespace finereg
+
+#endif // FINEREG_REF_VALUE_VALIDATOR_HH

@@ -1,0 +1,735 @@
+/**
+ * @file
+ * Tests for the abstract-interpretation engine and its consumer passes:
+ * interval algebra and transfer-function exactness/soundness, the worklist
+ * fixpoint engine (widening termination, unreachable blocks, narrowing),
+ * value-range facts on hand-built kernels (constant folding, proven
+ * overflow, diamond joins with divergence-safe uniformity, degenerate
+ * loops), mem-access execution bounds and the loop budget, the barrier-
+ * interval race verdicts, compressibility claims and the narrow-claim
+ * corruption hooks, and the dynamic soundness property: every observed
+ * execution fact lies inside its static abstraction, across seeded
+ * generated kernels, with spec shrinking on failure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+
+#include "analysis/abstract_interp.hh"
+#include "analysis/cfg_check.hh"
+#include "analysis/compressibility.hh"
+#include "analysis/kernel_mutator.hh"
+#include "analysis/lint.hh"
+#include "analysis/mem_access.hh"
+#include "analysis/shmem_race.hh"
+#include "analysis/value_range.hh"
+#include "isa/kernel_builder.hh"
+#include "ref/kernel_gen.hh"
+#include "ref/value_semantics.hh"
+#include "ref/value_validator.hh"
+
+namespace finereg
+{
+namespace
+{
+
+using analysis::AnalysisManager;
+using analysis::CfgCheckResult;
+using analysis::CompressibilityResult;
+using analysis::DiagKind;
+using analysis::Interval;
+using analysis::MemAccessResult;
+using analysis::ShmemRaceCheckResult;
+using analysis::ValueAbs;
+using analysis::ValueRangeResult;
+
+// --- Interval algebra -----------------------------------------------------
+
+TEST(Interval, AlgebraBasics)
+{
+    const Interval bot = Interval::bottom();
+    const Interval top = Interval::top();
+    const Interval c7 = Interval::constant(7);
+    const Interval r = Interval::range(4, 100);
+
+    EXPECT_TRUE(bot.isBottom());
+    EXPECT_FALSE(bot.contains(0));
+    EXPECT_TRUE(top.isTop());
+    EXPECT_TRUE(c7.isSingleton());
+    EXPECT_TRUE(r.contains(4));
+    EXPECT_TRUE(r.contains(100));
+    EXPECT_FALSE(r.contains(101));
+
+    // join is the smallest enclosing interval; bottom is its identity.
+    EXPECT_EQ(bot.join(c7), c7);
+    EXPECT_EQ(c7.join(bot), c7);
+    EXPECT_EQ(c7.join(r), Interval::range(4, 100));
+    EXPECT_EQ(Interval::constant(200).join(r), Interval::range(4, 200));
+
+    // covers: superset-or-equal, bottom below everything.
+    EXPECT_TRUE(r.covers(c7));
+    EXPECT_TRUE(r.covers(bot));
+    EXPECT_TRUE(top.covers(r));
+    EXPECT_FALSE(c7.covers(r));
+    EXPECT_FALSE(bot.covers(c7));
+
+    // widen jumps any still-moving bound to its extreme.
+    EXPECT_EQ(r.widen(Interval::range(4, 101)), Interval::range(4, 0xffffffffu));
+    EXPECT_EQ(r.widen(Interval::range(3, 100)), Interval::range(0, 100));
+    EXPECT_EQ(r.widen(r), r);
+    EXPECT_EQ(bot.widen(r), r);
+
+    EXPECT_EQ(bot.bitsNeeded(), 0u);
+    EXPECT_EQ(Interval::constant(0).bitsNeeded(), 0u);
+    EXPECT_EQ(c7.bitsNeeded(), 3u);
+    EXPECT_EQ(Interval::range(0, 256).bitsNeeded(), 9u);
+    EXPECT_EQ(top.bitsNeeded(), 32u);
+}
+
+TEST(Interval, ValueAbsJoinIsDivergenceSafe)
+{
+    // Two defs of the same singleton stay uniform; two *different*
+    // singletons do not — divergence can interleave per-lane writes from
+    // both paths, leaving lanes with different values.
+    const ValueAbs a{Interval::constant(5), true};
+    const ValueAbs b{Interval::constant(5), true};
+    const ValueAbs c{Interval::constant(9), true};
+
+    EXPECT_TRUE(a.join(b).uniform);
+    EXPECT_FALSE(a.join(c).uniform);
+    const ValueAbs wide{Interval::range(0, 9), true};
+    EXPECT_FALSE(wide.join(a).uniform);
+
+    // Bottom is the identity for the uniformity claim too.
+    EXPECT_TRUE(ValueAbs::bottom().join(a).uniform);
+    EXPECT_FALSE(ValueAbs::bottom().join(ValueAbs{c.iv, false}).uniform);
+}
+
+TEST(Interval, EvalIntervalExactOnSingletons)
+{
+    const Opcode ops[] = {Opcode::IADD, Opcode::IMUL, Opcode::FADD,
+                          Opcode::FMUL, Opcode::FFMA, Opcode::MOV,
+                          Opcode::SFU};
+    const std::uint32_t vals[] = {0u, 1u, 7u, 0x27d4eb2fu, 0xffffffffu};
+    for (const Opcode op : ops) {
+        for (const std::uint32_t a : vals) {
+            for (const std::uint32_t b : vals) {
+                const Interval got = analysis::evalInterval(
+                    op, Interval::constant(a), Interval::constant(b),
+                    Interval::constant(b));
+                EXPECT_EQ(got, Interval::constant(aluEval(op, a, b, b)))
+                    << opcodeName(op) << "(" << a << ", " << b << ")";
+            }
+        }
+    }
+}
+
+TEST(Interval, EvalIntervalSoundOnRanges)
+{
+    // Enumerate small operand ranges and check every concrete result lands
+    // inside the abstract one, for every opcode (the hash-mixing ones may
+    // go to top; containment is all the contract promises).
+    const Opcode ops[] = {Opcode::IADD, Opcode::IMUL, Opcode::FADD,
+                          Opcode::FMUL, Opcode::FFMA, Opcode::MOV,
+                          Opcode::SFU};
+    const Interval ia = Interval::range(3, 9);
+    const Interval ib = Interval::range(100, 107);
+    const Interval ic = Interval::range(0, 5);
+    for (const Opcode op : ops) {
+        const Interval got = analysis::evalInterval(op, ia, ib, ic);
+        for (std::uint32_t a = ia.lo; a <= ia.hi; ++a) {
+            for (std::uint32_t b = ib.lo; b <= ib.hi; ++b) {
+                for (std::uint32_t c = ic.lo; c <= ic.hi; ++c) {
+                    EXPECT_TRUE(got.contains(aluEval(op, a, b, c)))
+                        << opcodeName(op) << "(" << a << ", " << b << ", "
+                        << c << ") = " << aluEval(op, a, b, c)
+                        << " outside " << got.toString();
+                }
+            }
+        }
+    }
+
+    // Wrapping IADD over ranges must degrade soundly (top), not produce
+    // an inverted interval.
+    const Interval wrap = analysis::evalInterval(
+        Opcode::IADD, Interval::range(0xfffffff0u, 0xffffffffu),
+        Interval::range(0, 0x20), Interval::constant(0));
+    EXPECT_TRUE(wrap.contains(0xfffffff0u));
+    EXPECT_TRUE(wrap.contains(0x1fu)); // wrapped result
+}
+
+TEST(Interval, ProvenAddWrap)
+{
+    const Interval big = Interval::range(0x80000001u, 0xffffffffu);
+    const Interval half = Interval::constant(0x80000000u);
+    EXPECT_TRUE(analysis::provenAddWrap(big, half));
+    EXPECT_TRUE(analysis::provenAddWrap(big, big));
+
+    // 2^31 + 2^31 = 2^32 wraps to 0 on every instance: still proven.
+    EXPECT_TRUE(analysis::provenAddWrap(half, half));
+
+    // The max unwrapped sum (2^32 - 1) and anything smaller is not a wrap.
+    EXPECT_FALSE(analysis::provenAddWrap(Interval::constant(0xffffffffu),
+                                         Interval::constant(0)));
+    EXPECT_FALSE(analysis::provenAddWrap(Interval::constant(1), half));
+    EXPECT_FALSE(analysis::provenAddWrap(Interval::bottom(), big));
+}
+
+TEST(Interval, AffineFormLaneAddresses)
+{
+    analysis::AffineForm global;
+    global.baseLo = 0x1000;
+    global.baseHi = 0x2000;
+    global.laneStride = 4;
+    EXPECT_EQ(global.laneMax(), 0x2000u + 4u * (kWarpSize - 1));
+    EXPECT_TRUE(global.containsLaneAddr(0x1000));
+    EXPECT_TRUE(global.containsLaneAddr(global.laneMax()));
+    EXPECT_FALSE(global.containsLaneAddr(0xfff));
+    EXPECT_FALSE(global.containsLaneAddr(global.laneMax() + 1));
+
+    analysis::AffineForm shared;
+    shared.wrap = 2048;
+    EXPECT_TRUE(shared.containsLaneAddr(0));
+    EXPECT_TRUE(shared.containsLaneAddr(2047));
+    EXPECT_FALSE(shared.containsLaneAddr(2048));
+}
+
+// --- Fixpoint engine ------------------------------------------------------
+
+/**
+ * Toy domain over a single interval: block 1 is a loop body that adds one
+ * each trip, so its entry ascends forever without widening.
+ */
+struct CounterDomain
+{
+    using State = Interval;
+
+    State boundary() const { return Interval::constant(0); }
+    State bottomState() const { return Interval::bottom(); }
+
+    State
+    transfer(int block, State in) const
+    {
+        if (block != 1 || in.isBottom())
+            return in;
+        return analysis::evalInterval(Opcode::IADD, in,
+                                      Interval::constant(1),
+                                      Interval::constant(0));
+    }
+
+    static State join(const State &a, const State &b) { return a.join(b); }
+    static State widen(const State &prev, const State &next)
+    {
+        return prev.widen(next);
+    }
+};
+
+CfgCheckResult
+makeLoopCfg()
+{
+    // B0 -> B1; B1 -> {B1, B2}; B3 exists but is unreachable.
+    CfgCheckResult cfg;
+    cfg.succs = {{1}, {1, 2}, {}, {2}};
+    cfg.preds = {{}, {0, 1}, {1, 3}, {}};
+    cfg.reachable = {1, 1, 1, 0};
+    return cfg;
+}
+
+TEST(Fixpoint, WideningTerminatesOnAscendingChain)
+{
+    const CfgCheckResult cfg = makeLoopCfg();
+    const auto fix = analysis::runFixpoint(CounterDomain{}, cfg);
+
+    ASSERT_EQ(fix.in.size(), 4u);
+    // The loop entry ascends 0, [0,1], [0,2], ... until widening fires;
+    // every concrete iterate must stay inside the final abstraction.
+    EXPECT_FALSE(fix.in[1].isBottom());
+    for (std::uint32_t k = 0; k < 100; ++k)
+        EXPECT_TRUE(fix.in[1].contains(k));
+    // The loop exit inherits a sound (post-widening) interval too.
+    EXPECT_TRUE(fix.in[2].covers(fix.in[1]));
+    // Unreachable blocks are never transferred and stay bottom.
+    EXPECT_TRUE(fix.in[3].isBottom());
+    // Termination came from widening, well short of the panic cap
+    // (4 blocks -> cap = 4 * 17 * 8 + 64 = 608).
+    EXPECT_GT(fix.iterations, 0u);
+    EXPECT_LT(fix.iterations, 200u);
+}
+
+TEST(Fixpoint, NoWideningNeededStaysExact)
+{
+    // Same CFG but an identity transfer: the engine must converge to the
+    // exact boundary constant everywhere reachable, untouched by widening.
+    struct IdentityDomain : CounterDomain
+    {
+        State transfer(int, State in) const { return in; }
+    };
+    const CfgCheckResult cfg = makeLoopCfg();
+    const auto fix = analysis::runFixpoint(IdentityDomain{}, cfg);
+    EXPECT_EQ(fix.in[1], Interval::constant(0));
+    EXPECT_EQ(fix.in[2], Interval::constant(0));
+    EXPECT_TRUE(fix.in[3].isBottom());
+}
+
+// --- Value-range pass on hand-built kernels -------------------------------
+
+/** r1=0; r2=SFU(0); r3=r2+r2; r4=r3+r3; r5=r4+r4 (provably wraps). */
+std::unique_ptr<Kernel>
+makeConstChainKernel()
+{
+    KernelBuilder b("const-chain");
+    b.regsPerThread(8);
+    b.gridCtas(4);
+    b.newBlock();
+    b.alu(Opcode::IADD, 1, -1, -1); // reads two zeros -> 0
+    b.sfu(2, 1);
+    b.alu(Opcode::IADD, 3, 2, 2);
+    b.alu(Opcode::IADD, 4, 3, 3);
+    b.alu(Opcode::IADD, 5, 4, 4);
+    b.exit();
+    return b.finalize();
+}
+
+TEST(ValueRange, ConstantChainFoldsExactly)
+{
+    const auto kernel = makeConstChainKernel();
+    auto full = AnalysisManager::withDefaultPasses();
+    const auto *vr = full->resultOf<ValueRangeResult>(
+        *kernel, ValueRangeResult::kName);
+    ASSERT_NE(vr, nullptr);
+
+    // Expected chain, computed with the architectural semantics directly.
+    const std::uint32_t v1 = 0;
+    const std::uint32_t v2 = aluEval(Opcode::SFU, v1, 0, 0);
+    const std::uint32_t v3 = v2 + v2;
+    const std::uint32_t v4 = v3 + v3;
+    const std::uint32_t v5 = v4 + v4; // wraps: v4 > 2^31
+    ASSERT_GT(v4, 0x80000000u);
+
+    ASSERT_EQ(vr->defInterval.size(), kernel->instrs().size());
+    EXPECT_EQ(vr->defInterval[0], Interval::constant(v1));
+    EXPECT_EQ(vr->defInterval[1], Interval::constant(v2));
+    EXPECT_EQ(vr->defInterval[2], Interval::constant(v3));
+    EXPECT_EQ(vr->defInterval[3], Interval::constant(v4));
+    EXPECT_EQ(vr->defInterval[4], Interval::constant(v5));
+    for (unsigned i = 0; i < 5; ++i)
+        EXPECT_TRUE(vr->defUniform[i]) << "def " << i;
+    EXPECT_EQ(vr->regJoin[5], Interval::constant(v5));
+    EXPECT_TRUE(vr->regUniform[5]);
+    EXPECT_GE(vr->constFoldableDefs, 5u);
+    EXPECT_EQ(vr->overflowDefs, 1u);
+
+    const auto lint = analysis::lintKernel(*full, *kernel);
+    EXPECT_TRUE(lint.diags.has(DiagKind::ConstantFoldableDef));
+    const auto *ov = lint.diags.find(DiagKind::ValueOverflow);
+    ASSERT_NE(ov, nullptr);
+    EXPECT_EQ(ov->instr, 4);
+    EXPECT_EQ(ov->severity, analysis::Severity::Warning);
+    EXPECT_EQ(lint.stats.constFoldableDefs, vr->constFoldableDefs);
+    EXPECT_EQ(lint.stats.overflowDefs, 1u);
+
+    // All claims (including the wrapped constant) hold dynamically.
+    const XCheckReport xc = crossValidate(*full, *kernel, 42);
+    EXPECT_TRUE(xc.clean()) << xc.diags.renderText();
+    EXPECT_GE(xc.checkedDefs, 5u);
+}
+
+/** Diamond whose arms move two *different* constants into r5. */
+std::unique_ptr<Kernel>
+makeDisjointDiamondKernel()
+{
+    KernelBuilder b("disjoint-diamond");
+    b.regsPerThread(8);
+    b.gridCtas(4);
+    b.newBlock();                 // B0
+    b.alu(Opcode::IADD, 1, -1, -1); // r1 = 0
+    b.sfu(2, 1);                    // r2 = SFU(0)
+    b.branch(2, 0, 0.5, 0.5);       // divergence-capable branch on R0
+    b.newBlock();                 // B1: else
+    b.mov(5, 1);
+    b.jump(3);
+    b.newBlock();                 // B2: then
+    b.mov(5, 2);
+    b.newBlock();                 // B3: join
+    b.alu(Opcode::IADD, 6, 5, 5);
+    b.exit();
+    return b.finalize();
+}
+
+TEST(ValueRange, DiamondJoinOfDisjointConstants)
+{
+    const auto kernel = makeDisjointDiamondKernel();
+    auto manager = AnalysisManager::withDefaultPasses();
+    const auto *vr = manager->resultOf<ValueRangeResult>(
+        *kernel, ValueRangeResult::kName);
+    ASSERT_NE(vr, nullptr);
+
+    const std::uint32_t sfu0 = aluEval(Opcode::SFU, 0, 0, 0);
+
+    // Each arm's MOV def is an exact uniform singleton...
+    const unsigned mov_else = 3, mov_then = 5, join_add = 6;
+    EXPECT_EQ(vr->defInterval[mov_else], Interval::constant(0));
+    EXPECT_EQ(vr->defInterval[mov_then], Interval::constant(sfu0));
+    EXPECT_TRUE(vr->defUniform[mov_else]);
+    EXPECT_TRUE(vr->defUniform[mov_then]);
+
+    // ...the register join spans both arms...
+    EXPECT_EQ(vr->regJoin[5], Interval::range(0, sfu0));
+
+    // ...and the consumer past the join sees the joined interval and must
+    // NOT claim uniformity: divergence can leave lanes holding different
+    // r5 values within one warp.
+    EXPECT_TRUE(vr->defInterval[join_add].contains(0));
+    EXPECT_TRUE(vr->defInterval[join_add].contains(sfu0 + sfu0));
+    EXPECT_FALSE(vr->defUniform[join_add]);
+
+    // The divergence-safety of that uniformity decision is exactly what
+    // the dynamic validator checks (diverge_prob = 0.5 exercises it).
+    auto xc = crossValidate(*manager, *kernel, 7);
+    EXPECT_TRUE(xc.clean()) << xc.diags.renderText();
+}
+
+/** B1 is a nested-loop body accumulating r1 += SFU(0) each trip. */
+std::unique_ptr<Kernel>
+makeNestedLoopKernel()
+{
+    KernelBuilder b("nested-loops");
+    b.regsPerThread(8);
+    b.gridCtas(4);
+    b.newBlock();                 // B0
+    b.alu(Opcode::IADD, 1, -1, -1);
+    b.sfu(2, 1);
+    b.newBlock();                 // B1: inner body
+    b.alu(Opcode::IADD, 1, 1, 2);
+    b.loopBranch(1, 0, 4);        // inner: 4 trips
+    b.newBlock();                 // B2: outer latch
+    b.mov(3, 1);
+    b.loopBranch(1, 0, 3);        // outer: 3 trips around B1..B2
+    b.newBlock();                 // B3
+    b.exit();
+    return b.finalize();
+}
+
+TEST(ValueRange, NestedLoopAccumulationWidensSoundly)
+{
+    const auto kernel = makeNestedLoopKernel();
+    auto manager = AnalysisManager::withDefaultPasses();
+    const auto *vr = manager->resultOf<ValueRangeResult>(
+        *kernel, ValueRangeResult::kName);
+    const auto *mem = manager->resultOf<MemAccessResult>(
+        *kernel, MemAccessResult::kName);
+    ASSERT_NE(vr, nullptr);
+    ASSERT_NE(mem, nullptr);
+
+    // The loop-carried accumulation is an ascending chain; the fixpoint
+    // must terminate (no panic) with a def interval covering every value
+    // the 4x3 nested trips can reach.
+    const std::uint32_t step = aluEval(Opcode::SFU, 0, 0, 0);
+    const unsigned accum_def = 2; // IADD r1, r1, r2 in B1
+    EXPECT_FALSE(vr->defInterval[accum_def].isBottom());
+    for (std::uint32_t k = 1; k <= 12; ++k) {
+        EXPECT_TRUE(vr->defInterval[accum_def].contains(k * step))
+            << "iterate " << k << " escaped "
+            << vr->defInterval[accum_def].toString();
+    }
+    EXPECT_GT(vr->fixpointIterations, 0u);
+
+    // Per-block execution bounds multiply the nested trip counts.
+    ASSERT_EQ(mem->blockExecBound.size(), 4u);
+    EXPECT_EQ(mem->blockExecBound[0], 1u);
+    EXPECT_EQ(mem->blockExecBound[1], 12u); // 4 inner x 3 outer
+    EXPECT_EQ(mem->blockExecBound[2], 3u);
+    EXPECT_EQ(mem->blockExecBound[3], 1u);
+    EXPECT_TRUE(mem->warpInstrBoundKnown);
+
+    // Observed execution counts and values stay inside the abstractions.
+    auto xc = crossValidate(*manager, *kernel, 11);
+    EXPECT_TRUE(xc.clean()) << xc.diags.renderText();
+}
+
+TEST(ValueRange, DegenerateSingleTripLoopStaysExact)
+{
+    KernelBuilder b("one-trip-loop");
+    b.regsPerThread(8);
+    b.gridCtas(4);
+    b.newBlock();                 // B0
+    b.alu(Opcode::IADD, 1, -1, -1);
+    b.newBlock();                 // B1: "loop" body that never re-enters
+    b.sfu(2, 1);
+    b.loopBranch(1, 0, 1);        // trip_count 1: back edge never taken
+    b.newBlock();                 // B2
+    b.exit();
+    const auto kernel = b.finalize();
+
+    auto manager = AnalysisManager::withDefaultPasses();
+    const auto *vr = manager->resultOf<ValueRangeResult>(
+        *kernel, ValueRangeResult::kName);
+    const auto *mem = manager->resultOf<MemAccessResult>(
+        *kernel, MemAccessResult::kName);
+    ASSERT_NE(vr, nullptr);
+    ASSERT_NE(mem, nullptr);
+
+    // The static back edge exists but its body is idempotent over the
+    // abstraction, so the def stays an exact singleton — no widening blowup
+    // from a loop that dynamically runs once.
+    EXPECT_EQ(vr->defInterval[1], Interval::constant(aluEval(Opcode::SFU,
+                                                             0, 0, 0)));
+    EXPECT_EQ(mem->blockExecBound[1], 1u);
+
+    auto xc = crossValidate(*manager, *kernel, 5);
+    EXPECT_TRUE(xc.clean()) << xc.diags.renderText();
+}
+
+TEST(ValueRange, UnreachableBlocksKeepBottomDefs)
+{
+    // Seed the UnreachableBlock defect (BRA demoted to JMP) into generated
+    // kernels until one applies, then check the pass still runs and the
+    // orphaned block's defs read as bottom (never joined into regJoin).
+    std::optional<analysis::DefectCandidate> cand;
+    for (std::uint64_t seed = 1; seed <= 20 && !cand; ++seed) {
+        const auto kernel = generateKernelSpec(seed).build();
+        cand = analysis::KernelMutator::seedDefect(
+            *kernel, analysis::DefectKind::UnreachableBlock, seed);
+    }
+    ASSERT_TRUE(cand.has_value()) << "no diamond to orphan in 20 seeds";
+
+    auto full = AnalysisManager::withDefaultPasses(cand->options);
+    const auto *cfg = full->resultOf<CfgCheckResult>(
+        *cand->kernel, CfgCheckResult::kName);
+    const auto *vr = full->resultOf<ValueRangeResult>(
+        *cand->kernel, ValueRangeResult::kName);
+    ASSERT_NE(cfg, nullptr);
+    ASSERT_NE(vr, nullptr) << "value-range must run: the CFG stays "
+                              "structurally sound, just partly unreachable";
+    ASSERT_FALSE(cfg->allReachable);
+
+    unsigned unreachable_defs = 0;
+    const auto &instrs = cand->kernel->instrs();
+    for (unsigned i = 0; i < instrs.size(); ++i) {
+        const int blk = cand->kernel->blockOfInstr(i);
+        if (blk < 0 || cfg->reachable[blk])
+            continue;
+        if (instrs[i].dst >= 0) {
+            ++unreachable_defs;
+            EXPECT_TRUE(vr->defInterval[i].isBottom())
+                << "unreachable def at I" << i << " has "
+                << vr->defInterval[i].toString();
+        }
+    }
+    EXPECT_GT(unreachable_defs, 0u);
+}
+
+// --- Mem-access: loop budget ---------------------------------------------
+
+TEST(MemAccess, LoopBudgetExceededWarns)
+{
+    KernelBuilder b("runaway-loop");
+    b.regsPerThread(8);
+    b.newBlock();                 // B0
+    b.alu(Opcode::IADD, 1, -1, -1);
+    b.newBlock();                 // B1
+    b.alu(Opcode::IADD, 2, 1, 1);
+    b.loopBranch(1, 0, 1u << 23); // 8M trips x 2 instrs >> 4M budget
+    b.newBlock();                 // B2
+    b.exit();
+    const auto kernel = b.finalize();
+
+    const auto lint = analysis::lintKernel(*kernel);
+    const auto *diag = lint.diags.find(DiagKind::LoopBudgetExceeded);
+    ASSERT_NE(diag, nullptr);
+    EXPECT_EQ(diag->severity, analysis::Severity::Warning);
+    EXPECT_TRUE(lint.clean()) << "budget overrun is advisory, not an error";
+}
+
+// --- Shmem race verdicts --------------------------------------------------
+
+std::unique_ptr<Kernel>
+makeSharedKernel(bool with_store, bool with_barrier)
+{
+    KernelBuilder b(with_barrier ? "shared-sync" : "shared-racy");
+    b.regsPerThread(8);
+    b.shmemPerCta(2048);
+    b.gridCtas(4);
+    MemPattern pat;
+    pat.region = 0;
+    pat.footprint = 2048;
+    pat.stride = 128;
+    b.newBlock();
+    if (with_store)
+        b.store(Opcode::ST_SHARED, 0, 1, pat);
+    if (with_barrier)
+        b.barrier();
+    b.load(Opcode::LD_SHARED, 2, 0, pat);
+    b.alu(Opcode::IADD, 3, 2, 2);
+    b.exit();
+    return b.finalize();
+}
+
+TEST(ShmemRace, VerdictsAcrossBarrierPlacement)
+{
+    const auto loads_only = makeSharedKernel(false, false);
+    const auto racy = makeSharedKernel(true, false);
+    const auto synced = makeSharedKernel(true, true);
+    auto manager = AnalysisManager::withDefaultPasses();
+
+    const auto *r0 = manager->resultOf<ShmemRaceCheckResult>(
+        *loads_only, ShmemRaceCheckResult::kName);
+    ASSERT_NE(r0, nullptr);
+    EXPECT_EQ(r0->verdict, "race-free");
+    EXPECT_EQ(r0->sharedOps, 1u);
+    EXPECT_EQ(r0->racyPairs, 0u);
+
+    const auto *r1 = manager->resultOf<ShmemRaceCheckResult>(
+        *racy, ShmemRaceCheckResult::kName);
+    ASSERT_NE(r1, nullptr);
+    EXPECT_EQ(r1->verdict, "possibly-racy");
+    EXPECT_GE(r1->racyPairs, 1u);
+    EXPECT_EQ(r1->intervals, 1u);
+    const auto lint = analysis::lintKernel(*manager, *racy);
+    const auto *diag = lint.diags.find(DiagKind::SharedMemRace);
+    ASSERT_NE(diag, nullptr);
+    EXPECT_EQ(diag->severity, analysis::Severity::Warning);
+    EXPECT_EQ(lint.stats.raceVerdict, "possibly-racy");
+
+    const auto *r2 = manager->resultOf<ShmemRaceCheckResult>(
+        *synced, ShmemRaceCheckResult::kName);
+    ASSERT_NE(r2, nullptr);
+    EXPECT_EQ(r2->verdict, "sync-protected");
+    EXPECT_EQ(r2->barriers, 1u);
+    EXPECT_EQ(r2->intervals, 2u);
+    EXPECT_EQ(r2->racyPairs, 0u);
+    EXPECT_GE(r2->orderedPairs, 1u);
+
+    // Shared lane offsets observed at runtime stay inside the affine
+    // forms for all three shapes.
+    for (const Kernel *k : {loads_only.get(), racy.get(), synced.get()}) {
+        auto xc = crossValidate(*manager, *k, 3);
+        EXPECT_TRUE(xc.clean()) << k->name() << "\n"
+                                << xc.diags.renderText();
+        EXPECT_GE(xc.checkedOps, 1u);
+    }
+}
+
+// --- Compressibility ------------------------------------------------------
+
+TEST(Compressibility, ClaimCoversDerivedOnGeneratedKernels)
+{
+    // The compiler's flow-insensitive width claim must always cover the
+    // flow-sensitive derivation, so clean kernels never draw the
+    // too-narrow warning.
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const auto kernel = generateKernelSpec(seed).build();
+        auto manager = AnalysisManager::withDefaultPasses();
+        const auto *comp = manager->resultOf<CompressibilityResult>(
+            *kernel, CompressibilityResult::kName);
+        ASSERT_NE(comp, nullptr);
+        for (std::size_t r = 0; r < comp->derivedBits.size(); ++r) {
+            EXPECT_GE(comp->claimedBits[r], comp->derivedBits[r])
+                << "seed " << seed << " r" << r;
+        }
+        const auto lint = analysis::lintKernel(*manager, *kernel);
+        EXPECT_FALSE(lint.diags.has(DiagKind::CompressionClaimTooNarrow))
+            << "seed " << seed;
+        EXPECT_GT(lint.stats.predictedCompressionRatio, 0.0);
+        EXPECT_LE(lint.stats.predictedCompressionRatio, 1.0);
+    }
+}
+
+TEST(Compressibility, ConstantKernelPredictsCompression)
+{
+    // A kernel of pure constant chains is maximally compressible: every
+    // def is narrow and warp-uniform, so the predicted ratio collapses.
+    const auto kernel = makeConstChainKernel();
+    auto manager = AnalysisManager::withDefaultPasses();
+    const auto *comp = manager->resultOf<CompressibilityResult>(
+        *kernel, CompressibilityResult::kName);
+    ASSERT_NE(comp, nullptr);
+    EXPECT_EQ(comp->defCount, 5u);
+    EXPECT_EQ(comp->uniformRegCount, 5u);
+    // r1/r2/r3/r5 need < 32 bits; r4 (0x9f53acbc) is full-width.
+    EXPECT_EQ(comp->narrowRegs, 4u);
+    EXPECT_LT(comp->predictedRatio, 0.1);
+    EXPECT_LT(comp->meanBitsPerDef, 32.0);
+}
+
+TEST(Compressibility, NarrowClaimHookCaughtStaticallyAndDynamically)
+{
+    // r1 copies a full-width launch hash; force the compiler claim for r1
+    // down to zero bits. The static comparison must warn, and the dynamic
+    // cross-validator must reject the claim with an Error.
+    KernelBuilder b("narrow-claim");
+    b.regsPerThread(8);
+    b.gridCtas(4);
+    b.newBlock();
+    b.mov(1, 0);
+    b.alu(Opcode::IADD, 2, 1, 1);
+    b.exit();
+    const auto kernel = b.finalize();
+
+    analysis::LintOptions opts;
+    opts.narrowClaimReg = 1;
+    opts.narrowClaimBits = 0;
+    auto manager = AnalysisManager::withDefaultPasses(opts);
+
+    const auto *comp = manager->resultOf<CompressibilityResult>(
+        *kernel, CompressibilityResult::kName);
+    ASSERT_NE(comp, nullptr);
+    EXPECT_EQ(comp->claimedBits[1], 0u);
+    EXPECT_EQ(comp->derivedBits[1], 32u); // launch hash is full-width
+
+    const auto lint = analysis::lintKernel(*manager, *kernel);
+    const auto *warn = lint.diags.find(DiagKind::CompressionClaimTooNarrow);
+    ASSERT_NE(warn, nullptr);
+    EXPECT_EQ(warn->severity, analysis::Severity::Warning);
+    EXPECT_EQ(warn->reg, 1);
+
+    // Thread 0 of CTA 0 provably writes a nonzero hash into r1.
+    ASSERT_NE(initRegValue(0, 0, 0), 0u);
+    auto xc = crossValidate(*manager, *kernel, 9);
+    EXPECT_FALSE(xc.clean());
+    EXPECT_TRUE(xc.diags.has(DiagKind::CompressionWidthUnsound))
+        << xc.diags.renderText();
+}
+
+// --- Seeded soundness property test ---------------------------------------
+
+TEST(ValueSoundness, ObservedAlwaysWithinStaticAbstraction)
+{
+    // The property the whole subsystem rests on: for any generated kernel
+    // and any seed, every observed value, address, and execution count
+    // lies inside the static abstraction. On failure, greedily shrink the
+    // spec to the smallest reproducing kernel before reporting.
+    const auto reproduces = [](const KernelSpec &spec) {
+        const auto kernel = spec.build();
+        auto manager = AnalysisManager::withDefaultPasses();
+        return !crossValidate(*manager, *kernel, spec.seed).clean();
+    };
+
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        GenOptions options;
+        options.emitBarriers = (seed % 2) == 0;
+        KernelSpec spec = generateKernelSpec(seed, options);
+        const auto kernel = spec.build();
+        auto manager = AnalysisManager::withDefaultPasses();
+        const XCheckReport xc = crossValidate(*manager, *kernel, seed);
+        ASSERT_FALSE(xc.skipped) << spec.describe();
+        EXPECT_GT(xc.checkedDefs, 0u) << spec.describe();
+        if (xc.clean())
+            continue;
+
+        const KernelSpec minimal = minimizeSpec(spec, reproduces);
+        const auto small = minimal.build();
+        auto small_manager = AnalysisManager::withDefaultPasses();
+        const XCheckReport small_xc =
+            crossValidate(*small_manager, *small, minimal.seed);
+        ADD_FAILURE() << "soundness violation, minimized to: "
+                      << minimal.describe() << "\n"
+                      << small_xc.diags.renderText();
+        break; // one shrunk counterexample is enough
+    }
+}
+
+} // namespace
+} // namespace finereg

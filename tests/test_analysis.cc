@@ -488,6 +488,7 @@ TEST(SelfCheck, EveryDefectKindProducesANewExpectedDiagnostic)
 {
     GenOptions gen;
     gen.observeAllRegs = true;
+    gen.emitBarriers = true; // barrier-removal defect needs BARs to remove
     for (const DefectKind kind : analysis::allDefectKinds()) {
         bool detected = false;
         for (std::uint64_t seed = 1; seed <= 24 && !detected; ++seed) {
@@ -554,6 +555,29 @@ TEST(Diagnostics, DefaultSeveritiesFollowThePolicy)
     EXPECT_EQ(analysis::defaultSeverity(DiagKind::SharedBankConflict),
               Severity::Warning);
     EXPECT_EQ(analysis::defaultSeverity(DiagKind::DeadDef), Severity::Note);
+
+    // Abstract-interpretation kinds: every diagnostic a clean kernel can
+    // draw is advisory (assertLintClean fatals on errors, and the suite
+    // and generator route every kernel through it); the Error kinds are
+    // reserved for dynamic soundness proofs from the cross-validator.
+    EXPECT_EQ(analysis::defaultSeverity(DiagKind::ValueOverflow),
+              Severity::Warning);
+    EXPECT_EQ(analysis::defaultSeverity(DiagKind::ConstantFoldableDef),
+              Severity::Note);
+    EXPECT_EQ(analysis::defaultSeverity(DiagKind::LoopBudgetExceeded),
+              Severity::Warning);
+    EXPECT_EQ(analysis::defaultSeverity(DiagKind::SharedStrideAliasesWarps),
+              Severity::Warning);
+    EXPECT_EQ(analysis::defaultSeverity(DiagKind::SharedMemRace),
+              Severity::Warning);
+    EXPECT_EQ(analysis::defaultSeverity(DiagKind::CompressionClaimTooNarrow),
+              Severity::Warning);
+    EXPECT_EQ(analysis::defaultSeverity(DiagKind::CompressionWidthUnsound),
+              Severity::Error);
+    EXPECT_EQ(analysis::defaultSeverity(DiagKind::ValueRangeUnsound),
+              Severity::Error);
+    EXPECT_EQ(analysis::defaultSeverity(DiagKind::AddressBoundUnsound),
+              Severity::Error);
 }
 
 TEST(Diagnostics, RenderTextPutsErrorsFirstAndElides)

@@ -18,6 +18,11 @@ Exit status is nonzero when:
 
 Deterministic metrics (cycles, instructions, DRAM bytes) are reported as
 informational drift but only IPC gates, per the CI policy.
+
+The per-app "static" analysis sections are also compared: apps missing
+from the new static section fail loudly, keys known to only one artifact
+are skipped with a notice (static schema drift), and value drift on
+shared keys is informational.
 """
 
 import argparse
@@ -47,6 +52,48 @@ def load_suite(path):
               f"finished with --resume).")
         return None
     return data
+
+
+def diff_static(golden, new, failures, infos):
+    """Compare the per-app "static" analysis sections.
+
+    Apps present in the golden but absent from the new static section fail
+    loudly (the analysis pipeline silently dropped coverage). Keys known to
+    only one side are skipped with a notice instead of failing: a static
+    schema bump (static_schema_version) adds or retires metrics, and the
+    right response is refreshing the golden, not blocking every PR in
+    between. Value drift on shared keys is informational, like cycles."""
+    gold_static = golden.get("static")
+    new_static = new.get("static")
+    if not isinstance(gold_static, dict) or not isinstance(new_static, dict):
+        return  # pre-v2 artifact without a static section
+
+    gold_ver = golden.get("static_schema_version", 2)
+    new_ver = new.get("static_schema_version", 2)
+    if gold_ver != new_ver:
+        infos.append(f"static schema version {gold_ver} -> {new_ver}")
+
+    missing = sorted(set(gold_static) - set(new_static))
+    if missing:
+        failures.append(
+            f"static section is missing {len(missing)} golden app(s): "
+            f"{', '.join(missing)}")
+
+    skipped_keys = {}  # key -> side, noticed once instead of per app
+    for app, gold in sorted(gold_static.items()):
+        cur = new_static.get(app)
+        if cur is None:
+            continue  # already in the missing-apps failure
+        for key in sorted(set(gold) ^ set(cur)):
+            skipped_keys[key] = "golden" if key in gold else "new"
+        for key in sorted(set(gold) & set(cur)):
+            if gold[key] != cur[key]:
+                infos.append(
+                    f"static/{app}: {key} {gold[key]} -> {cur[key]}")
+    for key, side in sorted(skipped_keys.items()):
+        infos.append(
+            f"static: key '{key}' only in the {side} artifact — skipped "
+            f"(schema drift; refresh the golden to re-gate it)")
 
 
 def main():
@@ -117,6 +164,8 @@ def main():
                     infos.append(
                         f"{tag}: {metric} {gold[metric]} -> "
                         f"{cur[metric]} ({d:+.2%})")
+
+    diff_static(golden, new, failures, infos)
 
     if not args.ignore_wall:
         gold_wall = golden.get("total_wall_ms", 0.0)

@@ -304,10 +304,13 @@ runBench(const BenchOptions &options)
     }
     json.close('}');
 
-    // Static per-app analysis (schema v2). Kept as a sibling of "apps"
-    // rather than inside each app object so bench_diff.py, which treats
-    // every key of an app object as a policy name, never sees it. These
-    // stats are grid-scale invariant, so no scale is applied.
+    // Static per-app analysis (schema v3: abstract-interpretation summary
+    // joined the liveness stats). Kept as a sibling of "apps" rather than
+    // inside each app object so bench_diff.py, which treats every key of
+    // an app object as a policy name, never sees it. These stats are
+    // grid-scale invariant, so no scale is applied.
+    json.key("static_schema_version");
+    json.u64(3);
     json.key("static");
     json.open('{');
     auto manager = analysis::AnalysisManager::withDefaultPasses();
@@ -336,6 +339,25 @@ runBench(const BenchOptions &options)
         json.u64(lint.diags.errors());
         json.key("lint_warnings");
         json.u64(lint.diags.warnings());
+        json.key("const_foldable_defs");
+        json.u64(lint.stats.constFoldableDefs);
+        json.key("overflow_defs");
+        json.u64(lint.stats.overflowDefs);
+        json.key("coalescing");
+        json.str(lint.stats.coalescing);
+        json.key("dram_transaction_bound");
+        json.u64(lint.stats.dramBoundKnown ? lint.stats.dramTransactionBound
+                                           : 0);
+        json.key("narrow_regs");
+        json.u64(lint.stats.narrowRegs);
+        json.key("uniform_regs");
+        json.u64(lint.stats.uniformRegs);
+        json.key("mean_bits_per_def");
+        json.num(lint.stats.meanBitsPerDef, 3);
+        json.key("predicted_compression_ratio");
+        json.num(lint.stats.predictedCompressionRatio, 4);
+        json.key("race_verdict");
+        json.str(lint.stats.raceVerdict);
         json.close('}');
     }
     json.close('}');

@@ -2,20 +2,30 @@
  * @file
  * finereg_lint — static analysis driver. Runs the full analysis pipeline
  * (CFG well-formedness, dominators, reconvergence cross-check, reaching
- * definitions, the liveness cross-validator, shared-memory checks) over
- * the 18-workload suite and any number of seeded generated kernels, and
- * exits non-zero if any kernel carries a lint error. --json emits the
- * diagnostics and per-kernel occupancy statistics for CI artifacts.
+ * definitions, the liveness cross-validator, shared-memory checks, and
+ * the abstract-interpretation passes: value-range, mem-access,
+ * compressibility, shmem-race-check) over the 18-workload suite and any
+ * number of seeded generated kernels, and exits non-zero if any kernel
+ * carries a lint error. --json emits the diagnostics, per-kernel
+ * statistics, and per-pass wall times for CI artifacts.
+ *
+ * --xcheck additionally executes every linted kernel under the reference
+ * executor with value observation and proves each observed value,
+ * address, and execution count lies inside its static abstraction; any
+ * violation is an error (the dynamic soundness contract of DESIGN.md
+ * §13).
  *
  * --self-check seeds every known defect class (dangling branches, dropped
  * definitions, corrupted live-register bit vectors, out-of-bounds shared
- * stores, ...) into otherwise-clean generated kernels and fails unless
- * each defect raises a new diagnostic of the required kind — proving the
+ * stores, inflated loop bounds, removed barriers, narrowed width claims,
+ * ...) into otherwise-clean generated kernels and fails unless each
+ * defect raises a new diagnostic of the required kind — proving the
  * analyses detect the corruption classes they claim to, the static twin
  * of finereg_diff --self-check.
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -24,12 +34,14 @@
 #include <set>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "analysis/kernel_mutator.hh"
 #include "analysis/lint.hh"
 #include "common/log.hh"
 #include "ref/kernel_gen.hh"
+#include "ref/value_validator.hh"
 #include "workloads/suite.hh"
 
 using namespace finereg;
@@ -46,9 +58,15 @@ struct LintCliOptions
     std::string jsonPath;
     unsigned maxDiags = 64;
     bool selfCheck = false;
+    bool xcheck = false;
     bool verbose = false;
     bool help = false;
 };
+
+/** Suite kernels execute for cross-validation at this grid scale (the
+ * same reduction the CI diff harness uses); the validator analyzes the
+ * scaled kernel it executes, so the check stays self-consistent. */
+constexpr double kXCheckGridScale = 0.05;
 
 const char *kUsage =
     "usage: finereg_lint [options]\n"
@@ -68,6 +86,11 @@ const char *kUsage =
     "  --self-check     seed every known defect class into generated\n"
     "                   kernels and require each to be flagged with the\n"
     "                   right diagnostic kind\n"
+    "  --xcheck         execute every kernel under the reference executor\n"
+    "                   and require all observed values, addresses, and\n"
+    "                   execution counts to lie inside their static\n"
+    "                   abstractions (suite apps run at reduced grid\n"
+    "                   scale); violations exit non-zero\n"
     "  --verbose        per-kernel statistics even when clean\n"
     "  --help           this text\n";
 
@@ -107,6 +130,8 @@ parseArgs(const std::vector<std::string> &args, LintCliOptions &opts,
             opts.verbose = true;
         } else if (arg == "--self-check") {
             opts.selfCheck = true;
+        } else if (arg == "--xcheck") {
+            opts.xcheck = true;
         } else if (arg == "--app") {
             if (!need_value(i))
                 return false;
@@ -152,15 +177,41 @@ struct KernelReport
     LintResult result;
 };
 
+/** Aggregate of every crossValidate() run under --xcheck. */
+struct XCheckSummary
+{
+    bool ran = false;
+    unsigned kernels = 0;
+    unsigned skipped = 0;
+    std::uint64_t checkedDefs = 0;
+    std::uint64_t checkedOps = 0;
+    unsigned violations = 0;
+};
+
 void
-writeJson(const std::string &path, const std::vector<KernelReport> &reports)
+writeJson(const std::string &path, const std::vector<KernelReport> &reports,
+          const std::vector<std::pair<std::string, double>> &pass_wall,
+          const XCheckSummary &xcheck)
 {
     std::ofstream os(path);
     if (!os) {
         FINEREG_WARN("cannot write JSON report to ", path);
         return;
     }
-    os << "{\n  \"schema_version\": 1,\n  \"kernels\": [\n";
+    os << "{\n  \"schema_version\": 2,\n  \"pass_wall_ms\": {";
+    for (std::size_t i = 0; i < pass_wall.size(); ++i) {
+        os << (i ? ", " : "") << '"' << pass_wall[i].first
+           << "\": " << pass_wall[i].second * 1000.0;
+    }
+    os << "},\n";
+    if (xcheck.ran) {
+        os << "  \"xcheck\": {\"kernels\": " << xcheck.kernels
+           << ", \"skipped\": " << xcheck.skipped
+           << ", \"checked_defs\": " << xcheck.checkedDefs
+           << ", \"checked_ops\": " << xcheck.checkedOps
+           << ", \"violations\": " << xcheck.violations << "},\n";
+    }
+    os << "  \"kernels\": [\n";
     for (std::size_t i = 0; i < reports.size(); ++i) {
         const KernelReport &report = reports[i];
         const KernelLintStats &stats = report.result.stats;
@@ -176,6 +227,18 @@ writeJson(const std::string &path, const std::vector<KernelReport> &reports)
            << ", \"dead_defs\": " << stats.deadDefs
            << ", \"shared_ops\": " << stats.sharedOps
            << ", \"max_bank_conflict\": " << stats.maxBankConflict
+           << ", \"const_foldable_defs\": " << stats.constFoldableDefs
+           << ", \"overflow_defs\": " << stats.overflowDefs
+           << ", \"coalescing\": \"" << stats.coalescing << "\""
+           << ", \"dram_transaction_bound\": " << stats.dramTransactionBound
+           << ", \"dram_bound_known\": "
+           << (stats.dramBoundKnown ? "true" : "false")
+           << ", \"narrow_regs\": " << stats.narrowRegs
+           << ", \"uniform_regs\": " << stats.uniformRegs
+           << ", \"mean_bits_per_def\": " << stats.meanBitsPerDef
+           << ", \"predicted_compression_ratio\": "
+           << stats.predictedCompressionRatio
+           << ", \"race_verdict\": \"" << stats.raceVerdict << "\""
            << ", \"diagnostics\": ";
         report.result.diags.renderJson(os);
         os << '}' << (i + 1 < reports.size() ? "," : "") << '\n';
@@ -204,16 +267,31 @@ runLint(const LintCliOptions &opts)
         for (const std::string &name : opts.apps)
             kernels.push_back(Suite::makeKernel(Suite::byName(name)));
     }
+    const std::size_t suite_kernels = kernels.size();
     for (unsigned i = 0; i < opts.gen; ++i) {
         const std::uint64_t case_seed =
             opts.seed + 0x9e3779b97f4a7c15ull * i;
         kernels.push_back(generateKernelSpec(case_seed).build());
     }
 
+    // Aggregate per-pass wall time across every kernel (dependencies are
+    // ensured in registration order first, so each entry times one pass).
+    std::vector<std::pair<std::string, double>> pass_wall;
+    for (const std::string_view name : manager->passNames())
+        pass_wall.emplace_back(std::string(name), 0.0);
+
     unsigned total_errors = 0, total_warnings = 0;
     double suite_ratio_sum = 0.0;
     unsigned suite_count = 0;
     for (const auto &kernel : kernels) {
+        for (auto &[pass_name, secs] : pass_wall) {
+            const auto t0 = std::chrono::steady_clock::now();
+            manager->ensure(*kernel, pass_name);
+            secs += std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+        }
+
         KernelReport report;
         report.name = kernel->name();
         report.result = lintKernel(*manager, *kernel);
@@ -247,8 +325,57 @@ runLint(const LintCliOptions &opts)
         reports.push_back(std::move(report));
     }
 
+    // Dynamic soundness cross-validation: execute and compare against the
+    // static abstractions. Suite apps rebuild at reduced grid scale so the
+    // reference executor stays cheap; generated kernels run as-is. The
+    // scaled kernels must outlive the manager's result cache, hence the
+    // vector at this scope.
+    XCheckSummary xcheck;
+    std::vector<std::unique_ptr<Kernel>> xcheck_kernels;
+    if (opts.xcheck) {
+        xcheck.ran = true;
+        std::vector<std::pair<const Kernel *, std::uint64_t>> targets;
+        if (opts.apps.empty()) {
+            for (const SuiteEntry &entry : suite)
+                xcheck_kernels.push_back(
+                    Suite::makeKernel(entry, kXCheckGridScale));
+        } else {
+            for (const std::string &name : opts.apps)
+                xcheck_kernels.push_back(Suite::makeKernel(
+                    Suite::byName(name), kXCheckGridScale));
+        }
+        for (const auto &kernel : xcheck_kernels)
+            targets.emplace_back(kernel.get(), opts.seed);
+        for (std::size_t i = suite_kernels; i < kernels.size(); ++i) {
+            targets.emplace_back(
+                kernels[i].get(),
+                opts.seed +
+                    0x9e3779b97f4a7c15ull * (i - suite_kernels));
+        }
+
+        for (const auto &[kernel, exec_seed] : targets) {
+            const XCheckReport report =
+                crossValidate(*manager, *kernel, exec_seed);
+            ++xcheck.kernels;
+            xcheck.skipped += report.skipped ? 1 : 0;
+            xcheck.checkedDefs += report.checkedDefs;
+            xcheck.checkedOps += report.checkedOps;
+            xcheck.violations += report.diags.errors();
+            if (!report.clean()) {
+                std::printf("xcheck FAIL %s\n%s", kernel->name().c_str(),
+                            report.diags.renderText(opts.maxDiags)
+                                .c_str());
+            }
+        }
+        std::printf("finereg_lint --xcheck: %u kernel(s), %" PRIu64
+                    " def(s), %" PRIu64 " mem op(s) checked, %u "
+                    "violation(s), %u skipped\n",
+                    xcheck.kernels, xcheck.checkedDefs, xcheck.checkedOps,
+                    xcheck.violations, xcheck.skipped);
+    }
+
     if (!opts.jsonPath.empty())
-        writeJson(opts.jsonPath, reports);
+        writeJson(opts.jsonPath, reports, pass_wall, xcheck);
 
     std::printf("finereg_lint: %zu kernel(s): %u error(s), %u warning(s)",
                 kernels.size(), total_errors, total_warnings);
@@ -257,7 +384,7 @@ runLint(const LintCliOptions &opts)
                     100.0 * suite_ratio_sum / suite_count);
     }
     std::printf("\n");
-    return total_errors > 0 ? 1 : 0;
+    return total_errors > 0 || xcheck.violations > 0 ? 1 : 0;
 }
 
 // ---- Self-check ----------------------------------------------------------
@@ -289,6 +416,9 @@ runSelfCheck(const LintCliOptions &opts)
                 opts.seed + 0x9e3779b97f4a7c15ull * i;
             GenOptions gen;
             gen.observeAllRegs = true;
+            // Barriers give the barrier-removal defect sites to corrupt
+            // and the race check real intervals on every other defect.
+            gen.emitBarriers = true;
             const auto kernel =
                 generateKernelSpec(case_seed, gen).build();
 

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Full-project clang-tidy sweep gated against a checked-in baseline.
+
+Usage:
+    tidy_baseline.py check  --build BUILD_DIR [--baseline FILE] [--jobs N]
+    tidy_baseline.py update --build BUILD_DIR [--baseline FILE] [--jobs N]
+
+The changed-files tidy gate catches regressions in touched code but lets
+debt in untouched files persist invisibly. This sweep runs clang-tidy over
+every translation unit in the compile database (src/, tools/, tests/) and
+aggregates findings to (file, check) pairs with counts — line numbers are
+deliberately dropped so unrelated edits shifting code downward do not churn
+the baseline.
+
+`check` fails when a finding pair is new or its count grew: that is a
+regression someone just introduced. Pairs that shrank or vanished are
+reported as info with a reminder to run `update`, which rewrites the
+baseline to the current sweep (ratcheting the debt downward).
+
+The baseline lives at tools/tidy_baseline.txt; its format is
+`count<TAB>file<TAB>check`, sorted, with `#` comments.
+"""
+
+import argparse
+import collections
+import concurrent.futures
+import json
+import os
+import re
+import subprocess
+import sys
+
+WARNING_RE = re.compile(
+    r"^(?P<file>[^:\s][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"warning: .*? \[(?P<check>[\w.,-]+)\]$")
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def list_translation_units(build_dir):
+    """Every project .cc in the compile database, repo-relative."""
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    try:
+        with open(db_path) as f:
+            db = json.load(f)
+    except OSError as e:
+        sys.exit(f"error: cannot read {db_path}: {e} "
+                 f"(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)")
+    root = repo_root()
+    tus = set()
+    for entry in db:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        rel = os.path.relpath(path, root)
+        if rel.startswith(("src" + os.sep, "tools" + os.sep,
+                           "tests" + os.sep)) and rel.endswith(".cc"):
+            tus.add(rel)
+    return sorted(tus)
+
+
+def run_one(build_dir, tu):
+    """clang-tidy one TU; returns (tu, findings dict, hard_error str|None)."""
+    proc = subprocess.run(
+        ["clang-tidy", "-p", build_dir, "--quiet", tu],
+        cwd=repo_root(), capture_output=True, text=True)
+    findings = collections.Counter()
+    root = repo_root()
+    for line in proc.stdout.splitlines():
+        m = WARNING_RE.match(line)
+        if not m:
+            continue
+        path = m.group("file")
+        if os.path.isabs(path):
+            path = os.path.relpath(path, root)
+        if path.startswith(".." + os.sep):
+            continue  # system/third-party header leaked through the filter
+        findings[(path, m.group("check"))] += 1
+    # clang-tidy exits nonzero on warnings-as-errors or real failures;
+    # distinguish "could not parse" from "found warnings".
+    hard_error = None
+    if proc.returncode != 0 and "error:" in proc.stdout + proc.stderr:
+        hard_error = (proc.stdout + proc.stderr).strip()
+    return tu, findings, hard_error
+
+
+def sweep(build_dir, jobs):
+    tus = list_translation_units(build_dir)
+    if not tus:
+        sys.exit("error: no project translation units in the compile "
+                 "database — wrong --build directory?")
+    print(f"tidy sweep: {len(tus)} translation units, {jobs} jobs")
+    totals = collections.Counter()
+    errors = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        for tu, findings, hard_error in pool.map(
+                lambda t: run_one(build_dir, t), tus):
+            totals.update(findings)
+            if hard_error:
+                errors.append(f"{tu}:\n{hard_error}")
+    if errors:
+        for e in errors:
+            print(f"FAIL: clang-tidy could not analyze {e}", file=sys.stderr)
+        sys.exit(1)
+    return totals
+
+
+def load_baseline(path):
+    baseline = {}
+    try:
+        with open(path) as f:
+            for raw in f:
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                count, file_, check = line.split("\t")
+                baseline[(file_, check)] = int(count)
+    except OSError as e:
+        sys.exit(f"error: cannot read baseline {path}: {e} "
+                 f"(run `tidy_baseline.py update` to create it)")
+    return baseline
+
+
+def write_baseline(path, totals):
+    with open(path, "w") as f:
+        f.write("# clang-tidy full-sweep suppression baseline.\n"
+                "# Format: count<TAB>file<TAB>check. Regenerate with:\n"
+                "#   tools/tidy_baseline.py update --build <build-dir>\n"
+                "# CI fails on any NEW (file, check) pair or count growth;\n"
+                "# shrinking counts should be ratcheted in via update.\n")
+        for (file_, check), count in sorted(totals.items()):
+            f.write(f"{count}\t{file_}\t{check}\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("mode", choices=["check", "update"])
+    parser.add_argument("--build", required=True,
+                        help="build dir with compile_commands.json")
+    parser.add_argument("--baseline",
+                        default=os.path.join(repo_root(), "tools",
+                                             "tidy_baseline.txt"))
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    args = parser.parse_args()
+
+    totals = sweep(args.build, args.jobs)
+    n_findings = sum(totals.values())
+
+    if args.mode == "update":
+        write_baseline(args.baseline, totals)
+        print(f"baseline updated: {n_findings} finding(s) across "
+              f"{len(totals)} (file, check) pair(s) -> {args.baseline}")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    regressions = []
+    for pair, count in sorted(totals.items()):
+        allowed = baseline.get(pair, 0)
+        if count > allowed:
+            file_, check = pair
+            regressions.append(
+                f"{file_}: [{check}] {count} finding(s), baseline allows "
+                f"{allowed}")
+    improved = [(pair, baseline[pair] - totals.get(pair, 0))
+                for pair in sorted(baseline)
+                if totals.get(pair, 0) < baseline[pair]]
+    for pair, delta in improved:
+        print(f"info: {pair[0]}: [{pair[1]}] {delta} fewer finding(s) than "
+              f"baseline — ratchet it in with `tidy_baseline.py update`")
+    for line in regressions:
+        print(f"FAIL: {line}")
+    if regressions:
+        print(f"tidy_baseline: {len(regressions)} regressed (file, check) "
+              f"pair(s); fix them or consciously refresh the baseline")
+        return 1
+    print(f"tidy_baseline: OK — {n_findings} finding(s), all within the "
+          f"checked-in baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
