@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Microbenchmarks for the simulator's host-side hot paths (DESIGN.md §14):
+ * PCRF chain store/restore through the arena-style free-space monitor,
+ * 64-bit RegBitVec word operations, and EventWheel push/pop traffic.
+ * Unlike the per-figure bench binaries these are direct google-benchmark
+ * loops over the data structures, not full simulator runs — they track
+ * constant-factor regressions in the structures the run loop leans on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "common/stats.hh"
+#include "core/event_wheel.hh"
+#include "regfile/pcrf.hh"
+
+using namespace finereg;
+
+namespace
+{
+
+/** Per-warp live masks for a mid-sized CTA: 8 warps, 24 live regs each. */
+std::vector<RegBitVec>
+makeWarpLive(unsigned warps = 8, unsigned regs = 24)
+{
+    std::vector<RegBitVec> live(warps);
+    for (auto &mask : live)
+        for (RegIndex r = 0; r < regs; ++r)
+            mask.set(r);
+    return live;
+}
+
+void
+BM_PcrfStoreRestoreChain(benchmark::State &state)
+{
+    StatGroup stats;
+    Pcrf pcrf(192 * 1024, stats); // the full UM-carved PCRF: 1536 entries
+    const auto warp_live = makeWarpLive();
+    const unsigned total = 8 * 24;
+    std::vector<unsigned> last_pos(warp_live.size());
+
+    for (auto _ : state) {
+        pcrf.storeCta(7, warp_live, total);
+        pcrf.restoreCtaLastPositions(7, last_pos);
+        benchmark::DoNotOptimize(last_pos.data());
+    }
+    state.SetItemsProcessed(state.iterations() * total);
+}
+BENCHMARK(BM_PcrfStoreRestoreChain);
+
+/**
+ * Freelist churn: several resident chains stored and restored out of
+ * order, so allocation walks a fragmented occupancy bitmap instead of a
+ * clean prefix — the steady-state shape once CTAs swap at different
+ * rates.
+ */
+void
+BM_PcrfFragmentedChurn(benchmark::State &state)
+{
+    StatGroup stats;
+    Pcrf pcrf(64 * 1024, stats); // 512 entries
+    const auto warp_live = makeWarpLive(4, 16);
+    const unsigned total = 4 * 16;
+    std::vector<unsigned> last_pos(warp_live.size());
+
+    // Seed interleaved chains, then punch holes at every other CTA.
+    for (GridCtaId cta = 0; cta < 6; ++cta)
+        pcrf.storeCta(cta, warp_live, total);
+    for (GridCtaId cta = 0; cta < 6; cta += 2)
+        pcrf.restoreCtaLastPositions(cta, last_pos);
+
+    for (auto _ : state) {
+        pcrf.storeCta(100, warp_live, total);
+        pcrf.storeCta(101, warp_live, total);
+        pcrf.restoreCtaLastPositions(100, last_pos);
+        pcrf.restoreCtaLastPositions(101, last_pos);
+        benchmark::DoNotOptimize(last_pos.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * total);
+}
+BENCHMARK(BM_PcrfFragmentedChurn);
+
+/** The RMU gather inner loop: OR per-PC masks into a warp's live set. */
+void
+BM_BitvecGatherOr(benchmark::State &state)
+{
+    std::vector<RegBitVec> table(256);
+    for (unsigned i = 0; i < table.size(); ++i)
+        table[i] = RegBitVec(0x0000ffffffffull << (i % 16));
+
+    for (auto _ : state) {
+        RegBitVec live;
+        for (const RegBitVec &mask : table)
+            live |= mask;
+        unsigned count = live.count();
+        benchmark::DoNotOptimize(count);
+    }
+    state.SetItemsProcessed(state.iterations() * table.size());
+}
+BENCHMARK(BM_BitvecGatherOr);
+
+/** Free-space monitor ops: firstClear scan + set/reset on a DynBitSet. */
+void
+BM_DynBitSetFreelist(benchmark::State &state)
+{
+    DynBitSet bits(1536);
+    // Half-full with a fragmented prefix, like a loaded PCRF monitor.
+    for (std::size_t i = 0; i < 1536; i += 2)
+        bits.set(i);
+
+    std::size_t last = 0;
+    for (auto _ : state) {
+        const std::size_t slot = bits.firstClear();
+        bits.set(slot);
+        bits.reset(last);
+        last = slot;
+        benchmark::DoNotOptimize(last);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DynBitSetFreelist);
+
+/**
+ * EventWheel traffic in the proportions the run loop produces: a burst of
+ * near-future schedules per tick (most deduped or absorbed by the
+ * immediate-slot fast path), then one beginTick drain.
+ */
+void
+BM_EventWheelPushPop(benchmark::State &state)
+{
+    EventWheel wheel;
+    Cycle now = 0;
+    for (auto _ : state) {
+        wheel.beginTick(now);
+        wheel.schedule(now + 1);   // immediate fast path
+        wheel.schedule(now + 4);   // heap push
+        wheel.schedule(now + 4);   // deduped
+        wheel.schedule(now + 190); // long-latency writeback
+        wheel.schedule(now + 190); // deduped
+        Cycle next = wheel.nextEvent();
+        benchmark::DoNotOptimize(next);
+        ++now;
+    }
+    state.SetItemsProcessed(state.iterations() * 5);
+}
+BENCHMARK(BM_EventWheelPushPop);
+
+/** Worst case: all pushes distinct and heap-bound, periodic deep drains. */
+void
+BM_EventWheelHeapStress(benchmark::State &state)
+{
+    EventWheel wheel;
+    Cycle now = 0;
+    for (auto _ : state) {
+        wheel.beginTick(now);
+        for (Cycle d = 2; d < 34; ++d)
+            wheel.schedule(now + d * 3);
+        Cycle next = wheel.nextEvent();
+        benchmark::DoNotOptimize(next);
+        now += 16; // the following beginTick drains roughly a third
+    }
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_EventWheelHeapStress);
+
+} // namespace
+
+BENCHMARK_MAIN();

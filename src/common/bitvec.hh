@@ -129,14 +129,26 @@ class DynBitSet
     set(std::size_t i)
     {
         checkIndex(i);
-        words_[i / 64] |= (1ull << (i % 64));
+        std::uint64_t &w = words_[i / 64];
+        const std::uint64_t mask = 1ull << (i % 64);
+        if (!(w & mask)) {
+            w |= mask;
+            ++popcount_;
+        }
     }
 
     void
     reset(std::size_t i)
     {
         checkIndex(i);
-        words_[i / 64] &= ~(1ull << (i % 64));
+        std::uint64_t &w = words_[i / 64];
+        const std::uint64_t mask = 1ull << (i % 64);
+        if (w & mask) {
+            w &= ~mask;
+            --popcount_;
+            if (i / 64 < scanHintWord_)
+                scanHintWord_ = i / 64;
+        }
     }
 
     void
@@ -144,39 +156,41 @@ class DynBitSet
     {
         for (auto &w : words_)
             w = 0;
+        popcount_ = 0;
+        scanHintWord_ = 0;
     }
 
     /** Number of set (occupied) bits. */
-    std::size_t
-    count() const
-    {
-        std::size_t n = 0;
-        for (auto w : words_)
-            n += std::popcount(w);
-        return n;
-    }
+    std::size_t count() const { return popcount_; }
 
     /** Number of clear (free) bits; what the free-space monitor aggregates. */
-    std::size_t countClear() const { return size_ - count(); }
+    std::size_t countClear() const { return size_ - popcount_; }
 
     /**
      * Index of the first clear bit, or size() when all bits are set.
      * Implements the free-slot lookup of the PCRF free-space monitor.
+     *
+     * Amortized O(1): a scan hint remembers the lowest word that can hold
+     * a clear bit. set() never creates clear bits, reset() lowers the
+     * hint, so the invariant "no clear bit below scanHintWord_" holds and
+     * the scan can start there without changing the returned index.
      */
     std::size_t
     firstClear() const
     {
-        for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+        for (std::size_t wi = scanHintWord_; wi < words_.size(); ++wi) {
             std::uint64_t inv = ~words_[wi];
             if (wi == words_.size() - 1 && size_ % 64 != 0) {
                 // Mask out the padding bits beyond size_.
                 inv &= (1ull << (size_ % 64)) - 1;
             }
             if (inv) {
+                scanHintWord_ = wi;
                 const std::size_t bit = wi * 64 + std::countr_zero(inv);
                 return bit < size_ ? bit : size_;
             }
         }
+        scanHintWord_ = words_.size();
         return size_;
     }
 
@@ -190,6 +204,8 @@ class DynBitSet
 
     std::size_t size_ = 0;
     std::vector<std::uint64_t> words_;
+    std::size_t popcount_ = 0;
+    mutable std::size_t scanHintWord_ = 0;
 };
 
 } // namespace finereg

@@ -204,6 +204,29 @@ parseCliOptions(const std::vector<std::string> &args)
                 return fail("--audit-interval must be >= 0");
             options.config.verify.auditInterval =
                 static_cast<Cycle>(interval);
+        } else if (arg == "--audit-edge-every") {
+            const auto value = need_value(i, arg);
+            if (!value)
+                return fail("--audit-edge-every needs a value");
+            ++i;
+            const long long every = std::atoll(value->c_str());
+            if (every < 0)
+                return fail("--audit-edge-every must be >= 0");
+            options.config.verify.auditEdgeEvery =
+                static_cast<unsigned>(every);
+        } else if (arg == "--idle-skip") {
+            const auto value = need_value(i, arg);
+            if (!value)
+                return fail("--idle-skip needs wheel, scan, or step");
+            ++i;
+            if (*value == "wheel")
+                options.config.idleSkip = IdleSkipMode::Wheel;
+            else if (*value == "scan")
+                options.config.idleSkip = IdleSkipMode::LegacyScan;
+            else if (*value == "step")
+                options.config.idleSkip = IdleSkipMode::StepEveryCycle;
+            else
+                return fail("--idle-skip must be wheel, scan, or step");
         } else if (arg == "--watchdog-cycles") {
             const auto value = need_value(i, arg);
             if (!value)
@@ -325,6 +348,14 @@ cliUsage()
            "  --max-cycles N      safety cap\n"
            "  --audit-interval N  run the invariant auditor every N cycles\n"
            "                      (0 = off, default)\n"
+           "  --audit-edge-every N  audit every Nth CTA state-transition\n"
+           "                      edge (0 = auto: every edge in Debug,\n"
+           "                      every 64th in Release; interval 1 always\n"
+           "                      audits every edge)\n"
+           "  --idle-skip MODE    idle-cycle skipper: wheel (event wheel,\n"
+           "                      default), scan (legacy full scan), or\n"
+           "                      step (step every cycle); all modes are\n"
+           "                      bit-identical\n"
            "  --watchdog-cycles N deadlock watchdog threshold (0 = off,\n"
            "                      default 2000000)\n"
            "  --fault-seed N      enable deterministic fault injection\n"

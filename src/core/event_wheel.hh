@@ -1,0 +1,123 @@
+/**
+ * @file
+ * EventWheel: the next-wakeup priority queue behind the simulator's idle
+ * cycle skipper. Every timing source that can make a stalled GPU
+ * schedulable again (warp earliest-issue updates, scoreboard writeback
+ * completions, retire chains) pushes its absolute wake cycle here; when a
+ * tick issues nothing, Gpu::run advances the clock straight to the
+ * earliest future event instead of stepping cycle by cycle.
+ *
+ * Soundness contract (see DESIGN.md §14): the wheel wake time is always
+ * <= the exact scan (Sm::nextWakeCycle) wake time, because every value
+ * the scan can report was pushed at the moment it was set. Extra or
+ * stale wakes are harmless — a tick where nothing is schedulable mutates
+ * no simulated state — so end states are bit-identical to stepping every
+ * cycle.
+ */
+
+#ifndef FINEREG_CORE_EVENT_WHEEL_HH
+#define FINEREG_CORE_EVENT_WHEEL_HH
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace finereg
+{
+
+class EventWheel
+{
+  public:
+    /**
+     * Start a tick at @p now. Events at or before @p now are dropped:
+     * the tick underway observes the state they announced. Called once
+     * per run-loop iteration, before any unit can schedule().
+     */
+    void
+    beginTick(Cycle now)
+    {
+        now_ = now;
+        immediate_ = false;
+        while (!heap_.empty() && heap_.front() <= now_) {
+            std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+            heap_.pop_back();
+            ++pops_;
+        }
+    }
+
+    /** Announce that something may become schedulable at absolute @p cycle. */
+    void
+    schedule(Cycle cycle)
+    {
+        if (cycle <= now_)
+            return; // covered by the tick in progress
+        ++pushes_;
+        if (cycle == now_ + 1) {
+            // The overwhelmingly common case (issue at now, retry at
+            // now+1) never touches the heap.
+            immediate_ = true;
+            return;
+        }
+        // Dedupe against recent heap pushes. A ring entry > now_ is
+        // still in the heap (beginTick only drains entries <= now), so
+        // a duplicate push cannot change nextEvent() and is skipped.
+        // Fixed-latency units pushing now+L every tick make duplicates
+        // the norm, not the exception.
+        for (Cycle recent : recent_)
+            if (recent == cycle)
+                return;
+        recent_[recentAt_] = cycle;
+        recentAt_ = (recentAt_ + 1) % kRecent;
+        heap_.push_back(cycle);
+        std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    }
+
+    /**
+     * Earliest scheduled event strictly after the tick begun by
+     * beginTick(); kNoCycle if none. beginTick() drained everything at
+     * or before now, so the heap minimum is already in the future.
+     */
+    Cycle
+    nextEvent() const
+    {
+        if (immediate_)
+            return now_ + 1;
+        return heap_.empty() ? kNoCycle : heap_.front();
+    }
+
+    void
+    clear()
+    {
+        heap_.clear();
+        immediate_ = false;
+        now_ = 0;
+        recent_.fill(0);
+        recentAt_ = 0;
+    }
+
+    std::uint64_t pushes() const { return pushes_; }
+    std::uint64_t pops() const { return pops_; }
+    std::size_t pendingEvents() const { return heap_.size() + immediate_; }
+
+  private:
+    // Min-heap of absolute cycles (lazily drained at beginTick). Stale
+    // entries — for warps that were suspended or retired after pushing —
+    // are fine: they produce no-op ticks, never missed wakes.
+    std::vector<Cycle> heap_;
+    Cycle now_ = 0;
+    bool immediate_ = false;
+    // Last few heap pushes, for duplicate suppression. Zero-initialised
+    // entries never match (schedule() rejects cycle <= now_ first).
+    static constexpr std::size_t kRecent = 8;
+    std::array<Cycle, kRecent> recent_{};
+    std::size_t recentAt_ = 0;
+    std::uint64_t pushes_ = 0;
+    std::uint64_t pops_ = 0;
+};
+
+} // namespace finereg
+
+#endif // FINEREG_CORE_EVENT_WHEEL_HH

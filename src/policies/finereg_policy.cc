@@ -44,23 +44,26 @@ FineRegPolicy::onBind()
                                         gpu().faultInjector());
         states_.push_back(std::move(st));
     }
+    stalledFound_ = &gpu().stats().counter("finereg.stalled_found");
+    noPartner_ = &gpu().stats().counter("finereg.no_partner");
 }
 
 Cta *
 FineRegPolicy::bestPendingCta(Sm &sm, Cycle at_most) const
 {
     SmState &st = state(sm);
+    // O(1) fast path: even the soonest pending CTA misses at_most. The
+    // slow scan below still decides ties in residentCtas order, so the
+    // pick is bit-identical to the pre-fast-path code.
+    if (st.pendingReady.minReady() > at_most)
+        return nullptr;
     Cta *best = nullptr;
     Cycle best_ready = kNoCycle;
-    for (auto &cta : sm.residentCtas()) {
-        if (cta->state() != CtaState::Pending)
-            continue;
-        const auto it = st.pendingReady.find(cta->gridId());
-        if (it == st.pendingReady.end())
-            continue;
-        const Cycle ready = it->second;
+    for (Cta *cta : sm.pendingCtaList()) {
+        // policyReadyCycle mirrors st.pendingReady (audit-checked).
+        const Cycle ready = cta->policyReadyCycle;
         if (ready <= at_most && ready < best_ready) {
-            best = cta.get();
+            best = cta;
             best_ready = ready;
         }
     }
@@ -74,19 +77,20 @@ FineRegPolicy::restoreCta(Sm &sm, Cta &cta, Cycle now, Cycle extra_latency)
     const Kernel &kernel = sm.context().kernel();
 
     cta.regAllocHandle = st.acrf->allocate(kernel.warpRegsPerCta());
-    const auto regs = st.pcrf->restoreCta(cta.gridId());
+    st.posScratch.resize(cta.numWarps());
+    st.pcrf->restoreCtaLastPositions(cta.gridId(), st.posScratch);
     st.pendingReady.erase(cta.gridId());
+    cta.policyReadyCycle = kNoCycle;
 
     st.monitor.setContext(cta.gridId(), ContextLocation::Pipeline);
     st.monitor.setRegisters(cta.gridId(), RegisterLocation::Acrf);
     sm.resumeCta(cta, now, extra_latency);
-    wakeWarpsAsRegistersArrive(sm, cta, regs, now + extra_latency);
+    wakeWarpsAsRegistersArrive(sm, cta, st.posScratch, now + extra_latency);
 }
 
 void
-FineRegPolicy::wakeWarpsAsRegistersArrive(Sm &sm, Cta &cta,
-                                          const std::vector<LiveReg> &regs,
-                                          Cycle start)
+FineRegPolicy::wakeWarpsAsRegistersArrive(
+    Sm &sm, Cta &cta, const std::vector<unsigned> &last_pos, Cycle start)
 {
     if (config().policy.zeroSwitchLatency)
         return;
@@ -94,19 +98,11 @@ FineRegPolicy::wakeWarpsAsRegistersArrive(Sm &sm, Cta &cta,
     // The PCRF chain walk restores one entry per cycle after the fixed
     // tag+register access (Sec. V-E); each warp may issue as soon as its
     // own registers have landed, so earlier chain positions wake sooner.
-    std::vector<unsigned> regs_through_warp(cta.numWarps(), 0);
-    unsigned position = 0;
-    for (const LiveReg &reg : regs) {
-        ++position;
-        if (reg.warp < regs_through_warp.size())
-            regs_through_warp[reg.warp] = position;
-    }
     for (auto &warp : cta.warps()) {
         if (warp->finished())
             continue;
         warp->setEarliestIssue(
-            start +
-            st.rmu->transferLatency(regs_through_warp[warp->id()]));
+            start + st.rmu->transferLatency(last_pos[warp->id()]));
     }
 }
 
@@ -122,29 +118,27 @@ FineRegPolicy::evictCta(Sm &sm, Cta &cta, const Rmu::Gather &gather,
         config().policy.zeroSwitchLatency
             ? now
             : std::max(gather.bitvecReadyCycle, now) +
-                  st.rmu->transferLatency(
-                      static_cast<unsigned>(gather.regs.size()));
-    st.pendingReady[cta.gridId()] =
+                  st.rmu->transferLatency(gather.totalRegs);
+    const Cycle pending_ready =
         std::max(cta.estimateReadyCycle(now), drain_done);
+    st.pendingReady.set(cta.gridId(), pending_ready);
+    cta.policyReadyCycle = pending_ready;
 
     // Architecturally, only the gathered (live) registers survive the
     // swap: everything else is dropped and its value becomes undefined.
     // Scramble the dropped values in the tracker so a liveness bug that
-    // drops a live register propagates visible garbage.
+    // drops a live register propagates visible garbage. The gather's
+    // per-warp masks are exactly the keep sets.
     if (CtaValues *values = cta.values()) {
-        std::vector<RegBitVec> keep(cta.numWarps());
-        for (const LiveReg &reg : gather.regs) {
-            if (reg.warp < keep.size())
-                keep[reg.warp].set(reg.reg);
-        }
         for (const auto &warp : cta.warps()) {
             if (!warp->finished())
-                values->dropDeadRegs(warp->id(), keep[warp->id()]);
+                values->dropDeadRegs(warp->id(),
+                                     gather.warpLive[warp->id()]);
         }
     }
 
     sm.suspendCta(cta, now);
-    st.pcrf->storeCta(cta.gridId(), gather.regs);
+    st.pcrf->storeCta(cta.gridId(), gather.warpLive, gather.totalRegs);
     st.acrf->free(cta.regAllocHandle);
     cta.regAllocHandle = kInvalidId;
     st.monitor.setContext(cta.gridId(), ContextLocation::SharedMemory);
@@ -197,8 +191,8 @@ FineRegPolicy::switchStalledCtas(Sm &sm, Cycle now)
     const Kernel &kernel = sm.context().kernel();
     const unsigned warp_regs = kernel.warpRegsPerCta();
 
-    std::vector<Cta *> stalled = collectStalledCtas(sm, now);
-    gpu().stats().counter("finereg.stalled_found").inc(stalled.size());
+    const std::vector<Cta *> &stalled = collectStalledCtas(sm, now);
+    stalledFound_->inc(stalled.size());
 
     for (Cta *cta : stalled) {
         const bool pending_saturated = pendingSaturated(sm);
@@ -208,12 +202,12 @@ FineRegPolicy::switchStalledCtas(Sm &sm, Cycle now)
                               !pending_saturated;
         Cta *ready_pending = bestPendingCta(sm, now);
         if (!can_grow && !ready_pending) {
-            gpu().stats().counter("finereg.no_partner").inc();
+            noPartner_->inc();
             continue;
         }
 
-        const Rmu::Gather gather = st.rmu->gatherLiveRegs(*cta, now);
-        const auto n_live = static_cast<unsigned>(gather.regs.size());
+        const Rmu::Gather &gather = st.rmu->gatherLiveRegs(*cta, now);
+        const unsigned n_live = gather.totalRegs;
         // The outgoing drain is pipelined through the RMU's staging buffer
         // (Sec. V-E), so the incoming CTA pays only the fixed switch
         // initiation cost (plus its own restore chain when resuming).
@@ -252,15 +246,12 @@ FineRegPolicy::switchStalledCtas(Sm &sm, Cycle now)
             n_live > st.pcrf->freeEntries() +
                          st.pcrf->liveCountOf(ready_pending->gridId())) {
             Cta *fitting = nullptr;
-            for (auto &candidate : sm.residentCtas()) {
-                if (candidate->state() != CtaState::Pending)
-                    continue;
-                const auto it = st.pendingReady.find(candidate->gridId());
-                if (it == st.pendingReady.end() || it->second > now)
+            for (Cta *candidate : sm.pendingCtaList()) {
+                if (candidate->policyReadyCycle > now)
                     continue;
                 if (n_live <= st.pcrf->freeEntries() +
                                   st.pcrf->liveCountOf(candidate->gridId())) {
-                    fitting = candidate.get();
+                    fitting = candidate;
                     break;
                 }
             }
@@ -274,20 +265,23 @@ FineRegPolicy::switchStalledCtas(Sm &sm, Cycle now)
                 // Stage the pending CTA's registers through the RMU's
                 // 128-byte buffer: drain its PCRF chain first so the
                 // stalled CTA's live set fits, then swap slots.
-                const auto staged =
-                    st.pcrf->restoreCta(ready_pending->gridId());
+                st.posScratch.resize(ready_pending->numWarps());
+                st.pcrf->restoreCtaLastPositions(ready_pending->gridId(),
+                                                 st.posScratch);
 
                 evictCta(sm, *cta, gather, now);
 
                 ready_pending->regAllocHandle =
                     st.acrf->allocate(warp_regs);
                 st.pendingReady.erase(ready_pending->gridId());
+                ready_pending->policyReadyCycle = kNoCycle;
                 st.monitor.setContext(ready_pending->gridId(),
                                       ContextLocation::Pipeline);
                 st.monitor.setRegisters(ready_pending->gridId(),
                                         RegisterLocation::Acrf);
                 sm.resumeCta(*ready_pending, now, base_latency);
-                wakeWarpsAsRegistersArrive(sm, *ready_pending, staged,
+                wakeWarpsAsRegistersArrive(sm, *ready_pending,
+                                           st.posScratch,
                                            now + base_latency);
                 continue;
             }
@@ -321,6 +315,7 @@ FineRegPolicy::onCtaFinished(Sm &sm, Cta &cta, Cycle)
     st.acrf->free(cta.regAllocHandle);
     st.monitor.onRetire(cta.gridId());
     st.pendingReady.erase(cta.gridId());
+    cta.policyReadyCycle = kNoCycle;
 }
 
 bool
@@ -333,10 +328,9 @@ Cycle
 FineRegPolicy::nextEventCycle(const Sm &sm, Cycle now) const
 {
     const SmState &st = state(sm);
-    Cycle next = kNoCycle;
-    for (const auto &[cta, ready] : st.pendingReady)
-        next = std::min(next, std::max(ready, now + 1));
-    return next;
+    if (st.pendingReady.empty())
+        return kNoCycle;
+    return std::max(st.pendingReady.minReady(), now + 1);
 }
 
 void
@@ -405,9 +399,16 @@ FineRegPolicy::audit(const Sm &sm, Cycle now) const
                                "register allocation",
                                id, sm_id, now);
             }
-            if (!st.pendingReady.count(id)) {
+            if (!st.pendingReady.contains(id)) {
                 raiseInvariant("monitor-state",
                                "pending CTA has no operand-ready estimate",
+                               id, sm_id, now);
+            }
+            if (cta->policyReadyCycle !=
+                st.pendingReady.readyCycle(id)) {
+                raiseInvariant("monitor-state",
+                               "CTA pending-ready mirror diverges from the "
+                               "tracked operand-ready estimate",
                                id, sm_id, now);
             }
         }

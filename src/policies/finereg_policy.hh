@@ -16,9 +16,10 @@
 #define FINEREG_POLICIES_FINEREG_POLICY_HH
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/stats.hh"
+#include "policies/pending_ready.hh"
 #include "policies/policy.hh"
 #include "sm/sm.hh"
 #include "regfile/cta_status_monitor.hh"
@@ -60,9 +61,7 @@ class FineRegPolicy : public Policy
     /** Operand-ready estimate of pending CTA @p cta (0 if untracked). */
     Cycle pendingReadyOf(const Sm &sm, GridCtaId cta) const
     {
-        const auto &ready = state(sm).pendingReady;
-        const auto it = ready.find(cta);
-        return it == ready.end() ? 0 : it->second;
+        return state(sm).pendingReady.readyCycle(cta, 0);
     }
 
     /** Mutable introspection for corruption/fault-injection tests. */
@@ -81,10 +80,15 @@ class FineRegPolicy : public Policy
         CtaStatusMonitor monitor;
 
         /** Pending CTA -> estimated operand-ready cycle. */
-        std::unordered_map<GridCtaId, Cycle> pendingReady;
+        PendingReadySet pendingReady;
 
         /** Fig. 14 flag: a switch was blocked by PCRF depletion. */
         bool pcrfBlocked = false;
+
+        /** Scratch for restoreCtaLastPositions (per-warp 1-based chain
+         * position of the last restored register); reused every switch
+         * so the hot path never allocates. */
+        std::vector<unsigned> posScratch;
     };
 
     SmState &state(const Sm &sm) const { return *states_[sm.id()]; }
@@ -94,9 +98,13 @@ class FineRegPolicy : public Policy
     /** Restore a pending CTA into the ACRF (allocates full set). */
     void restoreCta(Sm &sm, Cta &cta, Cycle now, Cycle extra_latency);
 
-    /** Pipelined chain walk: wake each warp when its registers land. */
+    /**
+     * Pipelined chain walk: wake each warp when its registers land.
+     * @p last_pos holds, per warp, the 1-based chain position of the
+     * warp's final register (0 = none in the chain).
+     */
     void wakeWarpsAsRegistersArrive(Sm &sm, Cta &cta,
-                                    const std::vector<LiveReg> &regs,
+                                    const std::vector<unsigned> &last_pos,
                                     Cycle start);
 
     /** Evict a fully stalled CTA's live registers into the PCRF. */
@@ -106,6 +114,11 @@ class FineRegPolicy : public Policy
     void switchStalledCtas(Sm &sm, Cycle now);
 
     mutable std::vector<std::unique_ptr<SmState>> states_;
+
+    /** Per-tick counters, cached at bind so the hot path skips the
+     * name-keyed stats lookup. */
+    Counter *stalledFound_ = nullptr;
+    Counter *noPartner_ = nullptr;
 };
 
 } // namespace finereg

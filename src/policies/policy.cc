@@ -20,13 +20,8 @@ void
 Policy::bind(Gpu &gpu)
 {
     gpu_ = &gpu;
+    dispatcher_ = &gpu.dispatcher();
     onBind();
-}
-
-CtaDispatcher &
-Policy::dispatcher() const
-{
-    return gpu_->dispatcher();
 }
 
 const GpuConfig &
@@ -38,6 +33,8 @@ Policy::config() const
 unsigned
 Policy::baselineActiveEstimate(const Sm &sm) const
 {
+    if (baselineEstimate_ != 0)
+        return baselineEstimate_;
     const Kernel &kernel = sm.context().kernel();
     const SmConfig &smc = config().sm;
     unsigned estimate = std::min(
@@ -52,7 +49,8 @@ Policy::baselineActiveEstimate(const Sm &sm) const
         estimate = std::min<std::uint64_t>(
             estimate, smc.shmemBytes / kernel.shmemPerCta());
     }
-    return std::max(1u, estimate);
+    baselineEstimate_ = std::max(1u, estimate);
+    return baselineEstimate_;
 }
 
 bool
@@ -63,21 +61,18 @@ Policy::pendingSaturated(const Sm &sm) const
                baselineActiveEstimate(sm);
 }
 
-std::vector<Cta *>
+const std::vector<Cta *> &
 Policy::collectStalledCtas(Sm &sm, Cycle now) const
 {
-    std::vector<Cta *> stalled;
-    for (auto &cta : sm.residentCtas()) {
-        if (cta->state() != CtaState::Active)
-            continue;
+    std::vector<Cta *> &stalled = stalledScratch_;
+    stalled.clear();
+    // activeCtaList() is the Active subset of residentCtas() in the same
+    // (launch-sequence) order, so the collected order is unchanged.
+    for (Cta *cta : sm.activeCtaList()) {
         if (cta->lastIssueCycle() == now)
             continue;
-        if (now >= cta->stallRecheck()) {
-            // Horizon expired: rescan the warps and cache the result.
-            cta->setStallRecheck(cta->fullyStalledUntil(now));
-        }
-        if (cta->stallRecheck() > now)
-            stalled.push_back(cta.get());
+        if (cta->stalledOnMemoryCached(now))
+            stalled.push_back(cta);
     }
     return stalled;
 }

@@ -38,9 +38,8 @@ RegDramPolicy::demoteToDram(Sm &sm, Cta &cta, Cycle now)
     sm.mem().offchipTransfer(now, contextBytes(sm),
                              TrafficClass::CtaContext);
 
-    const auto it = st.pendingReady.find(cta.gridId());
-    ds.inDram[cta.gridId()] = {it == st.pendingReady.end() ? now
-                                                           : it->second};
+    ds.inDram.set(cta.gridId(),
+                  st.pendingReady.readyCycle(cta.gridId(), now));
     st.pendingReady.erase(cta.gridId());
 }
 
@@ -63,18 +62,16 @@ Cta *
 RegDramPolicy::bestDramPendingCta(Sm &sm, Cycle at_most) const
 {
     DramState &ds = dram(sm);
+    // O(1) fast path: nothing in the DRAM tier can be ready by at_most.
+    if (ds.inDram.minReady() > at_most)
+        return nullptr;
     Cta *best = nullptr;
     Cycle best_ready = kNoCycle;
-    for (auto &cta : sm.residentCtas()) {
-        if (cta->state() != CtaState::Pending)
-            continue;
-        const auto it = ds.inDram.find(cta->gridId());
-        if (it == ds.inDram.end())
-            continue;
-        if (it->second.readyCycle <= at_most &&
-            it->second.readyCycle < best_ready) {
-            best = cta.get();
-            best_ready = it->second.readyCycle;
+    for (Cta *cta : sm.pendingCtaList()) {
+        const Cycle ready = ds.inDram.readyCycle(cta->gridId());
+        if (ready <= at_most && ready < best_ready) {
+            best = cta;
+            best_ready = ready;
         }
     }
     return best;
@@ -140,7 +137,7 @@ RegDramPolicy::switchStalledWithDramTier(Sm &sm, Cycle now)
         contextBytes(sm) > 16 * 1024 ? 0
                                      : config().policy.maxDramPendingCtas;
 
-    std::vector<Cta *> stalled = collectStalledCtas(sm, now);
+    const std::vector<Cta *> &stalled = collectStalledCtas(sm, now);
 
     for (Cta *cta : stalled) {
         const bool pending_saturated = pendingSaturated(sm);
@@ -149,7 +146,7 @@ RegDramPolicy::switchStalledWithDramTier(Sm &sm, Cycle now)
             st.rf->canAllocate(warp_regs) &&
             sm.shmemFree() >= kernel.shmemPerCta() &&
             sm.hasResidencyHeadroom()) {
-            st.pendingReady[cta->gridId()] = cta->estimateReadyCycle(now);
+            st.pendingReady.set(cta->gridId(), cta->estimateReadyCycle(now));
             sm.suspendCta(*cta, now);
             Cta *fresh = sm.launchCta(dispatcher().pop(), now);
             fresh->regAllocHandle = st.rf->allocate(warp_regs);
@@ -159,7 +156,7 @@ RegDramPolicy::switchStalledWithDramTier(Sm &sm, Cycle now)
         }
         // (b) Swap with a ready on-chip pending CTA.
         if (Cta *ready = bestPendingCta(sm, now)) {
-            st.pendingReady[cta->gridId()] = cta->estimateReadyCycle(now);
+            st.pendingReady.set(cta->gridId(), cta->estimateReadyCycle(now));
             sm.suspendCta(*cta, now);
             st.pendingReady.erase(ready->gridId());
             sm.resumeCta(*ready, now, switchLatency());
@@ -183,7 +180,7 @@ RegDramPolicy::switchStalledWithDramTier(Sm &sm, Cycle now)
         if (dram_room && sm.hasResidencyHeadroom() &&
             (dispatcher().hasWork() ||
              bestDramPendingCta(sm, now) != nullptr)) {
-            st.pendingReady[cta->gridId()] = ready_estimate;
+            st.pendingReady.set(cta->gridId(), ready_estimate);
             sm.suspendCta(*cta, now);
             demoteToDram(sm, *cta, now);
             // Budget context movement to ~8% of channel bandwidth: a
@@ -224,8 +221,9 @@ Cycle
 RegDramPolicy::nextEventCycle(const Sm &sm, Cycle now) const
 {
     Cycle next = VirtualThreadPolicy::nextEventCycle(sm, now);
-    for (const auto &[cta, entry] : dram(sm).inDram)
-        next = std::min(next, std::max(entry.readyCycle, now + 1));
+    const PendingReadySet &in_dram = dram(sm).inDram;
+    if (!in_dram.empty())
+        next = std::min(next, std::max(in_dram.minReady(), now + 1));
     return next;
 }
 

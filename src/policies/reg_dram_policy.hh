@@ -11,9 +11,9 @@
 #ifndef FINEREG_POLICIES_REG_DRAM_POLICY_HH
 #define FINEREG_POLICIES_REG_DRAM_POLICY_HH
 
-#include <unordered_map>
 #include <vector>
 
+#include "policies/pending_ready.hh"
 #include "policies/virtual_thread_policy.hh"
 
 namespace finereg
@@ -32,16 +32,11 @@ class RegDramPolicy : public VirtualThreadPolicy
     void onBind() override;
 
   private:
-    struct DramEntry
-    {
-        /** Cycle the CTA's operands are expected back (stall resolution). */
-        Cycle readyCycle = 0;
-    };
-
     struct DramState
     {
-        /** CTAs whose register context lives in DRAM. */
-        std::unordered_map<GridCtaId, DramEntry> inDram;
+        /** CTAs whose register context lives in DRAM, mapped to the cycle
+         * their operands are expected back (stall resolution). */
+        PendingReadySet inDram;
 
         /** Demotion rate limiter: context movement is budgeted to a
          * small fraction of channel bandwidth (Fig. 15 measures

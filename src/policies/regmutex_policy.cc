@@ -100,18 +100,18 @@ unsigned
 RegMutexPolicy::liveExtendedRegs(const Sm &sm, const Cta &cta) const
 {
     const unsigned brs = brsRegsPerThread(sm);
-    const auto &table = sm.context().liveTable();
+    // Mask of extended (SRP-served) registers: bits >= brs. One AND +
+    // popcount per warp instead of a per-bit walk.
+    const RegBitVec ext_mask(brs >= 64 ? 0ull : ~0ull << brs);
     unsigned live_ext = 0;
+    const auto &table = sm.context().liveTable();
     for (const auto &warp : cta.warps()) {
         if (warp->finished())
             continue;
         RegBitVec live;
         for (const auto &entry : warp->simtStack())
             live |= table.lookup(entry.pc);
-        live.forEach([&](RegIndex r) {
-            if (r >= brs)
-                ++live_ext;
-        });
+        live_ext += (live & ext_mask).count();
     }
     return live_ext;
 }
@@ -120,17 +120,15 @@ Cta *
 RegMutexPolicy::bestPendingCta(Sm &sm, Cycle at_most) const
 {
     SmState &st = state(sm);
+    // O(1) fast path: even the soonest pending CTA misses at_most.
+    if (st.pendingReady.minReady() > at_most)
+        return nullptr;
     Cta *best = nullptr;
     Cycle best_ready = kNoCycle;
-    for (auto &cta : sm.residentCtas()) {
-        if (cta->state() != CtaState::Pending)
-            continue;
-        const auto it = st.pendingReady.find(cta->gridId());
-        if (it == st.pendingReady.end())
-            continue;
-        const Cycle ready = it->second;
+    for (Cta *cta : sm.pendingCtaList()) {
+        const Cycle ready = st.pendingReady.readyCycle(cta->gridId());
         if (ready <= at_most && ready < best_ready) {
-            best = cta.get();
+            best = cta;
             best_ready = ready;
         }
     }
@@ -198,7 +196,7 @@ RegMutexPolicy::switchStalledCtas(Sm &sm, Cycle now)
         brsRegsPerThread(sm) * kernel.warpsPerCta();
     const unsigned ext_regs = extendedWarpRegsPerCta(sm);
 
-    std::vector<Cta *> stalled = collectStalledCtas(sm, now);
+    const std::vector<Cta *> &stalled = collectStalledCtas(sm, now);
 
     for (Cta *cta : stalled) {
         const bool pending_saturated = pendingSaturated(sm);
@@ -234,7 +232,7 @@ RegMutexPolicy::switchStalledCtas(Sm &sm, Cycle now)
             }
         }
 
-        st.pendingReady[cta->gridId()] = cta->estimateReadyCycle(now);
+        st.pendingReady.set(cta->gridId(), cta->estimateReadyCycle(now));
         sm.suspendCta(*cta, now);
         setSrpHolding(st, cta->gridId(), keep);
 
@@ -284,10 +282,9 @@ Cycle
 RegMutexPolicy::nextEventCycle(const Sm &sm, Cycle now) const
 {
     const SmState &st = state(sm);
-    Cycle next = kNoCycle;
-    for (const auto &[cta, ready] : st.pendingReady)
-        next = std::min(next, std::max(ready, now + 1));
-    return next;
+    if (st.pendingReady.empty())
+        return kNoCycle;
+    return std::max(st.pendingReady.minReady(), now + 1);
 }
 
 void

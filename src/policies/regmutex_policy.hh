@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "policies/pending_ready.hh"
 #include "policies/policy.hh"
 #include "sm/sm.hh"
 #include "regfile/register_file.hh"
@@ -53,7 +54,7 @@ class RegMutexPolicy : public Policy
         std::unique_ptr<RegFileAllocator> srpPool;
 
         /** Pending CTA -> estimated ready cycle. */
-        std::unordered_map<GridCtaId, Cycle> pendingReady;
+        PendingReadySet pendingReady;
 
         /** CTA -> SRP warp-registers currently held. */
         std::unordered_map<GridCtaId, unsigned> srpHeld;

@@ -34,20 +34,18 @@ Cta *
 VirtualThreadPolicy::bestPendingCta(Sm &sm, Cycle at_most) const
 {
     SmState &st = state(sm);
+    // O(1) fast path for the common per-tick probes: if even the soonest
+    // tracked CTA is not ready by at_most, no scan can find a winner.
+    if (st.pendingReady.minReady() > at_most)
+        return nullptr;
     Cta *best = nullptr;
     Cycle best_ready = kNoCycle;
-    for (auto &cta : sm.residentCtas()) {
-        if (cta->state() != CtaState::Pending)
-            continue;
-        const auto it = st.pendingReady.find(cta->gridId());
-        if (it == st.pendingReady.end()) {
-            // Not tracked here: e.g. demoted to the DRAM tier by a
-            // derived policy.
-            continue;
-        }
-        const Cycle ready = it->second;
+    for (Cta *cta : sm.pendingCtaList()) {
+        // Untracked here: e.g. demoted to the DRAM tier by a derived
+        // policy.
+        const Cycle ready = st.pendingReady.readyCycle(cta->gridId());
         if (ready <= at_most && ready < best_ready) {
-            best = cta.get();
+            best = cta;
             best_ready = ready;
         }
     }
@@ -102,7 +100,7 @@ VirtualThreadPolicy::switchStalledCtas(Sm &sm, Cycle now)
 
     // Candidates: active CTAs that issued nothing this cycle and whose
     // warps are all blocked on global memory.
-    std::vector<Cta *> stalled = collectStalledCtas(sm, now);
+    const std::vector<Cta *> &stalled = collectStalledCtas(sm, now);
 
     for (Cta *cta : stalled) {
         // Growing the resident set: a brand-new CTA takes over the slot
@@ -118,7 +116,7 @@ VirtualThreadPolicy::switchStalledCtas(Sm &sm, Cycle now)
         if (!can_grow && !ready_pending)
             continue;
 
-        st.pendingReady[cta->gridId()] = cta->estimateReadyCycle(now);
+        st.pendingReady.set(cta->gridId(), cta->estimateReadyCycle(now));
         sm.suspendCta(*cta, now);
 
         if (can_grow) {
@@ -151,11 +149,12 @@ VirtualThreadPolicy::onCtaFinished(Sm &sm, Cta &cta, Cycle)
 Cycle
 VirtualThreadPolicy::nextEventCycle(const Sm &sm, Cycle now) const
 {
+    // min over CTAs of max(ready, now+1) == max(minReady, now+1) when the
+    // set is non-empty: the clamp is monotone, so it commutes with min.
     const SmState &st = state(sm);
-    Cycle next = kNoCycle;
-    for (const auto &[cta, ready] : st.pendingReady)
-        next = std::min(next, std::max(ready, now + 1));
-    return next;
+    if (st.pendingReady.empty())
+        return kNoCycle;
+    return std::max(st.pendingReady.minReady(), now + 1);
 }
 
 void

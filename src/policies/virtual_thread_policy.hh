@@ -13,9 +13,9 @@
 #define FINEREG_POLICIES_VIRTUAL_THREAD_POLICY_HH
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "policies/pending_ready.hh"
 #include "policies/policy.hh"
 #include "sm/sm.hh"
 #include "regfile/register_file.hh"
@@ -49,7 +49,7 @@ class VirtualThreadPolicy : public Policy
     {
         std::unique_ptr<RegFileAllocator> rf;
         /** Pending CTA -> estimated ready cycle. */
-        std::unordered_map<GridCtaId, Cycle> pendingReady;
+        PendingReadySet pendingReady;
     };
 
     SmState &state(const Sm &sm) const

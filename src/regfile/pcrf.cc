@@ -1,5 +1,6 @@
 #include "regfile/pcrf.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "verify/sim_error.hh"
@@ -62,6 +63,54 @@ Pcrf::storeCta(GridCtaId cta, const std::vector<LiveReg> &regs)
     pointerTable_[cta] = line;
 }
 
+void
+Pcrf::storeCta(GridCtaId cta, const std::vector<RegBitVec> &warp_live,
+               unsigned total_regs)
+{
+    if (holds(cta))
+        raiseInvariant("pcrf-chain", "PCRF already holds a chain for this CTA",
+                       cta);
+    if (!canStore(total_regs)) {
+        std::ostringstream oss;
+        oss << "PCRF overflow storing " << total_regs << " registers with "
+            << freeEntries() << " free";
+        raiseInvariant("pcrf-capacity", oss.str(), cta);
+    }
+
+    storedCtas_->inc();
+    PointerLine line{0, total_regs};
+
+    unsigned prev = kInvalidId;
+    unsigned placed = 0;
+    for (std::size_t w = 0; w < warp_live.size(); ++w) {
+        warp_live[w].forEach([&](RegIndex reg) {
+            const std::size_t slot = occupied_.firstClear();
+            occupied_.set(slot);
+            Entry &entry = entries_[slot];
+            entry.valid = true;
+            entry.end = (++placed == total_regs);
+            entry.next = 0;
+            entry.warp = static_cast<WarpId>(w);
+            entry.reg = reg;
+            writes_->inc();
+
+            if (placed == 1)
+                line.head = static_cast<unsigned>(slot);
+            else
+                entries_[prev].next = static_cast<unsigned>(slot);
+            prev = static_cast<unsigned>(slot);
+        });
+    }
+    if (placed != total_regs) {
+        std::ostringstream oss;
+        oss << "PCRF store count mismatch: masks hold " << placed
+            << " registers, caller claimed " << total_regs;
+        raiseInvariant("pcrf-chain", oss.str(), cta);
+    }
+
+    pointerTable_[cta] = line;
+}
+
 std::vector<LiveReg>
 Pcrf::restoreCta(GridCtaId cta)
 {
@@ -93,6 +142,38 @@ Pcrf::restoreCta(GridCtaId cta)
 
     pointerTable_.erase(it);
     return regs;
+}
+
+void
+Pcrf::restoreCtaLastPositions(GridCtaId cta, std::vector<unsigned> &last_pos)
+{
+    std::fill(last_pos.begin(), last_pos.end(), 0u);
+
+    const auto it = pointerTable_.find(cta);
+    if (it == pointerTable_.end())
+        raiseInvariant("pcrf-chain", "PCRF restore of absent CTA", cta);
+
+    restoredCtas_->inc();
+    unsigned slot = it->second.head;
+    for (unsigned i = 0; i < it->second.count; ++i) {
+        Entry &entry = entries_[slot];
+        if (!entry.valid) {
+            std::ostringstream oss;
+            oss << "PCRF chain walked into invalid entry " << slot;
+            raiseInvariant("pcrf-chain", oss.str(), cta);
+        }
+        reads_->inc();
+        if (entry.warp < last_pos.size())
+            last_pos[entry.warp] = i + 1;
+        entry.valid = false;
+        occupied_.reset(slot);
+        const bool at_end = entry.end;
+        slot = entry.next;
+        if (at_end && i + 1 != it->second.count)
+            raiseInvariant("pcrf-chain", "PCRF chain ended early", cta);
+    }
+
+    pointerTable_.erase(it);
 }
 
 std::vector<unsigned>

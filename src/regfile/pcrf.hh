@@ -76,12 +76,34 @@ class Pcrf
     void storeCta(GridCtaId cta, const std::vector<LiveReg> &regs);
 
     /**
+     * Hot-path store: the same chain, built straight from per-warp live
+     * masks (indexed by warp id) without materializing a LiveReg vector.
+     * Registers enter the chain warp-major in ascending register order —
+     * exactly the order the vector form receives from the RMU — so slot
+     * assignment and chain layout are bit-identical to storeCta(regs).
+     * @p total_regs must equal the sum of the mask popcounts.
+     */
+    void storeCta(GridCtaId cta, const std::vector<RegBitVec> &warp_live,
+                  unsigned total_regs);
+
+    /**
      * Walk the chain of @p cta, restore its registers to the ACRF, and
      * free the entries.
      *
      * @return the registers in chain order.
      */
     std::vector<LiveReg> restoreCta(GridCtaId cta);
+
+    /**
+     * Hot-path restore: frees the chain of @p cta exactly like
+     * restoreCta(), but instead of materializing the register vector it
+     * records, per warp, the 1-based chain position of the warp's last
+     * register (0 = the warp has none in the chain) — the only datum the
+     * wake-latency model consumes. @p last_pos is zeroed and must already
+     * be sized to the CTA's warp count.
+     */
+    void restoreCtaLastPositions(GridCtaId cta,
+                                 std::vector<unsigned> &last_pos);
 
     /** Chain entry indices of @p cta in traversal order (for tests). */
     std::vector<unsigned> chainOf(GridCtaId cta) const;

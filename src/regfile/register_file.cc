@@ -35,30 +35,31 @@ RegFileAllocator::allocate(unsigned warp_regs)
                       " warp-regs exceeds free space ", freeWarpRegs());
     }
     used_ += warp_regs;
-    const unsigned handle = nextHandle_++;
-    allocations_[handle] = warp_regs;
-    return handle;
+    slots_.push_back(warp_regs);
+    ++live_;
+    return static_cast<unsigned>(slots_.size()); // handle = index + 1
 }
 
 void
 RegFileAllocator::free(unsigned handle)
 {
-    const auto it = allocations_.find(handle);
-    if (it == allocations_.end())
+    if (handle == 0 || handle > slots_.size() ||
+        slots_[handle - 1] == kFreedSlot)
         failAllocator("rf-handle", name_, ": free of unknown handle ", handle);
-    used_ -= it->second;
-    allocations_.erase(it);
+    used_ -= slots_[handle - 1];
+    slots_[handle - 1] = kFreedSlot;
+    --live_;
 }
 
 unsigned
 RegFileAllocator::allocationSize(unsigned handle) const
 {
-    const auto it = allocations_.find(handle);
-    if (it == allocations_.end()) {
+    if (handle == 0 || handle > slots_.size() ||
+        slots_[handle - 1] == kFreedSlot) {
         failAllocator("rf-handle", name_, ": size query of unknown handle ",
                       handle);
     }
-    return it->second;
+    return slots_[handle - 1];
 }
 
 void

@@ -10,7 +10,7 @@
 #define FINEREG_REGFILE_REGISTER_FILE_HH
 
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -48,17 +48,29 @@ class RegFileAllocator
     unsigned allocationSize(unsigned handle) const;
 
     /** Number of outstanding allocations. */
-    std::size_t numAllocations() const { return allocations_.size(); }
+    std::size_t numAllocations() const { return live_; }
 
     /** Resize capacity (sensitivity sweeps); requires used() to fit. */
     void resize(std::uint64_t bytes);
 
   private:
+    /** Slot value marking a freed handle (an allocation can never hold
+     * this many warp-regs; capacities are far smaller). */
+    static constexpr unsigned kFreedSlot = ~0u;
+
     std::string name_;
     unsigned capacity_;
     unsigned used_ = 0;
-    unsigned nextHandle_ = 1;
-    std::unordered_map<unsigned, unsigned> allocations_;
+
+    /**
+     * Allocation sizes indexed by handle - 1. Handles are monotonic and
+     * never reused — the auditor's rf-handle teeth depend on a dangling
+     * handle staying detectable for the whole run — so the table is an
+     * append-only slab with freed slots tombstoned: O(1) allocate/free/
+     * size with no hashing on the CTA-switch hot path.
+     */
+    std::vector<unsigned> slots_;
+    std::size_t live_ = 0;
 };
 
 } // namespace finereg

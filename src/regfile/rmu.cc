@@ -11,19 +11,24 @@ Rmu::Rmu(const RmuConfig &config, const KernelContext &context,
          MemHierarchy &mem, StatGroup &stats, FaultInjector *fault)
     : config_(config), context_(&context), mem_(&mem),
       cache_(config.bitvecCacheEntries, stats), fault_(fault),
-      gathers_(&stats.counter("rmu.gathers"))
+      gathers_(&stats.counter("rmu.gathers")),
+      wordOps_(&stats.counter("rmu.bitvec_word_ops"))
 {
 }
 
-Rmu::Gather
+const Rmu::Gather &
 Rmu::gatherLiveRegs(const Cta &cta, Cycle now)
 {
     gathers_->inc();
-    Gather out;
+    Gather &out = scratch_;
+    out.totalRegs = 0;
+    out.cacheMisses = 0;
     out.bitvecReadyCycle = now;
+    out.warpLive.assign(cta.warps().size(), RegBitVec{});
 
     const unsigned regs_per_thread =
         context_->kernel().regsPerThread();
+    std::uint64_t word_ops = 0;
 
     for (const auto &warp : cta.warps()) {
         if (warp->finished())
@@ -38,6 +43,7 @@ Rmu::gatherLiveRegs(const Cta &cta, Cycle now)
             // paths each need their registers preserved.
             for (const auto &entry : warp->simtStack()) {
                 live |= context_->liveTable().lookup(entry.pc);
+                ++word_ops; // one 64-bit union per stack level
                 bool hit = cache_.access(entry.pc);
                 if (hit && fault_ && fault_->forceBitvecMiss())
                     hit = false; // injected fault: treat the hit as a miss
@@ -60,11 +66,12 @@ Rmu::gatherLiveRegs(const Cta &cta, Cycle now)
             live.reset(static_cast<RegIndex>(config_.dropLiveReg));
         }
 
-        live.forEach([&](RegIndex r) {
-            out.regs.push_back({warp->id(), r});
-        });
+        out.warpLive[warp->id()] = live;
+        out.totalRegs += live.count();
+        ++word_ops; // one popcount per warp mask
     }
 
+    wordOps_->inc(word_ops);
     return out;
 }
 

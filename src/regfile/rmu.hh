@@ -48,21 +48,58 @@ class Rmu
 
     struct Gather
     {
-        /** Live warp-registers of the CTA, warp-major order. */
-        std::vector<LiveReg> regs;
+        /**
+         * Live-register mask per warp, indexed by warp id (finished warps
+         * hold an empty mask). The 64-bit word form flows end-to-end:
+         * the PCRF stores chains straight from it and CTA eviction uses
+         * it as the value keep-mask, with no per-register vector built
+         * in between.
+         */
+        std::vector<RegBitVec> warpLive;
+
+        /** Sum of warpLive popcounts (chain length of the backup). */
+        unsigned totalRegs = 0;
 
         /** Cycle at which all needed bit vectors are on-chip. */
         Cycle bitvecReadyCycle = 0;
 
         unsigned cacheMisses = 0;
+
+        /**
+         * Visit every live (warp, reg) pair warp-major in ascending
+         * register order — the chain order of the old vector encoding.
+         */
+        template <typename Fn>
+        void
+        forEachReg(Fn &&fn) const
+        {
+            for (std::size_t w = 0; w < warpLive.size(); ++w)
+                warpLive[w].forEach([&](RegIndex r) {
+                    fn(static_cast<WarpId>(w), r);
+                });
+        }
+
+        /** Materialize the chain-order LiveReg vector (tests, cold paths). */
+        std::vector<LiveReg>
+        toVector() const
+        {
+            std::vector<LiveReg> regs;
+            regs.reserve(totalRegs);
+            forEachReg([&](WarpId w, RegIndex r) { regs.push_back({w, r}); });
+            return regs;
+        }
     };
 
     /**
      * Determine the live register set of a stalled CTA. For warps that are
      * mid-divergence the union of liveness over all SIMT-stack PCs is used
      * (every path's registers must survive).
+     *
+     * Returns a reference to an internal scratch Gather, valid until the
+     * next call: the switch loop probes a gather per stalled CTA per tick,
+     * and reusing the buffer keeps the hot path allocation-free.
      */
-    Gather gatherLiveRegs(const Cta &cta, Cycle now);
+    const Gather &gatherLiveRegs(const Cta &cta, Cycle now);
 
     /**
      * Latency of moving @p n_regs through the PCRF port: one fixed
@@ -90,6 +127,8 @@ class Rmu
     BitvecCache cache_;
     FaultInjector *fault_;
     Counter *gathers_;
+    Counter *wordOps_;
+    Gather scratch_;
 };
 
 } // namespace finereg

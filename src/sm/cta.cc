@@ -74,6 +74,40 @@ Cta::fullyStalledUntil(Cycle now) const
     return std::max(until, now + 1);
 }
 
+bool
+Cta::rescanStall(Cycle now) const
+{
+    // Rescan, and record how long the verdict holds absent a mutation
+    // (mutations reset stallHorizon_ to 0, forcing the next call here).
+    stallStalled_ = false;
+    stallHorizon_ = kNoCycle;
+    bool any_mem_blocked = false;
+    Cycle until = kNoCycle;
+    for (const auto &warp : warps_) {
+        if (warp->finished() || warp->atBarrier())
+            continue;
+        if (warp->earliestIssue() > now) {
+            // Issue shadow: not a stall until the shadow expires.
+            stallHorizon_ = warp->earliestIssue();
+            return false;
+        }
+        const Instruction &instr = warp->currentInstr();
+        if (!warp->scoreboard().blockedOnMemory(instr, now)) {
+            // An issuable (or non-memory-blocked) warp stays that way
+            // until it issues — which invalidates the memo.
+            return false;
+        }
+        any_mem_blocked = true;
+        Scoreboard &sb = const_cast<Scoreboard &>(warp->scoreboard());
+        until = std::min(until, sb.readyCycle(instr, now));
+    }
+    if (!any_mem_blocked)
+        return false;
+    stallStalled_ = true;
+    stallHorizon_ = std::max(until, now + 1);
+    return true;
+}
+
 Cycle
 Cta::estimateReadyCycle(Cycle now) const
 {

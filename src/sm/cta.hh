@@ -46,7 +46,12 @@ class Cta
     unsigned launchSeq() const { return launchSeq_; }
 
     CtaState state() const { return state_; }
-    void setState(CtaState s) { state_ = s; }
+    void
+    setState(CtaState s)
+    {
+        state_ = s;
+        invalidateStallCache();
+    }
 
     std::vector<std::unique_ptr<Warp>> &warps() { return warps_; }
     const std::vector<std::unique_ptr<Warp>> &warps() const { return warps_; }
@@ -54,7 +59,12 @@ class Cta
     unsigned numWarps() const { return warps_.size(); }
 
     unsigned finishedWarps() const { return finishedWarps_; }
-    void noteWarpFinished() { ++finishedWarps_; }
+    void
+    noteWarpFinished()
+    {
+        ++finishedWarps_;
+        invalidateStallCache();
+    }
     bool allWarpsFinished() const { return finishedWarps_ == warps_.size(); }
 
     const KernelContext &context() const { return *context_; }
@@ -68,7 +78,12 @@ class Cta
      *         arrived); the caller must then wake the waiting warps.
      */
     bool arriveAtBarrier();
-    void releaseBarrier() { barrierCount_ = 0; }
+    void
+    releaseBarrier()
+    {
+        barrierCount_ = 0;
+        invalidateStallCache();
+    }
 
     // Stall detection and probes ---------------------------------------------
 
@@ -88,11 +103,33 @@ class Cta
 
     /** Last cycle any warp of this CTA issued (O(1), kept by the SM). */
     Cycle lastIssueCycle() const { return lastIssue_; }
-    void noteIssue(Cycle now) { lastIssue_ = now; }
+    void
+    noteIssue(Cycle now)
+    {
+        lastIssue_ = now;
+        invalidateStallCache();
+    }
 
-    /** Cached fully-stalled horizon for the policies' stall scans. */
-    Cycle stallRecheck() const { return stallRecheck_; }
-    void setStallRecheck(Cycle c) { stallRecheck_ = c; }
+    /**
+     * Memoised fullyStalledOnMemory: the last scan's verdict is reused
+     * while no warp of this CTA mutated and @p now is before the cached
+     * horizon (earliest wake for a stalled CTA, issue-shadow expiry for
+     * a not-yet-issuable one, forever for a CTA with an issuable warp —
+     * time alone can never turn an issuable warp into a blocked one).
+     * Every mutation path (issue, earliest-issue wake, barrier traffic,
+     * warp finish, state change) resets the horizon, so the cached
+     * verdict is always identical to a fresh warp scan.
+     */
+    bool
+    stalledOnMemoryCached(Cycle now) const
+    {
+        if (now < stallHorizon_)
+            return stallStalled_; // memo hit: the hot path
+        return rescanStall(now);
+    }
+
+    /** Drop the stall memo after a warp-visible state change. */
+    void invalidateStallCache() { stallHorizon_ = 0; }
 
     /**
      * Cycle at which the CTA is worth reactivating: when at least half of
@@ -131,6 +168,15 @@ class Cta
     /** Registers-in-ACRF bookkeeping handle for policies. */
     unsigned regAllocHandle = kInvalidId;
 
+    /**
+     * Pending-ready mirror for single-tier policies: the estimated
+     * operand-ready cycle while this CTA is tracked as Pending, kNoCycle
+     * when untracked. Shadows the owning policy's PendingReadySet (kept
+     * in lockstep at every set/erase) so the per-tick restore scans read
+     * a field instead of probing a hash map.
+     */
+    Cycle policyReadyCycle = kNoCycle;
+
   private:
     GridCtaId gridId_;
     unsigned launchSeq_;
@@ -144,8 +190,14 @@ class Cta
 
     Cycle episodeStart_ = 0;
     bool episodeOpen_ = false;
+    /** Slow path of stalledOnMemoryCached: scan warps, refresh memo. */
+    bool rescanStall(Cycle now) const;
+
     Cycle lastIssue_ = 0;
-    Cycle stallRecheck_ = 0;
+
+    // Stall memo (see stalledOnMemoryCached). Horizon 0 = invalid.
+    mutable Cycle stallHorizon_ = 0;
+    mutable bool stallStalled_ = false;
 };
 
 } // namespace finereg

@@ -28,7 +28,11 @@ Gpu::Gpu(const GpuConfig &config, const Kernel &kernel,
                  : nullptr),
       policy_(policy ? std::move(policy) : makePolicy(config)),
       cyclesCtr_(&stats_.counter("gpu.cycles")),
-      depletionStallCycles_(&stats_.counter("gpu.depletion_stall_cycles"))
+      depletionStallCycles_(&stats_.counter("gpu.depletion_stall_cycles")),
+      loopIterations_(&stats_.counter("gpu.loop_iterations")),
+      skippedCycles_(&stats_.counter("gpu.skipped_cycles")),
+      fullAudits_(&stats_.counter("verify.full_audits")),
+      edgeAudits_(&stats_.counter("verify.edge_audits"))
 {
     mem_->setFaultInjector(fault_.get());
     sms_.reserve(config_.numSms);
@@ -42,6 +46,10 @@ Gpu::Gpu(const GpuConfig &config, const Kernel &kernel,
         sms_.back()->enableUsageTracking(config_.usageTracking);
         sms_.back()->enableStallProbe(config_.stallProbe);
         sms_.back()->enableValueTracking(config_.trackValues);
+        // Scan/step modes reproduce the pre-wheel path exactly: no unit
+        // announces events, so the wheel stays empty and free.
+        if (config_.idleSkip == IdleSkipMode::Wheel)
+            sms_.back()->setEventWheel(&wheel_);
     }
     if (config_.trackValues) {
         archState_ = std::make_shared<ArchState>();
@@ -65,6 +73,10 @@ Gpu::run()
     DeadlockWatchdog watchdog(config_.verify.watchdogCycles);
     InvariantAuditor auditor(config_.verify.auditInterval);
     Cycle next_audit = auditor.enabled() ? auditor.interval() : kNoCycle;
+    const unsigned edge_period =
+        auditor.edgeSamplePeriod(config_.verify.auditEdgeEvery);
+    std::uint64_t edges_seen = 0;
+    const bool use_wheel = config_.idleSkip == IdleSkipMode::Wheel;
 
     const std::shared_ptr<CancelToken> &cancel = config_.verify.cancel;
 
@@ -114,6 +126,11 @@ Gpu::run()
             break;
         }
 
+        // Discard wake events at or before this cycle: the tick below
+        // observes the state they announced, so only future events matter.
+        if (use_wheel)
+            wheel_.beginTick(now_);
+
         unsigned issued = 0;
         for (auto &sm : sms_)
             issued += sm->tick(now_);
@@ -148,16 +165,55 @@ Gpu::run()
 
         if (now_ >= next_audit) {
             auditor.audit(*this, now_);
+            fullAudits_->inc();
             next_audit = now_ + auditor.interval();
+        }
+
+        // Sampled edge auditing: CTA state transitions (launch, suspend,
+        // resume, finish) are where switching invariants break, so each
+        // marks its SM and every edge_period-th mark triggers a targeted
+        // audit here — after the policy tick, at a consistent state point.
+        if (auditor.enabled()) {
+            for (auto &sm : sms_) {
+                if (sm->takeStateEdge() && ++edges_seen % edge_period == 0) {
+                    auditor.auditSm(*this, *sm, now_);
+                    edgeAudits_->inc();
+                }
+            }
         }
 
         // Decide how far to advance.
         Cycle next = now_ + 1;
         if (issued == 0) {
             Cycle wake = kNoCycle;
-            for (auto &sm : sms_) {
-                wake = std::min(wake, sm->nextWakeCycle(now_));
-                wake = std::min(wake, policy_->nextEventCycle(*sm, now_));
+            if (use_wheel) {
+                // Every scan-visible wake was announced to the wheel when
+                // it was recorded, so the wheel's earliest future event is
+                // never later than the scan's answer; extra (stale) wheel
+                // events only cause harmless no-op ticks.
+                wake = wheel_.nextEvent();
+                for (auto &sm : sms_)
+                    wake = std::min(wake,
+                                    policy_->nextEventCycle(*sm, now_));
+#ifndef NDEBUG
+                Cycle scan = kNoCycle;
+                for (auto &sm : sms_) {
+                    scan = std::min(scan, sm->nextWakeCycle(now_));
+                    scan = std::min(scan,
+                                    policy_->nextEventCycle(*sm, now_));
+                }
+                if (scan != kNoCycle && wake > scan) {
+                    FINEREG_PANIC("event wheel missed a wake: wheel says ",
+                                  wake, " but a scan finds ", scan,
+                                  " at cycle ", now_);
+                }
+#endif
+            } else {
+                for (auto &sm : sms_) {
+                    wake = std::min(wake, sm->nextWakeCycle(now_));
+                    wake = std::min(wake,
+                                    policy_->nextEventCycle(*sm, now_));
+                }
             }
             if (wake == kNoCycle) {
                 // No scheduled event: advance conservatively; the policy
@@ -174,7 +230,15 @@ Gpu::run()
                                              watchdog.lastProgress()));
                 }
             } else {
-                next = std::max(now_ + 1, wake);
+                // StepEveryCycle is the reference mode: a scheduled wake
+                // exists, but advance a single cycle anyway so every tick
+                // runs. (The no-event 1000-cycle jump above is kept in all
+                // modes — stepping it by 1 would defeat deadlock
+                // detection.)
+                if (config_.idleSkip == IdleSkipMode::StepEveryCycle)
+                    next = now_ + 1;
+                else
+                    next = std::max(now_ + 1, wake);
                 idle_streak = 0;
             }
         } else {
@@ -192,8 +256,13 @@ Gpu::run()
             }
         }
         cyclesCtr_->inc(delta);
+        loopIterations_->inc();
+        skippedCycles_->inc(delta - 1);
         now_ = next;
     }
+
+    stats_.counter("gpu.wheel_pushes").inc(wheel_.pushes());
+    stats_.counter("gpu.wheel_pops").inc(wheel_.pops());
 
     result.cycles = now_;
     result.completedCtas = dispatcher_.completed();

@@ -16,6 +16,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "core/event_wheel.hh"
 #include "core/gpu_config.hh"
 #include "mem/mem_hierarchy.hh"
 #include "policies/policy.hh"
@@ -93,10 +94,15 @@ class Gpu
     std::unique_ptr<FaultInjector> fault_;
     std::unique_ptr<Policy> policy_;
     std::shared_ptr<ArchState> archState_;
+    EventWheel wheel_;
     Cycle now_ = 0;
 
     Counter *cyclesCtr_;
     Counter *depletionStallCycles_;
+    Counter *loopIterations_;
+    Counter *skippedCycles_;
+    Counter *fullAudits_;
+    Counter *edgeAudits_;
 };
 
 } // namespace finereg

@@ -47,12 +47,11 @@ Sm::hasResidencyHeadroom() const
 {
     const Kernel &kernel = context_->kernel();
     return ctas_.size() + 1 <= config_.maxResidentCtas &&
-           residentWarpCount() + kernel.warpsPerCta() <=
-               config_.maxResidentWarps;
+           residentWarps_ + kernel.warpsPerCta() <= config_.maxResidentWarps;
 }
 
 unsigned
-Sm::pendingCtaCount() const
+Sm::scanPendingCtaCount() const
 {
     unsigned n = 0;
     for (const auto &cta : ctas_)
@@ -61,12 +60,45 @@ Sm::pendingCtaCount() const
 }
 
 unsigned
-Sm::residentWarpCount() const
+Sm::scanResidentWarpCount() const
 {
     unsigned n = 0;
     for (const auto &cta : ctas_)
         n += cta->numWarps();
     return n;
+}
+
+unsigned
+Sm::scanActiveLiveWarps() const
+{
+    unsigned n = 0;
+    for (const auto &cta : ctas_) {
+        if (cta->state() == CtaState::Active)
+            n += cta->numWarps() - cta->finishedWarps();
+    }
+    return n;
+}
+
+void
+Sm::listInsert(std::vector<Cta *> &list, Cta *cta)
+{
+    const auto it = std::lower_bound(
+        list.begin(), list.end(), cta, [](const Cta *a, const Cta *b) {
+            return a->launchSeq() < b->launchSeq();
+        });
+    list.insert(it, cta);
+}
+
+void
+Sm::listRemove(std::vector<Cta *> &list, Cta *cta)
+{
+    const auto it = std::lower_bound(
+        list.begin(), list.end(), cta, [](const Cta *a, const Cta *b) {
+            return a->launchSeq() < b->launchSeq();
+        });
+    if (it == list.end() || *it != cta)
+        FINEREG_PANIC("CTA ", cta->gridId(), " missing from state list");
+    list.erase(it);
 }
 
 Cta *
@@ -88,14 +120,20 @@ Sm::launchCta(GridCtaId grid_id, Cycle now)
     if (trackValues_)
         raw->enableValueTracking();
     ctas_.push_back(std::move(cta));
+    activeList_.push_back(raw); // launchSeq grows monotonically: stays sorted
 
     shmemUsed_ += kernel.shmemPerCta();
     ++activeCtas_;
     activeWarpSlots_ += kernel.warpsPerCta();
     activeThreadSlots_ += kernel.threadsPerCta();
+    residentWarps_ += kernel.warpsPerCta();
+    activeLiveWarps_ += kernel.warpsPerCta();
+    stateEdge_ = true;
 
-    for (auto &warp : raw->warps())
+    for (auto &warp : raw->warps()) {
+        warp->bindEventWheel(wheel_);
         warp->setEarliestIssue(now + 1);
+    }
     addWarpToSchedulers(*raw);
     raw->startExecutionEpisode(now);
     return raw;
@@ -109,9 +147,14 @@ Sm::suspendCta(Cta &cta, Cycle now)
     const Kernel &kernel = context_->kernel();
     removeWarpFromSchedulers(cta);
     cta.setState(CtaState::Pending);
+    listRemove(activeList_, &cta);
+    listInsert(pendingList_, &cta);
     --activeCtas_;
+    ++pendingCtas_;
     activeWarpSlots_ -= kernel.warpsPerCta();
     activeThreadSlots_ -= kernel.threadsPerCta();
+    activeLiveWarps_ -= cta.numWarps() - cta.finishedWarps();
+    stateEdge_ = true;
 
     if (stallProbe_) {
         const Cycle episode = cta.closeExecutionEpisode(now);
@@ -131,9 +174,14 @@ Sm::resumeCta(Cta &cta, Cycle now, Cycle wake_latency)
         FINEREG_PANIC("resume without active slots on SM ", id_);
     const Kernel &kernel = context_->kernel();
     cta.setState(CtaState::Active);
+    listRemove(pendingList_, &cta);
+    listInsert(activeList_, &cta);
     ++activeCtas_;
+    --pendingCtas_;
     activeWarpSlots_ += kernel.warpsPerCta();
     activeThreadSlots_ += kernel.threadsPerCta();
+    activeLiveWarps_ += cta.numWarps() - cta.finishedWarps();
+    stateEdge_ = true;
     for (auto &warp : cta.warps()) {
         if (!warp->finished())
             warp->setEarliestIssue(now + wake_latency);
@@ -160,6 +208,7 @@ Sm::destroyCta(Cta &cta)
         [&](const std::unique_ptr<Cta> &p) { return p.get() == &cta; });
     if (it == ctas_.end())
         FINEREG_PANIC("destroyCta: CTA not resident on SM ", id_);
+    residentWarps_ -= cta.numWarps();
     ctas_.erase(it);
 }
 
@@ -291,6 +340,7 @@ Sm::issueInstr(Warp &warp, Cycle now)
             warp.scoreboard().recordWrite(
                 static_cast<RegIndex>(instr.dst), now + config_.aluLatency,
                 false);
+            scheduleWake(now + config_.aluLatency);
         }
         warp.setPc(warp.pc() + kInstrBytes);
         break;
@@ -301,6 +351,7 @@ Sm::issueInstr(Warp &warp, Cycle now)
             warp.scoreboard().recordWrite(
                 static_cast<RegIndex>(instr.dst), now + config_.sfuLatency,
                 false);
+            scheduleWake(now + config_.sfuLatency);
         }
         warp.setPc(warp.pc() + kInstrBytes);
         break;
@@ -367,6 +418,7 @@ Sm::execMemory(Warp &warp, const Instruction &instr, Cycle now)
             warp.scoreboard().recordWrite(
                 static_cast<RegIndex>(instr.dst),
                 now + config_.sharedLatency, false);
+            scheduleWake(now + config_.sharedLatency);
         }
         return;
     }
@@ -389,6 +441,7 @@ Sm::execMemory(Warp &warp, const Instruction &instr, Cycle now)
     if (isLoad(instr.op) && instr.dst >= 0) {
         warp.scoreboard().recordWrite(static_cast<RegIndex>(instr.dst),
                                       result.completeCycle, true);
+        scheduleWake(result.completeCycle);
     }
 }
 
@@ -412,6 +465,12 @@ Sm::finishWarp(Warp &warp, Cycle now)
         warp.exitCurrentPath();
     }
     cta->noteWarpFinished();
+    --activeLiveWarps_; // finishing warps are always on an Active CTA
+    if (wheel_) {
+        // Retire chains (further pastEnd warps, released barriers, the
+        // policy reacting to a finished CTA) need a tick right after.
+        wheel_->schedule(now + 1);
+    }
 
     // A warp leaving can release a barrier the rest of the CTA waits on.
     if (!cta->allWarpsFinished()) {
@@ -441,10 +500,14 @@ Sm::finishWarp(Warp &warp, Cycle now)
         --activeCtas_;
         activeWarpSlots_ -= kernel.warpsPerCta();
         activeThreadSlots_ -= kernel.threadsPerCta();
+        listRemove(activeList_, cta);
+    } else if (cta->state() == CtaState::Pending) {
+        listRemove(pendingList_, cta);
     }
     removeWarpFromSchedulers(*cta);
     cta->setState(CtaState::Done);
     shmemUsed_ -= kernel.shmemPerCta();
+    stateEdge_ = true;
     finished_.push_back(cta);
 }
 
@@ -475,16 +538,9 @@ Sm::nextWakeCycle(Cycle now) const
 void
 Sm::accumulateOccupancy(Cycle delta)
 {
-    const Kernel &kernel = context_->kernel();
-    std::uint64_t resident = ctas_.size();
-    std::uint64_t active_threads = 0;
-    for (const auto &cta : ctas_) {
-        if (cta->state() == CtaState::Active) {
-            const unsigned live_warps = cta->numWarps() - cta->finishedWarps();
-            active_threads += std::uint64_t(live_warps) * kWarpSize;
-        }
-    }
-    (void)kernel;
+    const std::uint64_t resident = ctas_.size();
+    const std::uint64_t active_threads =
+        std::uint64_t(activeLiveWarps_) * kWarpSize;
     residentCtaCycles_->inc(resident * delta);
     activeCtaCycles_->inc(std::uint64_t(activeCtas_) * delta);
     activeThreadCycles_->inc(active_threads * delta);

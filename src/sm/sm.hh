@@ -18,6 +18,7 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "core/event_wheel.hh"
 #include "mem/mem_hierarchy.hh"
 #include "sm/cta.hh"
 #include "sm/kernel_context.hh"
@@ -127,9 +128,34 @@ class Sm
         return ctas_;
     }
 
+    /**
+     * Active CTAs in residentCtas() order (launch-sequence sorted) —
+     * the policies' per-tick stall scans iterate this instead of
+     * filtering the full resident set. Maintained at every state
+     * transition; the invariant auditor cross-checks it.
+     */
+    const std::vector<Cta *> &activeCtaList() const { return activeList_; }
+
+    /** Pending CTAs in residentCtas() order (launch-sequence sorted). */
+    const std::vector<Cta *> &pendingCtaList() const { return pendingList_; }
+
     unsigned activeCtaCount() const { return activeCtas_; }
-    unsigned pendingCtaCount() const;
-    unsigned residentWarpCount() const;
+
+    /** Pending CTA count, maintained incrementally (hot path: policy
+     * saturation checks run it once per stalled CTA per tick). */
+    unsigned pendingCtaCount() const { return pendingCtas_; }
+
+    /** Resident warp count, maintained incrementally. */
+    unsigned residentWarpCount() const { return residentWarps_; }
+
+    /** Unfinished warps of Active CTAs (occupancy accounting). */
+    unsigned activeLiveWarps() const { return activeLiveWarps_; }
+
+    // O(resident) reference scans for the incremental counters above;
+    // the invariant auditor cross-checks them every audit.
+    unsigned scanPendingCtaCount() const;
+    unsigned scanResidentWarpCount() const;
+    unsigned scanActiveLiveWarps() const;
 
     /** CTAs that finished during the last tick; caller takes ownership of
      * the notification (the CTA objects remain resident until destroy). */
@@ -160,6 +186,26 @@ class Sm
 
     StatGroup &stats() { return *stats_; }
 
+    /**
+     * Attach the Gpu's idle-skip event wheel. Warps are bound at launch;
+     * the SM itself announces scoreboard writeback completions and retire
+     * chains.
+     */
+    void setEventWheel(EventWheel *wheel) { wheel_ = wheel; }
+
+    /**
+     * True when a CTA state transition (launch, suspend, resume, whole-CTA
+     * finish) happened since the last call; consumed by the sampled
+     * invariant auditor to audit every transition edge.
+     */
+    bool
+    takeStateEdge()
+    {
+        const bool edge = stateEdge_;
+        stateEdge_ = false;
+        return edge;
+    }
+
   private:
     bool warpIssuable(Warp *warp, Cycle now);
     void issueInstr(Warp &warp, Cycle now);
@@ -169,6 +215,13 @@ class Sm
     void finishWarp(Warp &warp, Cycle now);
     void addWarpToSchedulers(Cta &cta);
     void removeWarpFromSchedulers(Cta &cta);
+
+    void
+    scheduleWake(Cycle cycle)
+    {
+        if (wheel_)
+            wheel_->schedule(cycle);
+    }
     void trackUsage(const Warp &warp, const Instruction &instr);
     void checkStallEpisodes(Cycle now);
 
@@ -179,15 +232,26 @@ class Sm
     StatGroup *stats_;
     Rng rng_;
 
+    /** Insert @p cta into launch-seq-sorted @p list / remove it. */
+    static void listInsert(std::vector<Cta *> &list, Cta *cta);
+    static void listRemove(std::vector<Cta *> &list, Cta *cta);
+
     std::vector<WarpScheduler> schedulers_;
     std::vector<std::unique_ptr<Cta>> ctas_;
     std::vector<Cta *> finished_;
+    std::vector<Cta *> activeList_;
+    std::vector<Cta *> pendingList_;
 
     unsigned activeCtas_ = 0;
     unsigned activeWarpSlots_ = 0;
     unsigned activeThreadSlots_ = 0;
+    unsigned pendingCtas_ = 0;
+    unsigned residentWarps_ = 0;
+    unsigned activeLiveWarps_ = 0;
     std::uint64_t shmemUsed_ = 0;
     unsigned launchSeq_ = 0;
+    bool stateEdge_ = false;
+    EventWheel *wheel_ = nullptr;
 
     unsigned memIssuedThisCycle_ = 0;
     unsigned issuedLastTick_ = 0;

@@ -1,11 +1,22 @@
 #include "sm/warp.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/log.hh"
+#include "sm/cta.hh"
 
 namespace finereg
 {
+
+void
+Warp::setEarliestIssue(Cycle c)
+{
+    earliestIssue_ = std::max(earliestIssue_, c);
+    cta_->invalidateStallCache();
+    if (wheel_)
+        wheel_->schedule(c);
+}
 
 Warp::Warp(Cta *cta, WarpId id, const KernelContext &context,
            std::uint64_t seed)

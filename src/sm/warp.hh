@@ -14,6 +14,7 @@
 
 #include "common/rng.hh"
 #include "common/types.hh"
+#include "core/event_wheel.hh"
 #include "sm/kernel_context.hh"
 #include "sm/scoreboard.hh"
 
@@ -89,9 +90,17 @@ class Warp
     Scoreboard &scoreboard() { return scoreboard_; }
     const Scoreboard &scoreboard() const { return scoreboard_; }
 
-    /** Earliest cycle the front end may issue from this warp. */
+    /** Earliest cycle the front end may issue from this warp. Announces
+     * the wake to the bound event wheel and drops the parent CTA's stall
+     * memo (defined in warp.cc: Cta is incomplete here). */
     Cycle earliestIssue() const { return earliestIssue_; }
-    void setEarliestIssue(Cycle c) { earliestIssue_ = std::max(earliestIssue_, c); }
+    void setEarliestIssue(Cycle c);
+
+    /**
+     * Attach the SM's idle-skip event wheel: every earliest-issue update
+     * — the single choke point for warp wake times — is announced to it.
+     */
+    void bindEventWheel(EventWheel *wheel) { wheel_ = wheel; }
 
     bool atBarrier() const { return atBarrier_; }
     void setAtBarrier(bool v) { atBarrier_ = v; }
@@ -137,6 +146,7 @@ class Warp
     Scoreboard scoreboard_;
     Cycle earliestIssue_ = 0;
     Cycle lastIssueCycle_ = 0;
+    EventWheel *wheel_ = nullptr;
 
     std::vector<unsigned> loopRemaining_;
     std::vector<std::uint32_t> memExec_;

@@ -128,6 +128,52 @@ InvariantAuditor::auditSm(Gpu &gpu, Sm &sm, Cycle now) const
              sm_id, now);
     }
 
+    // The hot path trusts incrementally maintained counters; re-derive
+    // each from a full scan so drift is caught at the next audit.
+    if (sm.pendingCtaCount() != sm.scanPendingCtaCount()) {
+        std::ostringstream oss;
+        oss << "pending-CTA counter reads " << sm.pendingCtaCount()
+            << " but " << sm.scanPendingCtaCount()
+            << " resident CTAs are Pending";
+        fail("cta-accounting", oss.str(), kInvalidId, sm_id, now);
+    }
+    if (sm.residentWarpCount() != sm.scanResidentWarpCount()) {
+        std::ostringstream oss;
+        oss << "resident-warp counter reads " << sm.residentWarpCount()
+            << " but resident CTAs hold " << sm.scanResidentWarpCount()
+            << " warps";
+        fail("warp-accounting", oss.str(), kInvalidId, sm_id, now);
+    }
+    if (sm.activeLiveWarps() != sm.scanActiveLiveWarps()) {
+        std::ostringstream oss;
+        oss << "active-live-warp counter reads " << sm.activeLiveWarps()
+            << " but active CTAs hold " << sm.scanActiveLiveWarps()
+            << " unfinished warps";
+        fail("warp-accounting", oss.str(), kInvalidId, sm_id, now);
+    }
+
+    // The policies' per-tick scans iterate the compact state lists; they
+    // must mirror residentCtas() filtered by state, in the same order.
+    {
+        std::size_t a = 0, p = 0;
+        const auto &alist = sm.activeCtaList();
+        const auto &plist = sm.pendingCtaList();
+        bool list_ok = true;
+        for (const auto &cta : sm.residentCtas()) {
+            if (cta->state() == CtaState::Active)
+                list_ok = list_ok && a < alist.size() &&
+                          alist[a++] == cta.get();
+            else if (cta->state() == CtaState::Pending)
+                list_ok = list_ok && p < plist.size() &&
+                          plist[p++] == cta.get();
+        }
+        if (!list_ok || a != alist.size() || p != plist.size()) {
+            fail("cta-accounting",
+                 "active/pending CTA lists diverge from resident set",
+                 kInvalidId, sm_id, now);
+        }
+    }
+
     // Policy-specific invariants: PCRF chains, ACRF accounting, monitor
     // legality, SRP holdings — whatever the bound scheme maintains.
     gpu.policy().audit(sm, now);

@@ -39,8 +39,33 @@ class InvariantAuditor
      */
     void audit(Gpu &gpu, Cycle now) const;
 
-  private:
+    /**
+     * Audit one SM (and its policy state) only — the targeted check the
+     * sampled edge auditor runs after a CTA state transition, without
+     * paying for a whole-device walk.
+     */
     void auditSm(Gpu &gpu, Sm &sm, Cycle now) const;
+
+    /**
+     * Effective edge-audit sampling period (see
+     * VerifyConfig::auditEdgeEvery): every edge at interval 1 or in Debug
+     * builds, every 64th edge in Release unless overridden.
+     */
+    unsigned
+    edgeSamplePeriod(unsigned configured) const
+    {
+        if (interval_ == 1)
+            return 1;
+        if (configured > 0)
+            return configured;
+#ifndef NDEBUG
+        return 1;
+#else
+        return 64;
+#endif
+    }
+
+  private:
     void auditDispatcher(Gpu &gpu, Cycle now) const;
 
     Cycle interval_;

@@ -130,6 +130,18 @@ struct VerifyConfig
     Cycle auditInterval = 0;
 
     /**
+     * Edge-audit sampling: with auditing enabled, every CTA state
+     * transition (launch/suspend/resume/finish) marks its SM for a
+     * targeted audit after the policy tick, and every Nth such edge per
+     * SM actually runs one. 0 = auto: every edge in Debug builds, every
+     * 64th in Release. auditInterval == 1 always audits every edge
+     * (full-rate), matching --audit-interval 1 semantics. Transition
+     * edges are where the switching invariants can break; the periodic
+     * full audit still bounds how long any corruption can hide.
+     */
+    unsigned auditEdgeEvery = 0;
+
+    /**
      * Deadlock watchdog: fail the run with a structured diagnostic when
      * no instruction issues and no CTA completes for this many cycles.
      * 0 disables. The default fires far below the 20M-cycle safety cap;

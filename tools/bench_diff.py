@@ -3,7 +3,7 @@
 
 Usage:
     bench_diff.py GOLDEN.json NEW.json [--ipc-tol 0.02] [--wall-tol 0.25]
-                  [--ignore-wall]
+                  [--ignore-wall] [--wall-ratio-max 2.0]
 
 Exit status is nonzero when:
   * any app/policy pair present in the golden is missing from the new run,
@@ -96,6 +96,66 @@ def diff_static(golden, new, failures, infos):
             f"(schema drift; refresh the golden to re-gate it)")
 
 
+def check_wall_ratio(new, ceiling, failures, infos):
+    """Gate the per-app FineReg/Baseline wall-clock ratio of the NEW run.
+
+    Unlike the golden-relative comparisons, this is a self-contained
+    property of one artifact: how much slower the FineReg host loop is
+    than the Baseline loop for the same app. Individual apps are noisy on
+    shared runners, so the gate is on the *median* ratio across apps; the
+    full per-app table is printed when the gate trips so the offending
+    apps are visible without a re-run."""
+    rows = []  # (app, base_ms, fine_ms, ratio)
+    for app, policies in sorted(new["apps"].items()):
+        base = policies.get("Baseline")
+        fine = policies.get("FineReg")
+        if not base or not fine or base.get("failed") or fine.get("failed"):
+            continue
+        base_ms = base.get("wall_ms", 0.0)
+        fine_ms = fine.get("wall_ms", 0.0)
+        if base_ms <= 0:
+            continue
+        rows.append((app, base_ms, fine_ms, fine_ms / base_ms))
+    if not rows:
+        infos.append("wall-ratio gate: no Baseline/FineReg pairs to compare")
+        return
+
+    ratios = sorted(r[3] for r in rows)
+    mid = len(ratios) // 2
+    median = (ratios[mid] if len(ratios) % 2
+              else (ratios[mid - 1] + ratios[mid]) / 2)
+    line = (f"median FineReg/Baseline wall ratio {median:.2f}x over "
+            f"{len(rows)} app(s), ceiling {ceiling:.2f}x")
+    if median <= ceiling:
+        infos.append(line)
+        return
+    failures.append(line)
+    print(f"{'app':<12} {'baseline ms':>12} {'finereg ms':>12} {'ratio':>8}")
+    for app, base_ms, fine_ms, ratio in sorted(rows, key=lambda r: -r[3]):
+        print(f"{app:<12} {base_ms:>12.1f} {fine_ms:>12.1f} {ratio:>7.2f}x")
+
+
+def host_perf_summary(new, infos):
+    """Informational roll-up of the per-run host_perf counters (absent from
+    pre-host_perf artifacts; never gated, never compared to the golden)."""
+    totals = {}
+    for policies in new["apps"].values():
+        for policy, cur in policies.items():
+            hp = cur.get("host_perf")
+            if not isinstance(hp, dict):
+                continue
+            t = totals.setdefault(policy, {"loop_iterations": 0,
+                                           "skipped_cycles": 0,
+                                           "arena_allocs": 0})
+            for key in t:
+                t[key] += hp.get(key, 0)
+    for policy, t in sorted(totals.items()):
+        infos.append(
+            f"host_perf[{policy}]: {t['loop_iterations']} loop iters, "
+            f"{t['skipped_cycles']} cycles skipped, "
+            f"{t['arena_allocs']} arena allocs")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("golden")
@@ -106,6 +166,10 @@ def main():
                         help="max relative total wall-clock regression")
     parser.add_argument("--ignore-wall", action="store_true",
                         help="skip the wall-clock comparison")
+    parser.add_argument("--wall-ratio-max", type=float, default=None,
+                        help="fail when the median per-app FineReg/Baseline "
+                             "wall_ms ratio in the NEW artifact exceeds this "
+                             "ceiling (off by default; CI uses 2.0)")
     args = parser.parse_args()
 
     golden = load_suite(args.golden)
@@ -166,6 +230,10 @@ def main():
                         f"{cur[metric]} ({d:+.2%})")
 
     diff_static(golden, new, failures, infos)
+    host_perf_summary(new, infos)
+
+    if args.wall_ratio_max is not None:
+        check_wall_ratio(new, args.wall_ratio_max, failures, infos)
 
     if not args.ignore_wall:
         gold_wall = golden.get("total_wall_ms", 0.0)

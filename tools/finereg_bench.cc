@@ -290,6 +290,29 @@ runBench(const BenchOptions &options)
             json.num(outcome.wallMs[i], 3);
             json.key("failed");
             json.boolean(r.failed || r.hitCycleLimit);
+            // Host-side perf counters: explain wall_ms, never compared
+            // against goldens (bench_diff.py reads fixed metric names).
+            json.key("host_perf");
+            json.open('{');
+            json.key("loop_iterations");
+            json.u64(r.hostPerf.loopIterations);
+            json.key("skipped_cycles");
+            json.u64(r.hostPerf.skippedCycles);
+            json.key("wheel_pushes");
+            json.u64(r.hostPerf.wheelPushes);
+            json.key("wheel_pops");
+            json.u64(r.hostPerf.wheelPops);
+            json.key("arena_allocs");
+            json.u64(r.hostPerf.arenaAllocs);
+            json.key("arena_bytes");
+            json.u64(r.hostPerf.arenaBytes);
+            json.key("bitvec_word_ops");
+            json.u64(r.hostPerf.bitvecWordOps);
+            json.key("full_audits");
+            json.u64(r.hostPerf.fullAudits);
+            json.key("edge_audits");
+            json.u64(r.hostPerf.edgeAudits);
+            json.close('}');
             json.close('}');
             if (r.failed || r.hitCycleLimit) {
                 any_failed = true;
